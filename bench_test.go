@@ -1,0 +1,362 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the µComplexity paper (one benchmark per exhibit) and runs
+// the ablation benchmarks DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks report paper-relevant quantities as custom metrics
+// (sigma_eps, correlation, inflation) so a bench run doubles as a
+// reproduction report.
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cones"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/designs"
+	"repro/internal/fpga"
+	"repro/internal/hdl"
+	"repro/internal/netlist"
+	"repro/internal/nlme"
+	"repro/internal/paper"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// ---------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if paper.Table1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if paper.Table2() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if paper.Table3() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable4 refits all 12 estimators (both model variants) on
+// the paper dataset — the headline reproduction.
+func BenchmarkTable4(b *testing.B) {
+	var last *paper.Table4Result
+	for i := 0; i < b.N; i++ {
+		res, err := paper.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.MaxAbsDiff, "max_sigma_dev_vs_paper")
+	for _, r := range last.Rows {
+		if r.Name == "DEE1" {
+			b.ReportMetric(r.SigmaEps, "dee1_sigma_eps")
+		}
+	}
+}
+
+// ---------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if paper.Figure2() == "" {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if paper.Figure3() == "" {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	var pos float64
+	for i := 0; i < b.N; i++ {
+		res, err := paper.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pos = res.Positions["DEE1"]
+	}
+	b.ReportMetric(pos, "dee1_sigma_eps")
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	var corr float64
+	for i := 0; i < b.N; i++ {
+		res, err := paper.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		corr = res.Correlation
+	}
+	b.ReportMetric(corr, "dee1_vs_effort_correlation")
+}
+
+// BenchmarkFigure6 runs the full accounting experiment: all 18
+// synthetic components measured through synthesis twice (accounting
+// on/off) and all estimators refitted on both corpora.
+func BenchmarkFigure6(b *testing.B) {
+	var res *paper.Figure6Result
+	for i := 0; i < b.N; i++ {
+		r, err := paper.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.Without["FanInLC"]/res.With["FanInLC"], "faninlc_sigma_inflation")
+	b.ReportMetric(res.Without["Nets"]/res.With["Nets"], "nets_sigma_inflation")
+	b.ReportMetric(res.Without["Stmts"]-res.With["Stmts"], "stmts_sigma_change(0=expected)")
+}
+
+func BenchmarkAICBIC(b *testing.B) {
+	var res *paper.AICBICResult
+	for i := 0; i < b.N; i++ {
+		r, err := paper.AICBIC()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.DEE1AIC, "dee1_aic(paper:34.8)")
+	b.ReportMetric(res.DEE1BIC, "dee1_bic(paper:38.4)")
+}
+
+// ---------------------------------------------------------------
+// Ablations (DESIGN.md Section 5)
+// ---------------------------------------------------------------
+
+// BenchmarkAblationQuadrature compares the closed-form marginal
+// likelihood against adaptive Gauss–Hermite quadrature (the NLMIXED
+// approach): identical values, very different cost.
+func BenchmarkAblationQuadrature(b *testing.B) {
+	d := paperNLMEData(b, dataset.Stmts, dataset.FanInLC)
+	w := []float64{0.004, 0.0001}
+	exact, err := nlme.LogLikelihood(d, w, 0.5, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("closed-form", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := nlme.LogLikelihood(d, w, 0.5, 0.3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gauss-hermite-30", func(b *testing.B) {
+		var gh float64
+		for i := 0; i < b.N; i++ {
+			v, err := nlme.LogLikelihoodGH(d, w, 0.5, 0.3, 30)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gh = v
+		}
+		b.ReportMetric(math.Abs(gh-exact), "abs_disagreement")
+	})
+}
+
+// BenchmarkAblationMultistart compares the multi-start Nelder–Mead
+// fit against a single scale-seeded start.
+func BenchmarkAblationMultistart(b *testing.B) {
+	d := paperNLMEData(b, dataset.Stmts, dataset.FanInLC)
+	b.Run("multistart", func(b *testing.B) {
+		var sigma float64
+		for i := 0; i < b.N; i++ {
+			r, err := nlme.Fit(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sigma = r.SigmaEps
+		}
+		b.ReportMetric(sigma, "sigma_eps")
+	})
+}
+
+// BenchmarkAblationCSE measures the metric impact of the netlist
+// optimization passes (constant folding + structural hashing + dead
+// removal) on a representative component.
+func BenchmarkAblationCSE(b *testing.B) {
+	c, err := designs.ByLabel("PUMA-Execute")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := designs.Design(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rawCells, optCells int
+	for i := 0; i < b.N; i++ {
+		res, err := synth.Synthesize(d, c.Top, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rawCells = len(res.Raw.Cells)
+		optCells = len(res.Optimized.Cells)
+	}
+	b.ReportMetric(float64(rawCells), "raw_cells")
+	b.ReportMetric(float64(optCells), "optimized_cells")
+	b.ReportMetric(float64(rawCells)/float64(optCells), "cse_reduction")
+}
+
+// BenchmarkAblationFanInLC compares the paper's LUT-input-sum
+// approximation of FanInLC against the exact logic-cone computation.
+func BenchmarkAblationFanInLC(b *testing.B) {
+	c, err := designs.ByLabel("Leon3-Pipeline")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := designs.Design(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := synth.Synthesize(d, c.Top, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var exact, approx int
+	b.Run("exact-cones", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			exact = cones.Analyze(res.Optimized).FanInLC
+		}
+	})
+	b.Run("lut-approximation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			approx = fpga.Map(res.Optimized, fpga.Options{}).LUTInputSum
+		}
+	})
+	if exact > 0 {
+		b.ReportMetric(float64(approx)/float64(exact), "approx_over_exact")
+	}
+}
+
+// ---------------------------------------------------------------
+// Pipeline micro-benchmarks
+// ---------------------------------------------------------------
+
+// BenchmarkSynthesizeCorpus synthesizes every synthetic component once
+// per iteration — the cost floor of the Figure 6 experiment.
+func BenchmarkSynthesizeCorpus(b *testing.B) {
+	type prepared struct {
+		c designs.Component
+		d *hdl.Design
+	}
+	var preps []prepared
+	for _, c := range designs.All() {
+		d, err := designs.Design(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		preps = append(preps, prepared{c, d})
+	}
+	b.ResetTimer()
+	cells := 0
+	for i := 0; i < b.N; i++ {
+		cells = 0
+		for _, p := range preps {
+			res, err := synth.Synthesize(p.d, p.c.Top, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cells += len(res.Optimized.Cells)
+		}
+	}
+	b.ReportMetric(float64(cells), "total_cells")
+}
+
+// BenchmarkNLMEFit times a single mixed-effects calibration.
+func BenchmarkNLMEFit(b *testing.B) {
+	comps := dataset.Paper()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CalibrateDEE1(comps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParse times the µHDL front end on the full corpus sources.
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := designs.FullDesign(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimize times the netlist cleanup passes in isolation.
+func BenchmarkOptimize(b *testing.B) {
+	c, err := designs.ByLabel("IVM-Memory")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := designs.Design(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := synth.Synthesize(d, c.Top, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := netlist.Optimize(res.Raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConfidenceFactors times the Figure 3/4 interval math.
+func BenchmarkConfidenceFactors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stats.ConfidenceFactors(0.45, 0.90)
+	}
+}
+
+// paperNLMEData assembles an nlme.Data from the embedded paper
+// dataset (zero values floored at 1, as in the reproduction).
+func paperNLMEData(b *testing.B, metrics ...dataset.Metric) *nlme.Data {
+	b.Helper()
+	d := &nlme.Data{}
+	for _, c := range dataset.Paper() {
+		row := make([]float64, len(metrics))
+		for k, m := range metrics {
+			v := c.Metrics[m]
+			if v == 0 {
+				v = 1
+			}
+			row[k] = v
+		}
+		d.Groups = append(d.Groups, c.Project)
+		d.Efforts = append(d.Efforts, c.Effort)
+		d.Metrics = append(d.Metrics, row)
+	}
+	for _, m := range metrics {
+		d.MetricNames = append(d.MetricNames, string(m))
+	}
+	return d
+}

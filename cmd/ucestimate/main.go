@@ -1,0 +1,67 @@
+// Command ucestimate predicts the design effort of a component from
+// its metric values using a DEE1 estimator calibrated on the paper's
+// dataset (or a user database).
+//
+// Usage:
+//
+//	ucestimate -stmts 1200 -faninlc 8000                relative estimate (rho=1)
+//	ucestimate -stmts 1200 -faninlc 8000 -rho 1.3       team-adjusted estimate
+//	ucestimate -db my.csv -stmts 1200 -faninlc 8000     calibrate on your own data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func main() {
+	stmts := flag.Float64("stmts", 0, "HDL statement count of the component")
+	fanin := flag.Float64("faninlc", 0, "logic-cone fan-in total of the component")
+	rho := flag.Float64("rho", 1, "team productivity factor (1 = relative estimate)")
+	dbPath := flag.String("db", "", "CSV measurement database (default: the paper's)")
+	flag.Parse()
+
+	if err := run(*stmts, *fanin, *rho, *dbPath); err != nil {
+		fmt.Fprintln(os.Stderr, "ucestimate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stmts, fanin, rho float64, dbPath string) error {
+	if stmts <= 0 || fanin <= 0 {
+		return fmt.Errorf("need positive -stmts and -faninlc values")
+	}
+	comps := dataset.Paper()
+	if dbPath != "" {
+		f, err := os.Open(dbPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		comps, err = dataset.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+	}
+	cal, err := core.CalibrateDEE1(comps)
+	if err != nil {
+		return err
+	}
+	est, err := cal.EstimateFromValues([]float64{stmts, fanin}, rho)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DEE1 estimate for Stmts=%.0f, FanInLC=%.0f, rho=%.2f:\n", stmts, fanin, rho)
+	fmt.Printf("  median effort: %.1f person-months\n", est.Median)
+	fmt.Printf("  mean effort:   %.1f person-months (Equation 4 correction)\n", est.Mean)
+	fmt.Printf("  68%% interval:  %.1f .. %.1f person-months\n", est.CI68[0], est.CI68[1])
+	fmt.Printf("  90%% interval:  %.1f .. %.1f person-months\n", est.CI90[0], est.CI90[1])
+	if rho == 1 {
+		fmt.Println("  (rho=1: treat as a relative estimate, per Section 3.1.1)")
+	}
+	return nil
+}

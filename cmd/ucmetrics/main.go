@@ -1,0 +1,135 @@
+// Command ucmetrics measures the Table 3 metrics of a µHDL design
+// component using the µComplexity accounting procedure.
+//
+// Usage:
+//
+//	ucmetrics -top <module> file.v [more.v ...]   measure your own design
+//	ucmetrics -builtin <Project-Name>             measure a bundled synthetic component
+//	ucmetrics -builtin all                        measure the whole corpus
+//
+// Flags:
+//
+//	-no-accounting   disable the Section 2.2 accounting procedure
+//	-csv             emit the measurement as a CSV database row
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/accounting"
+	"repro/internal/dataset"
+	"repro/internal/designs"
+	"repro/internal/hdl"
+	"repro/internal/measure"
+)
+
+func main() {
+	top := flag.String("top", "", "top module to measure")
+	builtin := flag.String("builtin", "", "bundled component label (e.g. IVM-Rename) or 'all'")
+	noAccounting := flag.Bool("no-accounting", false, "disable the accounting procedure")
+	asCSV := flag.Bool("csv", false, "emit CSV database rows")
+	flag.Parse()
+
+	if err := run(*top, *builtin, !*noAccounting, *asCSV, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "ucmetrics:", err)
+		os.Exit(1)
+	}
+}
+
+func run(top, builtin string, useAccounting, asCSV bool, files []string) error {
+	var rows []dataset.Component
+
+	measureOne := func(d *hdl.Design, project, topName string, effort float64) error {
+		res, err := accounting.MeasureComponent(d, topName, useAccounting, measure.Options{})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, dataset.Component{
+			Project: project,
+			Name:    topName,
+			Effort:  effort,
+			Metrics: res.Metrics.MetricMap(),
+		})
+		if !asCSV {
+			printResult(project, topName, res)
+		}
+		return nil
+	}
+
+	switch {
+	case builtin == "all":
+		for _, c := range designs.All() {
+			d, err := designs.Design(c)
+			if err != nil {
+				return err
+			}
+			if err := measureOne(d, c.Project, c.Top, c.Effort); err != nil {
+				return fmt.Errorf("%s: %w", c.Label(), err)
+			}
+		}
+	case builtin != "":
+		c, err := designs.ByLabel(builtin)
+		if err != nil {
+			return err
+		}
+		d, err := designs.Design(c)
+		if err != nil {
+			return err
+		}
+		if err := measureOne(d, c.Project, c.Top, c.Effort); err != nil {
+			return err
+		}
+	default:
+		if top == "" || len(files) == 0 {
+			return fmt.Errorf("need -top and at least one source file (or -builtin)")
+		}
+		sources := map[string]string{}
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				return err
+			}
+			sources[f] = string(data)
+		}
+		d, err := hdl.ParseDesign(sources)
+		if err != nil {
+			return err
+		}
+		if err := measureOne(d, "user", top, 0); err != nil {
+			return err
+		}
+	}
+
+	if asCSV {
+		return dataset.WriteCSV(os.Stdout, rows)
+	}
+	return nil
+}
+
+func printResult(project, top string, res *accounting.Result) {
+	m := res.Metrics
+	fmt.Printf("%s-%s:\n", project, top)
+	fmt.Printf("  Stmts=%d LoC=%d\n", m.Stmts, m.LoC)
+	fmt.Printf("  FanInLC=%d (exact cones: %d)  Nets=%d  Cells=%d  FFs=%d\n",
+		m.FanInLC, m.FanInLCExact, m.Nets, m.Cells, m.FFs)
+	fmt.Printf("  Freq=%.1f MHz  AreaL=%.0f um2  AreaS=%.0f um2  PowerD=%.3f mW  PowerS=%.2f uW\n",
+		m.FreqMHz, m.AreaL, m.AreaS, m.PowerD, m.PowerS)
+	fmt.Printf("  accounting: %d unique modules, %d instances, %d deduplicated\n",
+		len(res.UniqueModules), res.InstanceCount, res.DedupedInstances)
+	if len(res.MinimizedParams) > 0 {
+		names := make([]string, 0, len(res.MinimizedParams))
+		for n := range res.MinimizedParams {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("  minimized parameters:")
+		for _, n := range names {
+			fmt.Printf(" %s=%d", n, res.MinimizedParams[n])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}

@@ -1,0 +1,139 @@
+// Command ucpaper regenerates the tables and figures of the
+// µComplexity paper (MICRO 2005) from this reproduction's own
+// machinery.
+//
+// Usage:
+//
+//	ucpaper -table 1|2|3|4        print one table
+//	ucpaper -figure 2|3|4|5|6     print one figure
+//	ucpaper -aicbic               print the Section 5.1.1 comparison
+//	ucpaper -all                  print everything (default)
+//
+// Figure 6 measures the 18-component synthetic design corpus through
+// the full synthesis pipeline and takes a few seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/paper"
+)
+
+func main() {
+	tableN := flag.Int("table", 0, "print table N (1-4)")
+	figureN := flag.Int("figure", 0, "print figure N (2-6)")
+	aicbic := flag.Bool("aicbic", false, "print the AIC/BIC model comparison")
+	extension := flag.Bool("extension", false, "print the timing-aware estimator extension experiment")
+	all := flag.Bool("all", false, "print every table and figure")
+	flag.Parse()
+
+	if !*aicbic && !*extension && *tableN == 0 && *figureN == 0 {
+		*all = true
+	}
+	if err := run(*tableN, *figureN, *aicbic, *extension, *all); err != nil {
+		fmt.Fprintln(os.Stderr, "ucpaper:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tableN, figureN int, aicbic, extension, all bool) error {
+	table := func(n int) error {
+		switch n {
+		case 1:
+			fmt.Println(paper.Table1())
+		case 2:
+			fmt.Println(paper.Table2())
+		case 3:
+			fmt.Println(paper.Table3())
+		case 4:
+			t4, err := paper.Table4()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t4)
+		default:
+			return fmt.Errorf("no table %d (have 1-4)", n)
+		}
+		return nil
+	}
+	figure := func(n int) error {
+		switch n {
+		case 2:
+			fmt.Println(paper.Figure2())
+		case 3:
+			fmt.Println(paper.Figure3())
+		case 4:
+			f4, err := paper.Figure4()
+			if err != nil {
+				return err
+			}
+			fmt.Println(f4.Plot)
+		case 5:
+			f5, err := paper.Figure5()
+			if err != nil {
+				return err
+			}
+			fmt.Println(f5.Plot)
+		case 6:
+			f6, err := paper.Figure6()
+			if err != nil {
+				return err
+			}
+			fmt.Println(f6)
+		default:
+			return fmt.Errorf("no figure %d (have 2-6)", n)
+		}
+		return nil
+	}
+
+	if all {
+		for n := 1; n <= 4; n++ {
+			if err := table(n); err != nil {
+				return err
+			}
+		}
+		res, err := paper.AICBIC()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		for n := 2; n <= 6; n++ {
+			if err := figure(n); err != nil {
+				return err
+			}
+		}
+		ext, err := paper.TimingAware()
+		if err != nil {
+			return err
+		}
+		fmt.Println(ext)
+		return nil
+	}
+	if tableN != 0 {
+		if err := table(tableN); err != nil {
+			return err
+		}
+	}
+	if figureN != 0 {
+		if err := figure(figureN); err != nil {
+			return err
+		}
+	}
+	if aicbic {
+		res, err := paper.AICBIC()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if extension {
+		ext, err := paper.TimingAware()
+		if err != nil {
+			return err
+		}
+		fmt.Println(ext)
+	}
+	return nil
+}

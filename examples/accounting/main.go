@@ -1,0 +1,105 @@
+// Accounting: demonstrate the two rules of the µComplexity accounting
+// procedure (Section 2.2) on a deliberately replication-heavy design —
+// a quad-lane SIMD unit built from one ALU module instantiated four
+// times, with a parameterized operand queue.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/accounting"
+	"repro/internal/hdl"
+	"repro/internal/measure"
+)
+
+const src = `
+module simd_alu #(parameter W = 16) (input [W-1:0] a, b, input [1:0] op, output reg [W-1:0] y);
+  always @(*) begin
+    case (op)
+      2'd0: y = a + b;
+      2'd1: y = a - b;
+      2'd2: y = a & b;
+      default: y = a | b;
+    endcase
+  end
+endmodule
+
+module simd4 #(parameter W = 16, parameter QD = 32) (
+  input clk, rst, push, pop,
+  input [1:0] op,
+  input [W-1:0] a0, b0, a1, b1, a2, b2, a3, b3,
+  output [W-1:0] y0, y1, y2, y3,
+  output [W-1:0] q_out,
+  output q_empty
+);
+  // Four identical lanes: written once, instantiated four times.
+  simd_alu #(.W(W)) lane0 (.a(a0), .b(b0), .op(op), .y(y0));
+  simd_alu #(.W(W)) lane1 (.a(a1), .b(b1), .op(op), .y(y1));
+  simd_alu #(.W(W)) lane2 (.a(a2), .b(b2), .op(op), .y(y2));
+  simd_alu #(.W(W)) lane3 (.a(a3), .b(b3), .op(op), .y(y3));
+
+  // Parameterized result queue: QD is an implementation knob, so the
+  // scaling rule measures its smallest non-degenerate depth.
+  reg [W-1:0] queue [0:QD-1];
+  reg [5:0] head, tail;
+  always @(posedge clk) begin
+    if (rst) begin
+      head <= 0;
+      tail <= 0;
+    end else begin
+      if (push) begin
+        queue[tail] <= y0;
+        tail <= tail + 1;
+      end
+      if (pop)
+        head <= head + 1;
+    end
+  end
+  assign q_out = queue[head];
+  assign q_empty = head == tail;
+endmodule
+`
+
+func main() {
+	design, err := hdl.ParseDesign(map[string]string{"simd.v": src})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	with, err := accounting.MeasureComponent(design, "simd4", true, measure.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	without, err := accounting.MeasureComponent(design, "simd4", false, measure.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("the accounting procedure on a quad-lane SIMD unit:")
+	fmt.Printf("\n  rule 1 (single instance): %d of %d instances deduplicated\n",
+		with.DedupedInstances, without.InstanceCount-1)
+	fmt.Printf("  rule 2 (parameter scaling): minimized parameters = %v\n",
+		with.MinimizedParams)
+
+	w, wo := with.Metrics, without.Metrics
+	fmt.Printf("\n  %-10s %12s %12s %10s\n", "metric", "with", "without", "ratio")
+	row := func(name string, a, b float64) {
+		ratio := "-"
+		if a > 0 {
+			ratio = fmt.Sprintf("%.2fx", b/a)
+		}
+		fmt.Printf("  %-10s %12.0f %12.0f %10s\n", name, a, b, ratio)
+	}
+	row("Stmts", float64(w.Stmts), float64(wo.Stmts))
+	row("LoC", float64(w.LoC), float64(wo.LoC))
+	row("FanInLC", float64(w.FanInLC), float64(wo.FanInLC))
+	row("Nets", float64(w.Nets), float64(wo.Nets))
+	row("Cells", float64(w.Cells), float64(wo.Cells))
+	row("AreaL", w.AreaL, wo.AreaL)
+	row("AreaS", w.AreaS, wo.AreaS)
+
+	fmt.Println("\n  software metrics are identical (the procedure only affects")
+	fmt.Println("  synthesis metrics, Section 5.3); the synthesis metrics shrink")
+	fmt.Println("  because the four lanes were a one-time design effort.")
+}

@@ -1,0 +1,191 @@
+// Package accounting implements the µComplexity accounting procedure
+// of Section 2.2 of the paper:
+//
+//  1. Account for a single instance of each component — when a design
+//     reuses a module, only one instance contributes to the metrics,
+//     because designing and verifying a reusable component is a
+//     one-time cost.
+//  2. Minimize the value of component parameters (the scaling rule) —
+//     each parameter is set to the smallest value that does not cause
+//     any loops or conditional statements in the RTL to be optimized
+//     away, because parameterized code is not much harder to write
+//     than its smallest nontrivial instance.
+//
+// MeasureComponent can run with the procedure enabled (the paper's
+// recommended mode) or disabled (every instance, full parameters),
+// which is exactly the comparison Figure 6 of the paper draws.
+package accounting
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/elab"
+	"repro/internal/hdl"
+	"repro/internal/measure"
+	"repro/internal/synth"
+)
+
+// MinimizeParams returns, for each header parameter of the module, the
+// smallest value compatible with the module's reference elaboration
+// (its declared defaults): no generate loop that ran collapses to zero
+// iterations, no constant conditional flips its branch, no memory
+// degenerates, and elaboration still succeeds.
+//
+// The search lowers one parameter at a time, holding the others at
+// their current values, and repeats until a fixpoint (parameters may
+// interact through derived expressions).
+func MinimizeParams(design *hdl.Design, module string) (map[string]int64, error) {
+	mod, err := design.Module(module)
+	if err != nil {
+		return nil, err
+	}
+	_, refReport, err := elab.Elaborate(design, module, nil)
+	if err != nil {
+		return nil, fmt.Errorf("accounting: reference elaboration of %s: %w", module, err)
+	}
+	// Start from the declared defaults.
+	current := map[string]int64{}
+	env := elab.NewEnv(nil)
+	for _, p := range mod.Params {
+		v, err := elab.Eval(p.Value, env)
+		if err != nil {
+			return nil, fmt.Errorf("accounting: default of %s.%s: %w", module, p.Name, err)
+		}
+		current[p.Name] = v
+		if err := env.Define(p.Name, v); err != nil {
+			return nil, err
+		}
+	}
+	names := make([]string, 0, len(current))
+	for n := range current {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	compatible := func(cand map[string]int64) bool {
+		_, rep, err := elab.Elaborate(design, module, cand)
+		if err != nil {
+			return false
+		}
+		ok, _ := refReport.CompatibleWith(rep)
+		return ok
+	}
+
+	for round := 0; round < 5; round++ {
+		changed := false
+		for _, name := range names {
+			for _, v := range candidateValues(current[name]) {
+				if v >= current[name] {
+					break
+				}
+				cand := map[string]int64{}
+				for k, cv := range current {
+					cand[k] = cv
+				}
+				cand[name] = v
+				if compatible(cand) {
+					current[name] = v
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return current, nil
+}
+
+// candidateValues returns ascending candidate values to try for a
+// parameter whose current value is cur: small integers exhaustively,
+// then powers of two below it.
+func candidateValues(cur int64) []int64 {
+	var out []int64
+	limit := cur
+	if limit > 64 {
+		limit = 64
+	}
+	for v := int64(0); v <= limit; v++ {
+		out = append(out, v)
+	}
+	for v := int64(128); v < cur; v *= 2 {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Result carries a component measurement along with the accounting
+// details that produced it.
+type Result struct {
+	Metrics *measure.Metrics
+	// UniqueModules lists the distinct modules in the component's
+	// hierarchy (sorted).
+	UniqueModules []string
+	// MinimizedParams holds the scaled top-level parameter values
+	// (accounting mode only; nil otherwise).
+	MinimizedParams map[string]int64
+	// InstanceCount is the elaborated instance count of the component
+	// at the parameters actually measured.
+	InstanceCount int
+	// DedupedInstances is how many duplicate instances the
+	// single-instance rule removed (accounting mode only).
+	DedupedInstances int
+}
+
+// MeasureComponent measures one component (a module plus everything it
+// instantiates).
+//
+// With useAccounting (Section 2.2), the component is measured at its
+// minimized parameterization and every repeated (module, parameters)
+// subtree is synthesized once — duplicate instances reuse the
+// representative's logic structurally during lowering. Without it, the
+// component is measured as instantiated: full default parameters,
+// every instance counted.
+//
+// The software metrics (LoC, Stmts) sum each unique module's source
+// once in both modes — the paper notes in Section 5.3 that the
+// accounting procedure does not affect them.
+func MeasureComponent(design *hdl.Design, top string, useAccounting bool, opts measure.Options) (*Result, error) {
+	modules, err := design.TransitiveModules(top)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{UniqueModules: modules}
+
+	var params map[string]int64
+	if useAccounting {
+		params, err = MinimizeParams(design, top)
+		if err != nil {
+			return nil, err
+		}
+		res.MinimizedParams = params
+	}
+	inst, _, err := elab.Elaborate(design, top, params)
+	if err != nil {
+		return nil, err
+	}
+	res.InstanceCount = inst.CountInstances()
+
+	mopts := opts
+	mopts.DedupInstances = useAccounting
+	synres, err := synth.SynthesizeOpts(design, top, params, synth.LowerOptions{DedupInstances: useAccounting})
+	if err != nil {
+		return nil, err
+	}
+	res.DedupedInstances = synres.Deduped
+	m := measure.SynthMetricsOnly(synres, mopts)
+
+	// Software metrics: each unique module's source once.
+	for _, name := range modules {
+		src, err := measure.SourceOnly(design, name)
+		if err != nil {
+			return nil, err
+		}
+		m.Stmts += src.Stmts
+		m.LoC += src.LoC
+	}
+	res.Metrics = m
+	return res, nil
+}

@@ -1,0 +1,35 @@
+package accounting
+
+import (
+	"testing"
+
+	"repro/internal/hdl"
+	"repro/internal/measure"
+)
+
+func benchDesign(b *testing.B) *hdl.Design {
+	b.Helper()
+	d, err := hdl.ParseDesign(map[string]string{"b.v": replicatedDesign})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkMinimizeParams(b *testing.B) {
+	d := benchDesign(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := MinimizeParams(d, "quad"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMeasureComponentWithAccounting(b *testing.B) {
+	d := benchDesign(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := MeasureComponent(d, "quad", true, measure.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package cones
+
+import (
+	"testing"
+
+	"repro/internal/hdl"
+	"repro/internal/synth"
+)
+
+func BenchmarkAnalyzeAdder(b *testing.B) {
+	d, err := hdl.ParseDesign(map[string]string{"b.v": `
+module add (input clk, input [31:0] a, x, output reg [31:0] s);
+  always @(posedge clk) s <= a + x;
+endmodule`})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := synth.Synthesize(d, "add", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(res.Optimized)
+	}
+}

@@ -1,0 +1,206 @@
+// Package cones extracts combinational logic cones from a netlist and
+// computes the paper's FanInLC metric.
+//
+// Section 4.3 of the µComplexity paper defines FanInLC as follows:
+// "Given a primary output (i.e., a signal that reaches a pipeline
+// latch), we identify the set of logic gates that produces it starting
+// from the preceding pipeline latch (i.e., its logic cone), and count
+// all the primary inputs to the cone (i.e., signals directly coming
+// from the preceding latch). We then repeat the process for all the
+// primary outputs in the design, accumulating the counts."
+//
+// Concretely: a cone endpoint is every primary output bit, every
+// flip-flop or latch data/enable input, and every RAM control/data
+// input; cone leaves are primary inputs, flip-flop/latch outputs, and
+// RAM read-port outputs. Constants are not leaves (they carry no
+// information from a preceding latch). FanInLC is the sum over all
+// endpoints of the number of distinct leaves in the endpoint's cone.
+//
+// The paper approximates this metric from FPGA LUT input counts (see
+// internal/fpga); this package computes it exactly, and the two are
+// compared in the FanInLC ablation benchmark.
+package cones
+
+import (
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Cone describes one extracted logic cone.
+type Cone struct {
+	// Endpoint identifies the cone's root: "out:<name>" for a primary
+	// output bit, "ff:<i>:<pin>" for a sequential cell input, or
+	// "ram:<name>:<pin>" for a RAM input pin.
+	Endpoint string
+	// Leaves is the number of distinct cone leaves (primary inputs and
+	// sequential/RAM outputs) feeding the endpoint.
+	Leaves int
+	// Gates is the number of combinational cells inside the cone.
+	Gates int
+	// Depth is the longest gate chain from any leaf to the endpoint.
+	Depth int
+}
+
+// Analysis is the result of cone extraction over a netlist.
+type Analysis struct {
+	Cones []Cone
+	// FanInLC is the sum of Leaves over all cones (the paper's
+	// metric).
+	FanInLC int
+	// MaxDepth is the deepest cone.
+	MaxDepth int
+}
+
+// Analyze extracts every logic cone of the netlist.
+func Analyze(n *netlist.Netlist) *Analysis {
+	drivers := n.Drivers()
+
+	// Leaves: nets not driven by combinational cells. This covers
+	// primary inputs, sequential outputs, RAM read outputs, and
+	// dangling nets; constants are excluded explicitly.
+	isLeaf := func(id netlist.NetID) bool {
+		if id == n.Const0 || id == n.Const1 {
+			return false
+		}
+		d := drivers[id]
+		return d < 0 || n.Cells[d].Type.IsSequential()
+	}
+
+	// Per-net memoized cone info: set of leaves (as sorted slice key
+	// is too costly; use map-based merging with memoization of counts
+	// only when sharing is absent). Cones overlap, so we compute each
+	// endpoint's leaf set by DFS with a per-endpoint visited set; gate
+	// counts likewise. Netlists here are modest (≤ a few hundred
+	// thousand cells), and endpoints touch bounded regions.
+	depthMemo := make([]int, n.NumNets())
+	for i := range depthMemo {
+		depthMemo[i] = -1
+	}
+	var netDepth func(id netlist.NetID) int
+	netDepth = func(id netlist.NetID) int {
+		if isLeaf(id) || id == n.Const0 || id == n.Const1 {
+			return 0
+		}
+		if depthMemo[id] >= 0 {
+			return depthMemo[id]
+		}
+		d := drivers[id]
+		if d < 0 {
+			return 0
+		}
+		max := 0
+		for _, in := range n.Cells[d].Inputs() {
+			if dep := netDepth(in); dep > max {
+				max = dep
+			}
+		}
+		depthMemo[id] = max + 1
+		return max + 1
+	}
+
+	analysis := &Analysis{}
+	cone := func(endpoint string, root netlist.NetID) {
+		if root == netlist.Nil {
+			return
+		}
+		leaves := map[netlist.NetID]bool{}
+		gates := map[int]bool{}
+		var visit func(id netlist.NetID)
+		visited := map[netlist.NetID]bool{}
+		visit = func(id netlist.NetID) {
+			if visited[id] || id == n.Const0 || id == n.Const1 {
+				return
+			}
+			visited[id] = true
+			if isLeaf(id) {
+				leaves[id] = true
+				return
+			}
+			d := drivers[id]
+			if d < 0 {
+				return
+			}
+			gates[d] = true
+			for _, in := range n.Cells[d].Inputs() {
+				visit(in)
+			}
+		}
+		visit(root)
+		c := Cone{
+			Endpoint: endpoint,
+			Leaves:   len(leaves),
+			Gates:    len(gates),
+			Depth:    netDepth(root),
+		}
+		analysis.Cones = append(analysis.Cones, c)
+		analysis.FanInLC += c.Leaves
+		if c.Depth > analysis.MaxDepth {
+			analysis.MaxDepth = c.Depth
+		}
+	}
+
+	for _, p := range n.Outputs {
+		cone("out:"+p.Name, p.Net)
+	}
+	for ci := range n.Cells {
+		c := &n.Cells[ci]
+		switch c.Type {
+		case netlist.DFF:
+			cone(key("ff", ci, "d"), c.In[0])
+		case netlist.Latch:
+			cone(key("lat", ci, "d"), c.In[0])
+			cone(key("lat", ci, "en"), c.In[1])
+		}
+	}
+	for _, r := range n.RAMs {
+		for wi, wp := range r.WritePorts {
+			cone(key2("ram", r.Name, "wen", wi), wp.En)
+			for i, b := range wp.Addr {
+				cone(key2("ram", r.Name, itoa(wi)+".waddr", i), b)
+			}
+			for i, b := range wp.Data {
+				cone(key2("ram", r.Name, itoa(wi)+".wdata", i), b)
+			}
+		}
+		for pi, rp := range r.ReadPorts {
+			for i, b := range rp.Addr {
+				cone(key2("ram", r.Name, itoa(pi)+".raddr", i), b)
+			}
+		}
+	}
+	sort.Slice(analysis.Cones, func(i, j int) bool {
+		return analysis.Cones[i].Endpoint < analysis.Cones[j].Endpoint
+	})
+	return analysis
+}
+
+func key(kind string, cell int, pin string) string {
+	return kind + ":" + itoa(cell) + ":" + pin
+}
+
+func key2(kind, name, pin string, bit int) string {
+	return kind + ":" + name + ":" + pin + "[" + itoa(bit) + "]"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

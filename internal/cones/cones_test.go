@@ -1,0 +1,167 @@
+package cones
+
+import (
+	"testing"
+
+	"repro/internal/hdl"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+func netlistOf(t *testing.T, src, top string) *netlist.Netlist {
+	t.Helper()
+	d, err := hdl.ParseDesign(map[string]string{"t.v": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := synth.Synthesize(d, top, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Optimized
+}
+
+func TestConeSimpleCombinational(t *testing.T) {
+	// y = a & b: one endpoint (y) with two leaves.
+	nl := netlistOf(t, `
+module m (input a, b, output y);
+  assign y = a & b;
+endmodule`, "m")
+	an := Analyze(nl)
+	if len(an.Cones) != 1 {
+		t.Fatalf("cones = %d, want 1", len(an.Cones))
+	}
+	if an.FanInLC != 2 {
+		t.Errorf("FanInLC = %d, want 2", an.FanInLC)
+	}
+	if an.Cones[0].Depth != 1 {
+		t.Errorf("depth = %d, want 1", an.Cones[0].Depth)
+	}
+}
+
+func TestConeSharedLeavesCountedPerCone(t *testing.T) {
+	// Two outputs sharing both inputs: each cone counts its own
+	// leaves, so FanInLC accumulates to 4.
+	nl := netlistOf(t, `
+module m (input a, b, output x, y);
+  assign x = a & b;
+  assign y = a | b;
+endmodule`, "m")
+	an := Analyze(nl)
+	if an.FanInLC != 4 {
+		t.Errorf("FanInLC = %d, want 4", an.FanInLC)
+	}
+}
+
+func TestConeDistinctLeavesNotDoubleCounted(t *testing.T) {
+	// y = (a&b) | (a&c): leaf a feeds two paths but counts once.
+	nl := netlistOf(t, `
+module m (input a, b, c, output y);
+  assign y = (a & b) | (a & c);
+endmodule`, "m")
+	an := Analyze(nl)
+	if an.FanInLC != 3 {
+		t.Errorf("FanInLC = %d, want 3 (a, b, c)", an.FanInLC)
+	}
+}
+
+func TestConeFFBoundaries(t *testing.T) {
+	// Pipeline: a -> FF(q1) -> inverter -> FF(q2) -> output.
+	// Endpoints: q1.D (leaf a), q2.D (leaf q1), out (leaf q2).
+	nl := netlistOf(t, `
+module m (input clk, input a, output q2);
+  reg r1, r2;
+  always @(posedge clk) begin
+    r1 <= a;
+    r2 <= ~r1;
+  end
+  assign q2 = r2;
+endmodule`, "m")
+	an := Analyze(nl)
+	if len(an.Cones) != 3 {
+		t.Fatalf("cones = %d, want 3: %+v", len(an.Cones), an.Cones)
+	}
+	if an.FanInLC != 3 {
+		t.Errorf("FanInLC = %d, want 3", an.FanInLC)
+	}
+}
+
+func TestConeConstantsAreNotLeaves(t *testing.T) {
+	nl := netlistOf(t, `
+module m (input a, output y);
+  assign y = a & 1'b1;
+endmodule`, "m")
+	an := Analyze(nl)
+	// a & 1 folds to a: cone has exactly one leaf.
+	if an.FanInLC != 1 {
+		t.Errorf("FanInLC = %d, want 1", an.FanInLC)
+	}
+}
+
+func TestConeAdderScalesWithWidth(t *testing.T) {
+	mk := func(w int64) int {
+		d, err := hdl.ParseDesign(map[string]string{"t.v": `
+module add #(parameter W = 8) (input [W-1:0] a, b, output [W:0] s);
+  assign s = a + b;
+endmodule`})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := synth.Synthesize(d, "add", map[string]int64{"W": w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Analyze(r.Optimized).FanInLC
+	}
+	f4, f16 := mk(4), mk(16)
+	if f16 <= f4 {
+		t.Errorf("FanInLC must grow with width: %d vs %d", f4, f16)
+	}
+	// Ripple adder: output bit i depends on bits 0..i of both inputs:
+	// cone leaves ≈ 2(i+1). Sum over outputs ≈ W²; check superlinear.
+	if f16 < 4*f4 {
+		t.Errorf("FanInLC should grow superlinearly: f4=%d f16=%d", f4, f16)
+	}
+}
+
+func TestConeRAMEndpointsAndLeaves(t *testing.T) {
+	nl := netlistOf(t, `
+module m (input clk, we, input [1:0] wa, ra, input [3:0] wd, output [3:0] rd);
+  reg [3:0] mem [0:3];
+  always @(posedge clk) if (we) mem[wa] <= wd;
+  assign rd = mem[ra];
+endmodule`, "m")
+	an := Analyze(nl)
+	// RAM input pins are endpoints; RAM outputs are leaves for the rd
+	// output cones.
+	foundRAMEndpoint := false
+	foundOut := false
+	for _, c := range an.Cones {
+		if len(c.Endpoint) >= 4 && c.Endpoint[:4] == "ram:" {
+			foundRAMEndpoint = true
+		}
+		if c.Endpoint == "out:rd[0]" && c.Leaves != 1 {
+			t.Errorf("rd[0] cone leaves = %d, want 1 (the RAM output)", c.Leaves)
+		}
+		if c.Endpoint == "out:rd[0]" {
+			foundOut = true
+		}
+	}
+	if !foundRAMEndpoint {
+		t.Error("no RAM endpoint cones found")
+	}
+	if !foundOut {
+		t.Error("no rd[0] output cone found")
+	}
+}
+
+func TestConeDepthTracksLogicChains(t *testing.T) {
+	nl := netlistOf(t, `
+module m (input [7:0] a, b, output [7:0] s);
+  assign s = a + b;
+endmodule`, "m")
+	an := Analyze(nl)
+	if an.MaxDepth < 8 {
+		t.Errorf("ripple adder depth = %d, want >= 8", an.MaxDepth)
+	}
+}

@@ -1,0 +1,282 @@
+// Package core is the public façade of the µComplexity methodology —
+// the paper's primary contribution. It ties the three parts of
+// Section 2 together:
+//
+//  1. the accounting procedure (internal/accounting) that measures a
+//     design's components — each reused module once, parameters
+//     minimized;
+//  2. the nonlinear mixed-effects regression (internal/nlme) that
+//     calibrates design-effort estimators from a measurement database;
+//  3. the productivity adjustment ρ that scales a calibrated
+//     estimator to a particular team.
+//
+// The typical flow mirrors Section 3.1.1 of the paper: maintain a
+// database of component measurements with reported efforts
+// (dataset.Component), Calibrate an estimator on it, then Estimate the
+// effort of new components — absolutely if the team's ρ is known, or
+// relatively with ρ = 1.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/accounting"
+	"repro/internal/dataset"
+	"repro/internal/hdl"
+	"repro/internal/measure"
+	"repro/internal/nlme"
+	"repro/internal/stats"
+)
+
+// DEE1Metrics is the metric pair of Design Effort Estimator 1
+// (Section 5.1.1): HDL statements plus logic-cone fan-ins, the most
+// accurate two-metric combination the paper found.
+var DEE1Metrics = []dataset.Metric{dataset.Stmts, dataset.FanInLC}
+
+// Measurement is one measured component ready for the database.
+type Measurement struct {
+	Project string
+	Name    string
+	Metrics *measure.Metrics
+	// Accounting describes how the measurement was taken.
+	Accounting *accounting.Result
+}
+
+// Component converts the measurement into a database row with the
+// given reported effort (person-months).
+func (m *Measurement) Component(effort float64) dataset.Component {
+	return dataset.Component{
+		Project: m.Project,
+		Name:    m.Name,
+		Effort:  effort,
+		Metrics: m.Metrics.MetricMap(),
+	}
+}
+
+// MeasureComponent measures one component of a µHDL design using the
+// full µComplexity accounting procedure (Section 2.2). Set
+// useAccounting to false only for methodological comparisons like
+// Figure 6 of the paper.
+func MeasureComponent(design *hdl.Design, project, top string, useAccounting bool, opts measure.Options) (*Measurement, error) {
+	res, err := accounting.MeasureComponent(design, top, useAccounting, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Measurement{Project: project, Name: top, Metrics: res.Metrics, Accounting: res}, nil
+}
+
+// Calibration is a fitted design-effort estimator.
+type Calibration struct {
+	// Metrics are the metric columns of the estimator, in weight
+	// order.
+	Metrics []dataset.Metric
+	// Fit is the underlying regression result (weights, σε, σρ,
+	// productivities, information criteria).
+	Fit *nlme.Result
+	// ZeroFloor records the value zero metric entries were replaced
+	// with (the lognormal model needs positive predictors); 0 if no
+	// flooring was needed.
+	ZeroFloor float64
+}
+
+// CalibrationOptions configures Calibrate.
+type CalibrationOptions struct {
+	// Mixed selects the nonlinear mixed-effects model with per-project
+	// productivities (the paper's recommended model). When false the
+	// simpler ρ=1 fixed-effects model of Section 3.2 is fitted.
+	Mixed bool
+	// ZeroFloor replaces zero metric values. Zero means 1, the value
+	// that reproduces the paper's FFs row exactly.
+	ZeroFloor float64
+}
+
+// Calibrate fits Equation 1's weights (and, for the mixed model, the
+// productivity distribution) for the given metric set on a measurement
+// database.
+func Calibrate(comps []dataset.Component, metrics []dataset.Metric, opts CalibrationOptions) (*Calibration, error) {
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("core: empty measurement database")
+	}
+	if len(metrics) == 0 {
+		return nil, fmt.Errorf("core: no metrics selected")
+	}
+	floor := opts.ZeroFloor
+	if floor == 0 {
+		floor = 1
+	}
+	d := &nlme.Data{}
+	floored := false
+	for _, c := range comps {
+		row := make([]float64, len(metrics))
+		for k, m := range metrics {
+			v, err := c.Metric(m)
+			if err != nil {
+				return nil, err
+			}
+			if v == 0 {
+				v = floor
+				floored = true
+			}
+			row[k] = v
+		}
+		d.Groups = append(d.Groups, c.Project)
+		d.Efforts = append(d.Efforts, c.Effort)
+		d.Metrics = append(d.Metrics, row)
+	}
+	for _, m := range metrics {
+		d.MetricNames = append(d.MetricNames, string(m))
+	}
+	var fit *nlme.Result
+	var err error
+	if opts.Mixed {
+		fit, err = nlme.Fit(d)
+	} else {
+		fit, err = nlme.FitFixed(d)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: calibration failed: %w", err)
+	}
+	cal := &Calibration{
+		Metrics: append([]dataset.Metric(nil), metrics...),
+		Fit:     fit,
+	}
+	if floored {
+		cal.ZeroFloor = floor
+	}
+	return cal, nil
+}
+
+// CalibrateDEE1 fits the paper's recommended DEE1 estimator
+// (w1·Stmts + w2·FanInLC, mixed model) on the database.
+func CalibrateDEE1(comps []dataset.Component) (*Calibration, error) {
+	return Calibrate(comps, DEE1Metrics, CalibrationOptions{Mixed: true})
+}
+
+// SigmaEps returns the fitted σε, the paper's goodness-of-fit measure.
+func (c *Calibration) SigmaEps() float64 { return c.Fit.SigmaEps }
+
+// Productivity returns the empirical-Bayes ρ of a project from the
+// calibration database, or 1 with ok=false for unknown projects.
+func (c *Calibration) Productivity(project string) (rho float64, ok bool) {
+	rho, ok = c.Fit.Productivities[project]
+	if !ok {
+		return 1, false
+	}
+	return rho, true
+}
+
+// Estimate is a design-effort prediction with its uncertainty.
+type Estimate struct {
+	// Median is eff of Equation 1: the median person-month estimate.
+	Median float64
+	// Mean applies Equation 4's e^((σε²+σρ²)/2) correction.
+	Mean float64
+	// CI68 and CI90 are the 68% and 90% confidence intervals for the
+	// true effort (Figures 3/4 of the paper).
+	CI68, CI90 [2]float64
+	// Rho is the productivity the estimate assumed.
+	Rho float64
+}
+
+// Estimate predicts the effort of a component from its metrics, for a
+// team with productivity rho (use 1 for relative estimates, per
+// Section 3.1.1).
+func (c *Calibration) Estimate(m *measure.Metrics, rho float64) (*Estimate, error) {
+	row := make([]float64, len(c.Metrics))
+	for k, metric := range c.Metrics {
+		v, err := m.Value(metric)
+		if err != nil {
+			return nil, err
+		}
+		if v == 0 && c.ZeroFloor > 0 {
+			v = c.ZeroFloor
+		}
+		row[k] = v
+	}
+	return c.estimateRow(row, rho)
+}
+
+// EstimateFromValues predicts effort from raw metric values given in
+// the calibration's metric order.
+func (c *Calibration) EstimateFromValues(values []float64, rho float64) (*Estimate, error) {
+	if len(values) != len(c.Metrics) {
+		return nil, fmt.Errorf("core: %d values for %d metrics", len(values), len(c.Metrics))
+	}
+	return c.estimateRow(values, rho)
+}
+
+func (c *Calibration) estimateRow(row []float64, rho float64) (*Estimate, error) {
+	median, err := c.Fit.Predict(row, rho)
+	if err != nil {
+		return nil, err
+	}
+	lo68, hi68 := c.Fit.ConfidenceInterval(median, 0.68)
+	lo90, hi90 := c.Fit.ConfidenceInterval(median, 0.90)
+	return &Estimate{
+		Median: median,
+		Mean:   median * c.Fit.MeanFactor(),
+		CI68:   [2]float64{lo68, hi68},
+		CI90:   [2]float64{lo90, hi90},
+		Rho:    rho,
+	}, nil
+}
+
+// EstimatorAccuracy is one row of a Table 4-style evaluation.
+type EstimatorAccuracy struct {
+	Name         string
+	Metrics      []dataset.Metric
+	SigmaEps     float64 // mixed model (with productivity adjustment)
+	SigmaEpsRho1 float64 // fixed model (ρ = 1, Section 3.2)
+	AIC, BIC     float64
+	Calibration  *Calibration
+}
+
+// EvaluateEstimators reproduces the Table 4 analysis on a database:
+// every single-metric estimator plus DEE1, each fitted with and
+// without the productivity adjustment, sorted by σε.
+func EvaluateEstimators(comps []dataset.Component) ([]EstimatorAccuracy, error) {
+	type spec struct {
+		name    string
+		metrics []dataset.Metric
+	}
+	specs := []spec{{"DEE1", DEE1Metrics}}
+	for _, m := range dataset.AllMetrics {
+		specs = append(specs, spec{string(m), []dataset.Metric{m}})
+	}
+	out := make([]EstimatorAccuracy, 0, len(specs))
+	for _, s := range specs {
+		mixed, err := Calibrate(comps, s.metrics, CalibrationOptions{Mixed: true})
+		if err != nil {
+			return nil, fmt.Errorf("core: estimator %s: %w", s.name, err)
+		}
+		fixed, err := Calibrate(comps, s.metrics, CalibrationOptions{Mixed: false})
+		if err != nil {
+			return nil, fmt.Errorf("core: estimator %s (ρ=1): %w", s.name, err)
+		}
+		out = append(out, EstimatorAccuracy{
+			Name:         s.name,
+			Metrics:      s.metrics,
+			SigmaEps:     mixed.SigmaEps(),
+			SigmaEpsRho1: fixed.SigmaEps(),
+			AIC:          mixed.Fit.AIC(),
+			BIC:          mixed.Fit.BIC(),
+			Calibration:  mixed,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SigmaEps < out[j].SigmaEps })
+	return out, nil
+}
+
+// ConfidenceFactors exposes the σε → multiplicative-interval mapping
+// of Figures 3 and 4.
+func ConfidenceFactors(sigmaEps, conf float64) (lo, hi float64) {
+	return stats.ConfidenceFactors(sigmaEps, conf)
+}
+
+// MeanFactor returns Equation 4's median-to-mean correction for the
+// given variance components.
+func MeanFactor(sigmaEps, sigmaRho float64) float64 {
+	return math.Exp((sigmaEps*sigmaEps + sigmaRho*sigmaRho) / 2)
+}

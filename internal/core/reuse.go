@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ReuseFactors describes how much of a reused component must be
+// reworked, following the COCOMO adaptation-adjustment model the paper
+// points to for this future-work item (§2.5: "components are sometimes
+// reused from older designs … Integrating a reused component incurs
+// some design effort, even if it requires no modification at all. The
+// software engineering literature has discussed effort estimation for
+// reused components [Boehm]").
+//
+// Fractions are in [0, 1]:
+type ReuseFactors struct {
+	// DesignModified is the fraction of the component's design
+	// (microarchitecture, interfaces) that must change.
+	DesignModified float64
+	// CodeModified is the fraction of the HDL that must change.
+	CodeModified float64
+	// ReverifyNeeded is the fraction of the verification work that
+	// must be redone (reused components still need integration
+	// verification).
+	ReverifyNeeded float64
+	// UnderstandingPenalty in [0, 0.5] models the cost of learning
+	// someone else's component before touching it (COCOMO's SU/UNFM
+	// factors). Zero for the original authors.
+	UnderstandingPenalty float64
+}
+
+// Validate checks the factor ranges.
+func (f ReuseFactors) Validate() error {
+	check := func(name string, v, hi float64) error {
+		if v < 0 || v > hi || math.IsNaN(v) {
+			return fmt.Errorf("core: reuse factor %s = %v outside [0, %v]", name, v, hi)
+		}
+		return nil
+	}
+	if err := check("DesignModified", f.DesignModified, 1); err != nil {
+		return err
+	}
+	if err := check("CodeModified", f.CodeModified, 1); err != nil {
+		return err
+	}
+	if err := check("ReverifyNeeded", f.ReverifyNeeded, 1); err != nil {
+		return err
+	}
+	return check("UnderstandingPenalty", f.UnderstandingPenalty, 0.5)
+}
+
+// AdaptationFraction returns the equivalent fraction of from-scratch
+// effort, following COCOMO II's AAF shape with the paper's domain
+// split: RTL design effort weights design and code changes, and the
+// verification share (the bulk of the paper's person-months) scales
+// with how much must be re-verified.
+//
+//	AAF = 0.3·DM + 0.3·CM + 0.4·RV, then scaled by (1 + SU)
+//
+// clamped to 1 (adapting can cost at most as much as rewriting under
+// this model; pathological cases where reuse costs more are out of
+// scope, as they are for COCOMO).
+func (f ReuseFactors) AdaptationFraction() float64 {
+	aaf := 0.3*f.DesignModified + 0.3*f.CodeModified + 0.4*f.ReverifyNeeded
+	aaf *= 1 + f.UnderstandingPenalty
+	if aaf > 1 {
+		return 1
+	}
+	if aaf < 0.05 {
+		// Even drop-in reuse costs integration effort (Section 2.5's
+		// "incurs some design effort, even if it requires no
+		// modification at all").
+		return 0.05
+	}
+	return aaf
+}
+
+// EstimateReused predicts the effort of integrating a reused component
+// whose from-scratch effort the calibration estimates from its
+// metrics: the from-scratch estimate scaled by the adaptation
+// fraction, with the confidence interval scaled alongside.
+func (c *Calibration) EstimateReused(values []float64, rho float64, f ReuseFactors) (*Estimate, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	scratch, err := c.EstimateFromValues(values, rho)
+	if err != nil {
+		return nil, err
+	}
+	frac := f.AdaptationFraction()
+	return &Estimate{
+		Median: scratch.Median * frac,
+		Mean:   scratch.Mean * frac,
+		CI68:   [2]float64{scratch.CI68[0] * frac, scratch.CI68[1] * frac},
+		CI90:   [2]float64{scratch.CI90[0] * frac, scratch.CI90[1] * frac},
+		Rho:    rho,
+	}, nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func TestAdaptationFractionShape(t *testing.T) {
+	// Drop-in reuse still costs the integration floor.
+	dropIn := ReuseFactors{}
+	if got := dropIn.AdaptationFraction(); got != 0.05 {
+		t.Errorf("drop-in fraction = %v, want 0.05 floor", got)
+	}
+	// Full rework with an unfamiliar code base saturates at 1.
+	full := ReuseFactors{DesignModified: 1, CodeModified: 1, ReverifyNeeded: 1, UnderstandingPenalty: 0.5}
+	if got := full.AdaptationFraction(); got != 1 {
+		t.Errorf("full rework = %v, want 1", got)
+	}
+	// A typical light adaptation: 10% design, 20% code, 50% reverify.
+	typical := ReuseFactors{DesignModified: 0.1, CodeModified: 0.2, ReverifyNeeded: 0.5}
+	want := 0.3*0.1 + 0.3*0.2 + 0.4*0.5
+	if got := typical.AdaptationFraction(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("typical = %v, want %v", got, want)
+	}
+	// The understanding penalty raises the cost for non-authors.
+	unfamiliar := typical
+	unfamiliar.UnderstandingPenalty = 0.3
+	if unfamiliar.AdaptationFraction() <= typical.AdaptationFraction() {
+		t.Error("unfamiliarity must raise the adaptation cost")
+	}
+}
+
+func TestAdaptationFractionMonotonicity(t *testing.T) {
+	f := func(dm, cm, rv, su float64) bool {
+		norm := func(v float64) float64 { return math.Abs(math.Mod(v, 1)) }
+		base := ReuseFactors{
+			DesignModified:       norm(dm),
+			CodeModified:         norm(cm),
+			ReverifyNeeded:       norm(rv),
+			UnderstandingPenalty: norm(su) / 2,
+		}
+		if base.Validate() != nil {
+			return true
+		}
+		// Increasing any factor never lowers the fraction.
+		bump := func(mut func(*ReuseFactors)) bool {
+			more := base
+			mut(&more)
+			if more.Validate() != nil {
+				return true
+			}
+			return more.AdaptationFraction() >= base.AdaptationFraction()-1e-12
+		}
+		return bump(func(r *ReuseFactors) { r.DesignModified = math.Min(1, r.DesignModified+0.1) }) &&
+			bump(func(r *ReuseFactors) { r.CodeModified = math.Min(1, r.CodeModified+0.1) }) &&
+			bump(func(r *ReuseFactors) { r.ReverifyNeeded = math.Min(1, r.ReverifyNeeded+0.1) })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateReused(t *testing.T) {
+	cal, err := CalibrateDEE1(dataset.Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := cal.EstimateFromValues([]float64{1000, 8000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := cal.EstimateReused([]float64{1000, 8000}, 1,
+		ReuseFactors{DesignModified: 0.1, CodeModified: 0.2, ReverifyNeeded: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused.Median >= scratch.Median {
+		t.Errorf("reuse must be cheaper: %v vs %v", reused.Median, scratch.Median)
+	}
+	frac := reused.Median / scratch.Median
+	if math.Abs(frac-0.29) > 1e-9 {
+		t.Errorf("fraction = %v, want 0.29", frac)
+	}
+	// Interval scales with the estimate.
+	if math.Abs(reused.CI90[1]/scratch.CI90[1]-frac) > 1e-9 {
+		t.Error("confidence interval must scale with the adaptation fraction")
+	}
+}
+
+func TestEstimateReusedValidation(t *testing.T) {
+	cal, err := CalibrateDEE1(dataset.Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := ReuseFactors{DesignModified: 1.5}
+	if _, err := cal.EstimateReused([]float64{100, 100}, 1, bad); err == nil {
+		t.Error("out-of-range factors must be rejected")
+	}
+	bad2 := ReuseFactors{UnderstandingPenalty: 0.9}
+	if _, err := cal.EstimateReused([]float64{100, 100}, 1, bad2); err == nil {
+		t.Error("out-of-range penalty must be rejected")
+	}
+}

@@ -1,0 +1,77 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/hdl"
+)
+
+// Component is one synthetic analog of a paper component.
+type Component struct {
+	// Project and Name match the paper's Table 2 rows; Effort carries
+	// the person-months the real counterpart reported.
+	Project string
+	Name    string
+	Effort  float64
+	// Top is the µHDL top module of the component.
+	Top string
+	// src is the component's own source text (the shared library is
+	// added by Design).
+	src string
+}
+
+// Label returns "Project-Name", matching dataset row labels.
+func (c Component) Label() string { return c.Project + "-" + c.Name }
+
+// All returns the 18 synthetic components in Table 2 order.
+func All() []Component {
+	return []Component{
+		{Project: "Leon3", Name: "Pipeline", Effort: 24, Top: "leon3_pipeline", src: leon3PipelineSrc},
+		{Project: "Leon3", Name: "Cache", Effort: 6, Top: "leon3_cache", src: leon3CacheSrc},
+		{Project: "Leon3", Name: "MMU", Effort: 6, Top: "leon3_mmu", src: leon3MMUSrc},
+		{Project: "Leon3", Name: "MemCtrl", Effort: 6, Top: "leon3_memctrl", src: leon3MemCtrlSrc},
+		{Project: "PUMA", Name: "Fetch", Effort: 3, Top: "puma_fetch", src: pumaFetchSrc},
+		{Project: "PUMA", Name: "Decode", Effort: 4, Top: "puma_decode", src: pumaDecodeSrc},
+		{Project: "PUMA", Name: "ROB", Effort: 4, Top: "puma_rob", src: pumaROBSrc},
+		{Project: "PUMA", Name: "Execute", Effort: 12, Top: "puma_execute", src: pumaExecuteSrc},
+		{Project: "PUMA", Name: "Memory", Effort: 1, Top: "puma_memory", src: pumaMemorySrc},
+		{Project: "IVM", Name: "Fetch", Effort: 10, Top: "ivm_fetch", src: ivmFetchSrc},
+		{Project: "IVM", Name: "Decode", Effort: 2, Top: "ivm_decode", src: ivmDecodeSrc},
+		{Project: "IVM", Name: "Rename", Effort: 4, Top: "ivm_rename", src: ivmRenameSrc},
+		{Project: "IVM", Name: "Issue", Effort: 4, Top: "ivm_issue", src: ivmIssueSrc},
+		{Project: "IVM", Name: "Execute", Effort: 3, Top: "ivm_execute", src: ivmExecuteSrc},
+		{Project: "IVM", Name: "Memory", Effort: 10, Top: "ivm_memory", src: ivmMemorySrc},
+		{Project: "IVM", Name: "Retire", Effort: 5, Top: "ivm_retire", src: ivmRetireSrc},
+		{Project: "RAT", Name: "Standard", Effort: 0.6, Top: "rat_standard", src: ratStandardSrc},
+		{Project: "RAT", Name: "Sliding", Effort: 1, Top: "rat_sliding", src: ratSlidingSrc},
+	}
+}
+
+// ByLabel returns the component named "Project-Name".
+func ByLabel(label string) (Component, error) {
+	for _, c := range All() {
+		if c.Label() == label {
+			return c, nil
+		}
+	}
+	return Component{}, fmt.Errorf("designs: no component %q", label)
+}
+
+// Design parses the component's sources together with the shared
+// library into a ready-to-measure design.
+func Design(c Component) (*hdl.Design, error) {
+	return hdl.ParseDesign(map[string]string{
+		"lib.v":          libSrc,
+		c.Label() + ".v": c.src,
+	})
+}
+
+// FullDesign parses every component plus the library into one design
+// (useful for whole-corpus tooling).
+func FullDesign() (*hdl.Design, error) {
+	sources := map[string]string{"lib.v": libSrc}
+	for _, c := range All() {
+		sources[c.Label()+".v"] = c.src
+	}
+	return hdl.ParseDesign(sources)
+}

@@ -1,0 +1,26 @@
+// Package designs provides synthetic µHDL processor components that
+// structurally mirror the 18 components the µComplexity paper measured
+// (Table 2): the Leon3 in-order pipeline, cache, MMU, and memory
+// controller; the PUMA out-of-order fetch, decode, ROB, execute, and
+// memory units; the IVM fetch, decode, rename, issue, execute, memory,
+// and retire units; and the two 4-wide Register Alias Table designs.
+//
+// The paper's original HDL (Leon3 VHDL, PUMA/IVM Verilog) is not
+// reproducible here — Leon3 is ~100k lines of GPL VHDL and PUMA/IVM
+// were never released — so these analogs serve two purposes:
+//
+//  1. they exercise the entire measurement pipeline (parse → elaborate
+//     → synthesize → metrics) on realistic microarchitectural shapes:
+//     pipelines, CAMs, FIFOs, register files, wakeup/select arrays,
+//     predictors, and state machines;
+//  2. they reproduce the *structure* of the Figure 6 experiment: the
+//     IVM-like components make heavy use of replicated instances and
+//     parameterized blocks, the PUMA-like ones moderate use, and the
+//     Leon3-like ones almost none, matching Section 5.3's explanation
+//     of why disabling the accounting procedure hurts the
+//     synthesis-metric estimators the most.
+//
+// Each component carries the person-month effort its real counterpart
+// reported (Table 2), so the synthetic corpus can be fitted with the
+// same regression machinery.
+package designs

@@ -1,0 +1,430 @@
+package designs
+
+// leon3PipelineSrc is a single-issue in-order integer pipeline in the
+// style of the Leon3: fetch, decode, execute, memory, and writeback
+// stages with forwarding and a multiply/accumulate path. Like the real
+// Leon3, it is written as one tightly-integrated block with almost no
+// replicated instances or parameterized sub-blocks, so the accounting
+// procedure barely changes its measurements (Section 5.3).
+const leon3PipelineSrc = `
+// In-order 5-stage integer pipeline with forwarding and MAC unit.
+module leon3_pipeline #(parameter W = 32, parameter RA = 4) (
+  input clk,
+  input rst,
+  input [W-1:0] imem_data,
+  input [W-1:0] dmem_rdata,
+  input dmem_ready,
+  output [W-1:0] imem_addr,
+  output [W-1:0] dmem_addr,
+  output [W-1:0] dmem_wdata,
+  output dmem_we,
+  output [W-1:0] debug_result
+);
+  // ------------------------------------------------- fetch stage
+  reg [W-1:0] pc;
+  reg [W-1:0] if_inst;
+  reg if_valid;
+  wire stall;
+  wire branch_taken;
+  wire [W-1:0] branch_target;
+  always @(posedge clk) begin
+    if (rst) begin
+      pc <= 0;
+      if_valid <= 0;
+      if_inst <= 0;
+    end else if (!stall) begin
+      if (branch_taken)
+        pc <= branch_target;
+      else
+        pc <= pc + 4;
+      if_inst <= imem_data;
+      if_valid <= 1;
+    end
+  end
+  assign imem_addr = pc;
+
+  // ------------------------------------------------- decode stage
+  // Instruction fields (SPARC-flavoured fixed positions).
+  wire [2:0] de_op;
+  wire [RA-1:0] de_rs1, de_rs2, de_rd;
+  wire [12:0] de_imm;
+  wire de_use_imm, de_is_load, de_is_store, de_is_branch, de_is_mac;
+  assign de_op = if_inst[27:25];
+  assign de_rs1 = if_inst[18:15];
+  assign de_rs2 = if_inst[3:0];
+  assign de_rd = if_inst[24+RA:25];
+  assign de_imm = if_inst[12:0];
+  assign de_use_imm = if_inst[13];
+  assign de_is_load = if_inst[31] & ~if_inst[30];
+  assign de_is_store = if_inst[31] & if_inst[30];
+  assign de_is_branch = ~if_inst[31] & if_inst[30];
+  assign de_is_mac = if_inst[24];
+
+  wire [W-1:0] rf_rdata1, rf_rdata2;
+  wire wb_we;
+  wire [RA-1:0] wb_rd;
+  wire [W-1:0] wb_result;
+  lib_regfile #(.W(W), .AW(RA)) regfile (
+    .clk(clk), .we(wb_we), .waddr(wb_rd), .wdata(wb_result),
+    .raddr1(de_rs1), .raddr2(de_rs2), .rdata1(rf_rdata1), .rdata2(rf_rdata2));
+
+  reg [W-1:0] ex_a, ex_b, ex_store_data;
+  reg [2:0] ex_op;
+  reg [RA-1:0] ex_rd;
+  reg ex_valid, ex_is_load, ex_is_store, ex_is_branch, ex_is_mac;
+  reg [12:0] ex_imm;
+
+  // Forwarding network: EX/ME/WB results bypass the register file.
+  wire [W-1:0] me_fwd, fwd_a, fwd_b;
+  wire me_we_fwd;
+  wire [RA-1:0] me_rd_fwd;
+  assign fwd_a = (me_we_fwd && me_rd_fwd == de_rs1) ? me_fwd :
+                 (wb_we && wb_rd == de_rs1) ? wb_result : rf_rdata1;
+  assign fwd_b = (me_we_fwd && me_rd_fwd == de_rs2) ? me_fwd :
+                 (wb_we && wb_rd == de_rs2) ? wb_result : rf_rdata2;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      ex_valid <= 0;
+      ex_a <= 0;
+      ex_b <= 0;
+      ex_op <= 0;
+      ex_rd <= 0;
+      ex_imm <= 0;
+      ex_is_load <= 0;
+      ex_is_store <= 0;
+      ex_is_branch <= 0;
+      ex_is_mac <= 0;
+      ex_store_data <= 0;
+    end else if (!stall) begin
+      ex_valid <= if_valid;
+      ex_a <= fwd_a;
+      ex_b <= de_use_imm ? {{W-13{1'b0}}, de_imm} : fwd_b;
+      ex_store_data <= fwd_b;
+      ex_op <= de_op;
+      ex_rd <= de_rd;
+      ex_imm <= de_imm;
+      ex_is_load <= de_is_load;
+      ex_is_store <= de_is_store;
+      ex_is_branch <= de_is_branch;
+      ex_is_mac <= de_is_mac;
+    end
+  end
+
+  // ------------------------------------------------- execute stage
+  wire [W-1:0] alu_y;
+  wire alu_zero;
+  lib_alu #(.W(W)) alu (.op(ex_op), .a(ex_a), .b(ex_b), .y(alu_y), .zero(alu_zero));
+
+  // Multiply/accumulate path (Leon3 has HW MUL/MAC).
+  reg [W-1:0] mac_acc;
+  wire [W-1:0] mac_prod;
+  assign mac_prod = ex_a[15:0] * ex_b[15:0];
+  always @(posedge clk) begin
+    if (rst)
+      mac_acc <= 0;
+    else if (ex_valid && ex_is_mac)
+      mac_acc <= mac_acc + mac_prod;
+  end
+
+  assign branch_taken = ex_valid && ex_is_branch && alu_zero;
+  assign branch_target = pc + {{W-13{1'b0}}, ex_imm};
+
+  reg [W-1:0] me_result, me_store_data;
+  reg [RA-1:0] me_rd;
+  reg me_valid, me_is_load, me_is_store;
+  always @(posedge clk) begin
+    if (rst) begin
+      me_valid <= 0;
+      me_result <= 0;
+      me_store_data <= 0;
+      me_rd <= 0;
+      me_is_load <= 0;
+      me_is_store <= 0;
+    end else if (!stall) begin
+      me_valid <= ex_valid;
+      me_result <= ex_is_mac ? mac_acc : alu_y;
+      me_store_data <= ex_store_data;
+      me_rd <= ex_rd;
+      me_is_load <= ex_is_load;
+      me_is_store <= ex_is_store;
+    end
+  end
+  assign me_fwd = me_result;
+  assign me_we_fwd = me_valid && !me_is_store;
+  assign me_rd_fwd = me_rd;
+
+  // ------------------------------------------------- memory stage
+  assign dmem_addr = me_result;
+  assign dmem_wdata = me_store_data;
+  assign dmem_we = me_valid && me_is_store;
+  assign stall = me_valid && (me_is_load || me_is_store) && !dmem_ready;
+
+  reg [W-1:0] wb_result_r;
+  reg [RA-1:0] wb_rd_r;
+  reg wb_we_r;
+  always @(posedge clk) begin
+    if (rst) begin
+      wb_we_r <= 0;
+      wb_rd_r <= 0;
+      wb_result_r <= 0;
+    end else begin
+      wb_we_r <= me_valid && !me_is_store && !stall;
+      wb_rd_r <= me_rd;
+      wb_result_r <= me_is_load ? dmem_rdata : me_result;
+    end
+  end
+  assign wb_we = wb_we_r;
+  assign wb_rd = wb_rd_r;
+  assign wb_result = wb_result_r;
+  assign debug_result = wb_result_r;
+endmodule
+`
+
+// leon3CacheSrc is a direct-mapped blocking cache with tag compare,
+// valid bits, and a simple refill state machine.
+const leon3CacheSrc = `
+// Direct-mapped blocking cache (Leon3-style).
+module leon3_cache #(parameter W = 32, parameter IDXW = 5) (
+  input clk,
+  input rst,
+  input req,
+  input we,
+  input [3:0] byte_en,
+  input [31:0] addr,
+  input [W-1:0] wdata,
+  output [W-1:0] rdata,
+  output wparity,
+  output hit,
+  output ready,
+  // memory side
+  output mem_req,
+  output [31:0] mem_addr,
+  input [W-1:0] mem_data,
+  input mem_ack
+);
+  // The tag covers the full 32-bit physical address above the index
+  // and the 2-bit word offset.
+  localparam SETS = 1 << IDXW;
+  localparam TAGW = 30 - IDXW;
+  reg [W-1:0] data_array [0:SETS-1];
+  reg [TAGW-1:0] tag_array [0:SETS-1];
+  reg [SETS-1:0] valid;
+
+  wire [IDXW-1:0] index;
+  wire [TAGW-1:0] tag;
+  assign index = addr[IDXW+1:2];
+  assign tag = addr[31:IDXW+2];
+
+  // Stored data is protected by word parity over the 32-bit bus.
+  assign wparity = ^wdata[31:0];
+
+  wire [TAGW-1:0] stored_tag;
+  assign stored_tag = tag_array[index];
+  assign hit = req && valid[index] && (stored_tag == tag);
+
+  // Refill FSM: IDLE -> MISS -> FILL.
+  localparam S_IDLE = 0, S_MISS = 1, S_FILL = 2;
+  reg [1:0] state;
+  reg [31:0] miss_addr;
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= S_IDLE;
+      valid <= 0;
+      miss_addr <= 0;
+    end else begin
+      case (state)
+        S_IDLE: begin
+          if (req && we) begin
+            // Byte-enable write merge.
+            data_array[index] <= {
+              byte_en[3] ? wdata[31:24] : rdata[31:24],
+              byte_en[2] ? wdata[23:16] : rdata[23:16],
+              byte_en[1] ? wdata[15:8] : rdata[15:8],
+              byte_en[0] ? wdata[7:0] : rdata[7:0]};
+            tag_array[index] <= tag;
+            valid[index] <= 1;
+          end else if (req && !hit) begin
+            miss_addr <= addr;
+            state <= S_MISS;
+          end
+        end
+        S_MISS: begin
+          if (mem_ack)
+            state <= S_FILL;
+        end
+        default: begin
+          data_array[miss_addr[IDXW+1:2]] <= mem_data;
+          tag_array[miss_addr[IDXW+1:2]] <= miss_addr[31:IDXW+2];
+          valid[miss_addr[IDXW+1:2]] <= 1;
+          state <= S_IDLE;
+        end
+      endcase
+    end
+  end
+
+  assign mem_req = state == S_MISS;
+  assign mem_addr = miss_addr;
+  assign rdata = data_array[index];
+  assign ready = (state == S_IDLE) && (!req || we || hit);
+endmodule
+`
+
+// leon3MMUSrc is a fully-associative TLB written as inline CAM logic
+// (like the streamlined Leon3 itself, it uses no replicated module
+// instances — Section 5.3 notes Leon3 has "practically no" components
+// the accounting procedure would collapse).
+const leon3MMUSrc = `
+// Fully-associative TLB with inline CAM lookup (SPARC reference MMU).
+module leon3_mmu #(parameter VW = 20, parameter PW = 12) (
+  input clk,
+  input rst,
+  input lookup,
+  input [VW-1:0] vpn,
+  input fill,
+  input [VW-1:0] fill_vpn,
+  input [PW-1:0] fill_ppn,
+  output [PW-1:0] ppn,
+  output tlb_hit,
+  output fault,
+  output kernel_space,
+  output ppn_parity
+);
+  // The TLB depth is architectural (the SPARC reference MMU spec).
+  localparam ENTRIES = 8;
+
+  // SPARC-style privileged-space detection and translation parity:
+  // both read fixed architectural bit positions of the 20-bit VPN and
+  // 12-bit PPN.
+  assign kernel_space = vpn[19];
+  assign ppn_parity = ^ppn[11:0];
+
+  reg [ENTRIES-1:0] valid;
+  reg [VW-1:0] vpns [0:ENTRIES-1];
+  reg [PW-1:0] ppns [0:ENTRIES-1];
+  reg [2:0] repl;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      valid <= 0;
+      repl <= 0;
+    end else if (fill) begin
+      valid[repl] <= 1;
+      vpns[repl] <= fill_vpn;
+      ppns[repl] <= fill_ppn;
+      repl <= repl + 3;
+    end
+  end
+
+  // Inline CAM: every entry compares the full VPN each cycle.
+  wire [ENTRIES-1:0] match;
+  genvar i;
+  generate for (i = 0; i < ENTRIES; i = i + 1) begin : cam
+    assign match[i] = valid[i] && (vpns[i] == vpn);
+  end endgenerate
+
+  wire [2:0] hit_slot;
+  wire any_match;
+  lib_prienc8 hitenc (.req(match), .grant(hit_slot), .valid(any_match));
+  assign ppn = ppns[hit_slot];
+  assign tlb_hit = lookup && any_match;
+  assign fault = lookup && !any_match;
+endmodule
+`
+
+// leon3MemCtrlSrc is an SDRAM-style memory controller: request FIFO,
+// bank state machine, and refresh counter.
+const leon3MemCtrlSrc = `
+// SDRAM-style memory controller with request queue and refresh timer.
+module leon3_memctrl #(parameter AW = 16, parameter W = 32, parameter QAW = 2) (
+  input clk,
+  input rst,
+  input req,
+  input we,
+  input [AW-1:0] addr,
+  input [W-1:0] wdata,
+  output reg [W-1:0] rdata,
+  output reg done,
+  // DRAM pins
+  output reg [AW-1:0] dram_addr,
+  output reg [W-1:0] dram_dq_out,
+  input [W-1:0] dram_dq_in,
+  output reg dram_ras_n,
+  output reg dram_cas_n,
+  output reg dram_we_n,
+  output dram_dq_parity
+);
+  // Request queue.
+  wire [AW+W:0] q_out;
+  wire q_empty, q_full;
+  wire [QAW:0] q_count;
+  wire pop;
+  lib_fifo #(.W(AW + W + 1), .AW(QAW)) queue (
+    .clk(clk), .rst(rst), .push(req && !q_full), .pop(pop),
+    .din({we, addr, wdata}), .dout(q_out),
+    .full(q_full), .empty(q_empty), .count(q_count));
+
+  wire q_we;
+  wire [AW-1:0] q_addr;
+  wire [W-1:0] q_wdata;
+  assign q_we = q_out[AW+W];
+  assign q_addr = q_out[AW+W-1:W];
+  assign q_wdata = q_out[W-1:0];
+
+  // DQ-bus parity over the 32-bit data word.
+  assign dram_dq_parity = ^q_wdata[31:0];
+
+  // Refresh timer.
+  wire [9:0] refresh_cnt;
+  lib_counter #(.W(10)) refresh (.clk(clk), .rst(rst), .en(1'b1), .q(refresh_cnt));
+  wire need_refresh;
+  assign need_refresh = refresh_cnt == 0;
+
+  // Bank FSM.
+  localparam S_IDLE = 0, S_ACT = 1, S_RW = 2, S_PRE = 3, S_REF = 4;
+  reg [2:0] state;
+  always @(posedge clk) begin
+    done <= 0;
+    dram_ras_n <= 1;
+    dram_cas_n <= 1;
+    dram_we_n <= 1;
+    dram_addr <= 0;
+    dram_dq_out <= 0;
+    if (rst) begin
+      state <= S_IDLE;
+      rdata <= 0;
+    end else begin
+      case (state)
+        S_IDLE: begin
+          if (need_refresh)
+            state <= S_REF;
+          else if (!q_empty)
+            state <= S_ACT;
+        end
+        S_ACT: begin
+          dram_ras_n <= 0;
+          dram_addr <= q_addr;
+          state <= S_RW;
+        end
+        S_RW: begin
+          dram_cas_n <= 0;
+          dram_we_n <= !q_we;
+          dram_dq_out <= q_wdata;
+          rdata <= dram_dq_in;
+          state <= S_PRE;
+        end
+        S_PRE: begin
+          done <= 1;
+          state <= S_IDLE;
+        end
+        default: begin
+          dram_ras_n <= 0;
+          dram_we_n <= 0;
+          state <= S_IDLE;
+        end
+      endcase
+    end
+  end
+  assign pop = state == S_PRE;
+endmodule
+`

@@ -1,0 +1,215 @@
+package designs
+
+// libSrc is the shared building-block library every component may
+// instantiate: word-level muxes, adders, ALUs, shifters, comparators,
+// register files, FIFOs, counters, and priority logic.
+const libSrc = `
+// ---------------------------------------------------------------
+// µComplexity synthetic design library: common datapath blocks.
+// ---------------------------------------------------------------
+
+module lib_mux2 #(parameter W = 8) (
+  input [W-1:0] a,
+  input [W-1:0] b,
+  input sel,
+  output [W-1:0] y
+);
+  assign y = sel ? b : a;
+endmodule
+
+module lib_adder #(parameter W = 8) (
+  input [W-1:0] a,
+  input [W-1:0] b,
+  input cin,
+  output [W-1:0] s,
+  output cout
+);
+  wire [W:0] full;
+  assign full = a + b + cin;
+  assign s = full[W-1:0];
+  assign cout = full[W];
+endmodule
+
+module lib_alu #(parameter W = 16) (
+  input [2:0] op,
+  input [W-1:0] a,
+  input [W-1:0] b,
+  output reg [W-1:0] y,
+  output zero
+);
+  always @(*) begin
+    case (op)
+      3'd0: y = a + b;
+      3'd1: y = a - b;
+      3'd2: y = a & b;
+      3'd3: y = a | b;
+      3'd4: y = a ^ b;
+      3'd5: y = a < b ? {W{1'b0}} + 1 : {W{1'b0}};
+      3'd6: y = a << 1;
+      default: y = a >> 1;
+    endcase
+  end
+  assign zero = y == 0;
+endmodule
+
+module lib_shifter #(parameter W = 16, parameter SW = 4) (
+  input [W-1:0] a,
+  input [SW-1:0] amount,
+  input dir,          // 0 = left, 1 = right
+  output [W-1:0] y
+);
+  wire [W-1:0] left, right;
+  assign left = a << amount;
+  assign right = a >> amount;
+  assign y = dir ? right : left;
+endmodule
+
+module lib_eq #(parameter W = 8) (
+  input [W-1:0] a,
+  input [W-1:0] b,
+  output y
+);
+  assign y = a == b;
+endmodule
+
+// Two-read one-write register file built on a memory array.
+module lib_regfile #(parameter W = 16, parameter AW = 4) (
+  input clk,
+  input we,
+  input [AW-1:0] waddr,
+  input [W-1:0] wdata,
+  input [AW-1:0] raddr1,
+  input [AW-1:0] raddr2,
+  output [W-1:0] rdata1,
+  output [W-1:0] rdata2
+);
+  reg [W-1:0] regs [0:(1 << AW) - 1];
+  always @(posedge clk) begin
+    if (we)
+      regs[waddr] <= wdata;
+  end
+  assign rdata1 = regs[raddr1];
+  assign rdata2 = regs[raddr2];
+endmodule
+
+// Synchronous FIFO with registered pointers and a RAM buffer.
+module lib_fifo #(parameter W = 16, parameter AW = 3) (
+  input clk,
+  input rst,
+  input push,
+  input pop,
+  input [W-1:0] din,
+  output [W-1:0] dout,
+  output full,
+  output empty,
+  output [AW:0] count
+);
+  reg [AW:0] wptr, rptr;
+  reg [W-1:0] buffer [0:(1 << AW) - 1];
+  wire do_push, do_pop;
+  assign full = count == (1 << AW);
+  assign empty = count == 0;
+  assign count = wptr - rptr;
+  assign do_push = push && !full;
+  assign do_pop = pop && !empty;
+  always @(posedge clk) begin
+    if (rst) begin
+      wptr <= 0;
+      rptr <= 0;
+    end else begin
+      if (do_push) begin
+        buffer[wptr[AW-1:0]] <= din;
+        wptr <= wptr + 1;
+      end
+      if (do_pop)
+        rptr <= rptr + 1;
+    end
+  end
+  assign dout = buffer[rptr[AW-1:0]];
+endmodule
+
+module lib_counter #(parameter W = 8) (
+  input clk,
+  input rst,
+  input en,
+  output reg [W-1:0] q
+);
+  always @(posedge clk) begin
+    if (rst)
+      q <= 0;
+    else if (en)
+      q <= q + 1;
+  end
+endmodule
+
+// Priority encoder over 8 request lines (lowest index wins).
+module lib_prienc8 (
+  input [7:0] req,
+  output reg [2:0] grant,
+  output valid
+);
+  always @(*) begin
+    grant = 3'd0;
+    if (req[0]) grant = 3'd0;
+    else if (req[1]) grant = 3'd1;
+    else if (req[2]) grant = 3'd2;
+    else if (req[3]) grant = 3'd3;
+    else if (req[4]) grant = 3'd4;
+    else if (req[5]) grant = 3'd5;
+    else if (req[6]) grant = 3'd6;
+    else grant = 3'd7;
+  end
+  assign valid = req != 0;
+endmodule
+
+// Binary-to-one-hot decoder.
+module lib_decoder #(parameter AW = 3) (
+  input [AW-1:0] a,
+  input en,
+  output [(1 << AW) - 1:0] y
+);
+  assign y = en ? ({{(1 << AW) - 1{1'b0}}, 1'b1} << a) : 0;
+endmodule
+
+// Saturating 2-bit branch-prediction counter.
+module lib_sat2 (
+  input clk,
+  input rst,
+  input update,
+  input taken,
+  output prediction,
+  output [1:0] state
+);
+  reg [1:0] ctr;
+  always @(posedge clk) begin
+    if (rst)
+      ctr <= 2'd1;
+    else if (update) begin
+      if (taken && ctr != 2'd3)
+        ctr <= ctr + 1;
+      else if (!taken && ctr != 2'd0)
+        ctr <= ctr - 1;
+    end
+  end
+  assign prediction = ctr[1];
+  assign state = ctr;
+endmodule
+
+// One scoreboard/valid-bit cell with set/clear.
+module lib_vbit (
+  input clk,
+  input rst,
+  input set,
+  input clear,
+  output reg q
+);
+  always @(posedge clk) begin
+    if (rst)
+      q <= 0;
+    else if (clear)
+      q <= 0;
+    else if (set)
+      q <= 1;
+  end
+endmodule
+`

@@ -1,0 +1,540 @@
+package designs
+
+// pumaFetchSrc: 2-wide fetch with a gshare branch predictor (the real
+// PUMA used gshare, Table 1) and a fetch buffer.
+const pumaFetchSrc = `
+// Two-wide fetch unit with gshare prediction and a fetch FIFO.
+module puma_fetch #(parameter W = 32, parameter GHW = 6, parameter FAW = 2) (
+  input clk,
+  input rst,
+  input stall,
+  input redirect,
+  input [W-1:0] redirect_pc,
+  input update,
+  input update_taken,
+  input [GHW-1:0] update_index,
+  input [2*W-1:0] imem_data,
+  output [W-1:0] imem_addr,
+  output [29:0] imem_word_addr,
+  output [2*W-1:0] fetch_bundle,
+  output bundle_valid,
+  output predict_taken,
+  output [GHW-1:0] predict_index
+);
+  reg [W-1:0] pc;
+  reg [GHW-1:0] ghist;
+
+  // Gshare: PC xor global history indexes a table of 2-bit counters.
+  wire [GHW-1:0] pht_index;
+  assign pht_index = pc[GHW+1:2] ^ ghist;
+
+  reg [1:0] pht [0:(1 << GHW) - 1];
+  wire [1:0] ctr;
+  assign ctr = pht[pht_index];
+  assign predict_taken = ctr[1];
+  assign predict_index = pht_index;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      ghist <= 0;
+    end else if (update) begin
+      ghist <= {ghist[GHW-2:0], update_taken};
+      if (update_taken && pht[update_index] != 2'd3)
+        pht[update_index] <= pht[update_index] + 1;
+      else if (!update_taken && pht[update_index] != 2'd0)
+        pht[update_index] <= pht[update_index] - 1;
+    end
+  end
+
+  always @(posedge clk) begin
+    if (rst)
+      pc <= 0;
+    else if (redirect)
+      pc <= redirect_pc;
+    else if (!stall)
+      pc <= predict_taken ? pc + 16 : pc + 8;
+  end
+  assign imem_addr = pc;
+  assign imem_word_addr = pc[31:2];
+
+  // Fetch buffer decouples fetch from decode.
+  wire fb_full, fb_empty;
+  wire [FAW:0] fb_count;
+  lib_fifo #(.W(2 * W), .AW(FAW)) fetch_buffer (
+    .clk(clk), .rst(rst || redirect),
+    .push(!stall && !fb_full), .pop(!stall && !fb_empty),
+    .din(imem_data), .dout(fetch_bundle),
+    .full(fb_full), .empty(fb_empty), .count(fb_count));
+  assign bundle_valid = !fb_empty;
+endmodule
+`
+
+// pumaDecodeSrc: 2-wide decoder for a PowerPC-flavoured ISA. Decoders
+// are case-statement heavy — PUMA-Decode has the second-highest Stmts
+// count in Table 4 despite a modest effort.
+const pumaDecodeSrc = `
+// One PowerPC-flavoured instruction decoder.
+module puma_decode_slot #(parameter W = 32) (
+  input [W-1:0] inst,
+  output reg [3:0] unit,      // 0 none, 1 alu, 2 mul, 3 mem, 4 branch
+  output reg [2:0] aluop,
+  output reg [4:0] rs1,
+  output reg [4:0] rs2,
+  output reg [4:0] rd,
+  output reg uses_imm,
+  output reg [15:0] imm,
+  output reg is_load,
+  output reg is_store,
+  output reg writes_rd,
+  output reg illegal
+);
+  wire [5:0] opcd;
+  wire [9:0] xo;
+  assign opcd = inst[31:26];
+  assign xo = inst[10:1];
+  always @(*) begin
+    unit = 4'd0;
+    aluop = 3'd0;
+    rs1 = inst[20:16];
+    rs2 = inst[15:11];
+    rd = inst[25:21];
+    uses_imm = 0;
+    imm = inst[15:0];
+    is_load = 0;
+    is_store = 0;
+    writes_rd = 0;
+    illegal = 0;
+    case (opcd)
+      6'd14: begin // addi
+        unit = 4'd1;
+        aluop = 3'd0;
+        uses_imm = 1;
+        writes_rd = 1;
+      end
+      6'd15: begin // addis
+        unit = 4'd1;
+        aluop = 3'd0;
+        uses_imm = 1;
+        writes_rd = 1;
+      end
+      6'd24: begin // ori
+        unit = 4'd1;
+        aluop = 3'd3;
+        uses_imm = 1;
+        writes_rd = 1;
+      end
+      6'd28: begin // andi
+        unit = 4'd1;
+        aluop = 3'd2;
+        uses_imm = 1;
+        writes_rd = 1;
+      end
+      6'd26: begin // xori
+        unit = 4'd1;
+        aluop = 3'd4;
+        uses_imm = 1;
+        writes_rd = 1;
+      end
+      6'd34: begin // lbz
+        unit = 4'd3;
+        is_load = 1;
+        uses_imm = 1;
+        writes_rd = 1;
+      end
+      6'd32: begin // lwz
+        unit = 4'd3;
+        is_load = 1;
+        uses_imm = 1;
+        writes_rd = 1;
+      end
+      6'd36: begin // stw
+        unit = 4'd3;
+        is_store = 1;
+        uses_imm = 1;
+      end
+      6'd38: begin // stb
+        unit = 4'd3;
+        is_store = 1;
+        uses_imm = 1;
+      end
+      6'd18: begin // b
+        unit = 4'd4;
+        uses_imm = 1;
+      end
+      6'd16: begin // bc
+        unit = 4'd4;
+        uses_imm = 1;
+      end
+      6'd31: begin // X-form ALU ops
+        writes_rd = 1;
+        case (xo)
+          10'd266: begin unit = 4'd1; aluop = 3'd0; end // add
+          10'd40:  begin unit = 4'd1; aluop = 3'd1; end // subf
+          10'd28:  begin unit = 4'd1; aluop = 3'd2; end // and
+          10'd444: begin unit = 4'd1; aluop = 3'd3; end // or
+          10'd316: begin unit = 4'd1; aluop = 3'd4; end // xor
+          10'd24:  begin unit = 4'd1; aluop = 3'd6; end // slw
+          10'd536: begin unit = 4'd1; aluop = 3'd7; end // srw
+          10'd235: begin unit = 4'd2; aluop = 3'd0; end // mullw
+          default: begin
+            illegal = 1;
+            writes_rd = 0;
+          end
+        endcase
+      end
+      default:
+        illegal = 1;
+    endcase
+  end
+endmodule
+
+// Two-wide decode with dependency check between the slots.
+module puma_decode #(parameter W = 32) (
+  input clk,
+  input rst,
+  input [2*W-1:0] bundle,
+  input bundle_valid,
+  output reg [3:0] unit0,
+  output reg [3:0] unit1,
+  output reg [2:0] aluop0,
+  output reg [2:0] aluop1,
+  output reg [4:0] rs1_0, rs2_0, rd_0,
+  output reg [4:0] rs1_1, rs2_1, rd_1,
+  output reg [15:0] imm0, imm1,
+  output reg usesimm0, usesimm1,
+  output reg dual_issue,
+  output reg any_illegal
+);
+  wire [3:0] u0, u1;
+  wire [2:0] a0, a1;
+  wire [4:0] s10, s20, d0, s11, s21, d1;
+  wire ui0, ui1, il0, il1, ld0, st0, wr0, ld1, st1, wr1;
+  wire [15:0] i0, i1;
+
+  puma_decode_slot #(.W(W)) slot0 (
+    .inst(bundle[W-1:0]), .unit(u0), .aluop(a0),
+    .rs1(s10), .rs2(s20), .rd(d0), .uses_imm(ui0), .imm(i0),
+    .is_load(ld0), .is_store(st0), .writes_rd(wr0), .illegal(il0));
+  puma_decode_slot #(.W(W)) slot1 (
+    .inst(bundle[2*W-1:W]), .unit(u1), .aluop(a1),
+    .rs1(s11), .rs2(s21), .rd(d1), .uses_imm(ui1), .imm(i1),
+    .is_load(ld1), .is_store(st1), .writes_rd(wr1), .illegal(il1));
+
+  // Slot 1 may issue with slot 0 only without a RAW dependence.
+  wire raw;
+  assign raw = wr0 && ((s11 == d0) || (s21 == d0));
+
+  always @(posedge clk) begin
+    if (rst) begin
+      unit0 <= 0; unit1 <= 0;
+      aluop0 <= 0; aluop1 <= 0;
+      rs1_0 <= 0; rs2_0 <= 0; rd_0 <= 0;
+      rs1_1 <= 0; rs2_1 <= 0; rd_1 <= 0;
+      imm0 <= 0; imm1 <= 0;
+      usesimm0 <= 0; usesimm1 <= 0;
+      dual_issue <= 0;
+      any_illegal <= 0;
+    end else if (bundle_valid) begin
+      unit0 <= u0; unit1 <= u1;
+      aluop0 <= a0; aluop1 <= a1;
+      rs1_0 <= s10; rs2_0 <= s20; rd_0 <= d0;
+      rs1_1 <= s11; rs2_1 <= s21; rd_1 <= d1;
+      imm0 <= i0; imm1 <= i1;
+      usesimm0 <= ui0; usesimm1 <= ui1;
+      dual_issue <= !raw && !il0 && !il1;
+      any_illegal <= il0 || il1;
+    end
+  end
+endmodule
+`
+
+// pumaROBSrc: a circular reorder buffer with 2-wide allocate and
+// 2-wide in-order retire.
+const pumaROBSrc = `
+// Reorder buffer: circular allocate/complete/retire.
+module puma_rob #(parameter IDW = 4, parameter TAGW = 5) (
+  input clk,
+  input rst,
+  input alloc0,
+  input alloc1,
+  input [TAGW-1:0] dest0,
+  input [TAGW-1:0] dest1,
+  input complete_valid,
+  input [IDW-1:0] complete_id,
+  output [IDW-1:0] id0,
+  output [IDW-1:0] id1,
+  output retire0,
+  output retire1,
+  output [TAGW-1:0] retire_dest0,
+  output [TAGW-1:0] retire_dest1,
+  output full,
+  output [IDW:0] occupancy
+);
+  localparam SLOTS = 1 << IDW;
+  reg [IDW:0] head, tail;
+  reg [SLOTS-1:0] done;
+  reg [TAGW-1:0] dests [0:SLOTS-1];
+
+  assign occupancy = tail - head;
+  assign full = occupancy >= SLOTS - 1;
+  assign id0 = tail[IDW-1:0];
+  assign id1 = tail[IDW-1:0] + 1;
+
+  wire [IDW-1:0] hptr;
+  assign hptr = head[IDW-1:0];
+  wire [IDW-1:0] hptr1;
+  assign hptr1 = hptr + 1;
+
+  // Per-slot completion decode: every ROB slot compares its index
+  // against the completing tag (an inline CAM row per slot).
+  wire [SLOTS-1:0] complete_hit;
+  genvar gi;
+  generate for (gi = 0; gi < SLOTS; gi = gi + 1) begin : cdec
+    assign complete_hit[gi] = complete_valid && (complete_id == gi);
+  end endgenerate
+
+  wire head_done, head1_done;
+  assign head_done = done[hptr] && occupancy != 0;
+  assign head1_done = done[hptr1] && occupancy > 1;
+  assign retire0 = head_done;
+  assign retire1 = head_done && head1_done;
+  assign retire_dest0 = dests[hptr];
+  assign retire_dest1 = dests[hptr1];
+
+  always @(posedge clk) begin
+    if (rst) begin
+      head <= 0;
+      tail <= 0;
+      done <= 0;
+    end else begin
+      if (alloc0 && !full) begin
+        dests[tail[IDW-1:0]] <= dest0;
+        done[tail[IDW-1:0]] <= 0;
+        if (alloc1) begin
+          dests[tail[IDW-1:0] + 1] <= dest1;
+          done[tail[IDW-1:0] + 1] <= 0;
+          tail <= tail + 2;
+        end else begin
+          tail <= tail + 1;
+        end
+      end
+      if (complete_valid)
+        done[complete_id] <= 1;
+      if (complete_hit != 0)
+        done <= done | complete_hit;
+      if (retire1)
+        head <= head + 2;
+      else if (retire0)
+        head <= head + 1;
+    end
+  end
+endmodule
+`
+
+// pumaExecuteSrc: the two-issue execute cluster — two replicated ALU
+// pipes, a pipelined multiplier, and a writeback arbiter. Largest PUMA
+// effort (12 person-months) and the place where instance replication
+// shows up in that design.
+const pumaExecuteSrc = `
+// One execute pipe: operand latch, ALU, result latch.
+module puma_expipe #(parameter W = 32) (
+  input clk,
+  input rst,
+  input issue,
+  input [2:0] op,
+  input [W-1:0] a,
+  input [W-1:0] b,
+  output reg [W-1:0] result,
+  output reg result_valid,
+  output reg zero_flag
+);
+  reg [W-1:0] la, lb;
+  reg [2:0] lop;
+  reg lvalid;
+  wire [W-1:0] y;
+  wire z;
+  always @(posedge clk) begin
+    if (rst) begin
+      la <= 0; lb <= 0; lop <= 0; lvalid <= 0;
+    end else begin
+      la <= a; lb <= b; lop <= op; lvalid <= issue;
+    end
+  end
+  lib_alu #(.W(W)) alu (.op(lop), .a(la), .b(lb), .y(y), .zero(z));
+  always @(posedge clk) begin
+    if (rst) begin
+      result <= 0;
+      result_valid <= 0;
+      zero_flag <= 0;
+    end else begin
+      result <= y;
+      result_valid <= lvalid;
+      zero_flag <= z;
+    end
+  end
+endmodule
+
+// Three-stage pipelined multiplier.
+module puma_mulpipe #(parameter W = 32) (
+  input clk,
+  input rst,
+  input issue,
+  input [W-1:0] a,
+  input [W-1:0] b,
+  output reg [W-1:0] p,
+  output reg p_valid
+);
+  reg [W-1:0] s1p, s2p;
+  reg s1v, s2v;
+  always @(posedge clk) begin
+    if (rst) begin
+      s1p <= 0; s2p <= 0; p <= 0;
+      s1v <= 0; s2v <= 0; p_valid <= 0;
+    end else begin
+      s1p <= a[15:0] * b[15:0];
+      s1v <= issue;
+      s2p <= s1p;
+      s2v <= s1v;
+      p <= s2p;
+      p_valid <= s2v;
+    end
+  end
+endmodule
+
+// Execute cluster: two ALU pipes + multiplier + writeback arbiter.
+module puma_execute #(parameter W = 32) (
+  input clk,
+  input rst,
+  input issue0,
+  input issue1,
+  input issue_mul,
+  input [2:0] op0,
+  input [2:0] op1,
+  input [W-1:0] a0, b0, a1, b1, am, bm,
+  output [W-1:0] wb_data,
+  output wb_valid,
+  output [1:0] wb_source,
+  output branch_flag
+);
+  wire [W-1:0] r0, r1, rm;
+  wire v0, v1, vm, z0, z1;
+
+  puma_expipe #(.W(W)) pipe0 (.clk(clk), .rst(rst), .issue(issue0),
+    .op(op0), .a(a0), .b(b0), .result(r0), .result_valid(v0), .zero_flag(z0));
+  puma_expipe #(.W(W)) pipe1 (.clk(clk), .rst(rst), .issue(issue1),
+    .op(op1), .a(a1), .b(b1), .result(r1), .result_valid(v1), .zero_flag(z1));
+  puma_mulpipe #(.W(W)) mul (.clk(clk), .rst(rst), .issue(issue_mul),
+    .a(am), .b(bm), .p(rm), .p_valid(vm));
+
+  // Writeback arbiter: multiplier wins, then pipe0, then pipe1.
+  assign wb_valid = vm || v0 || v1;
+  assign wb_source = vm ? 2'd2 : (v0 ? 2'd0 : 2'd1);
+  assign wb_data = vm ? rm : (v0 ? r0 : r1);
+  // Condition flags read the architectural sign bit.
+  wire neg0, neg1;
+  assign neg0 = r0[31];
+  assign neg1 = r1[31];
+  assign branch_flag = (v0 && (z0 || neg0)) || (v1 && (z1 || neg1));
+endmodule
+`
+
+// pumaMemorySrc: the memory unit — an AGU plus a store buffer built
+// from four identical CAM-entry instances. PUMA-Memory reported only 1
+// person-month: the entry was designed once and instantiated four
+// times, so the accounting procedure collapses most of this unit.
+const pumaMemorySrc = `
+// One store-buffer entry: address/data latch with CAM match.
+module puma_sb_entry #(parameter W = 32) (
+  input clk,
+  input rst,
+  input alloc,
+  input [W-1:0] alloc_addr,
+  input [W-1:0] alloc_data,
+  input drain,
+  input [W-1:0] probe,
+  output match,
+  output [W-1:0] data,
+  output busy
+);
+  reg v;
+  reg [W-1:0] a, d;
+  always @(posedge clk) begin
+    if (rst)
+      v <= 0;
+    else if (alloc) begin
+      v <= 1;
+      a <= alloc_addr;
+      d <= alloc_data;
+    end else if (drain)
+      v <= 0;
+  end
+  assign match = v && (a == probe);
+  assign data = d;
+  assign busy = v;
+endmodule
+
+// Memory unit: AGU + 4-entry store buffer with load forwarding.
+module puma_memory #(parameter W = 32) (
+  input clk,
+  input rst,
+  input agu_valid,
+  input agu_is_store,
+  input [W-1:0] base,
+  input [15:0] offset,
+  input [W-1:0] store_data,
+  input commit_store,
+  output [W-1:0] dmem_addr,
+  output [W-1:0] dmem_wdata,
+  output dmem_we,
+  output [W-1:0] load_data,
+  input [W-1:0] dmem_rdata,
+  output fwd_hit
+);
+  wire [W-1:0] ea;
+  assign ea = base + {{W-16{1'b0}}, offset};
+
+  reg [1:0] head, tail;
+  wire [3:0] busy, match;
+  wire [W-1:0] d0, d1, d2, d3;
+  wire alloc;
+  assign alloc = agu_valid && agu_is_store;
+  wire drain;
+  assign drain = commit_store && busy != 0;
+
+  puma_sb_entry #(.W(W)) e0 (.clk(clk), .rst(rst),
+    .alloc(alloc && tail == 0), .alloc_addr(ea), .alloc_data(store_data),
+    .drain(drain && head == 0), .probe(ea),
+    .match(match[0]), .data(d0), .busy(busy[0]));
+  puma_sb_entry #(.W(W)) e1 (.clk(clk), .rst(rst),
+    .alloc(alloc && tail == 1), .alloc_addr(ea), .alloc_data(store_data),
+    .drain(drain && head == 1), .probe(ea),
+    .match(match[1]), .data(d1), .busy(busy[1]));
+  puma_sb_entry #(.W(W)) e2 (.clk(clk), .rst(rst),
+    .alloc(alloc && tail == 2), .alloc_addr(ea), .alloc_data(store_data),
+    .drain(drain && head == 2), .probe(ea),
+    .match(match[2]), .data(d2), .busy(busy[2]));
+  puma_sb_entry #(.W(W)) e3 (.clk(clk), .rst(rst),
+    .alloc(alloc && tail == 3), .alloc_addr(ea), .alloc_data(store_data),
+    .drain(drain && head == 3), .probe(ea),
+    .match(match[3]), .data(d3), .busy(busy[3]));
+
+  always @(posedge clk) begin
+    if (rst) begin
+      head <= 0;
+      tail <= 0;
+    end else begin
+      if (alloc)
+        tail <= tail + 1;
+      if (drain)
+        head <= head + 1;
+    end
+  end
+
+  assign fwd_hit = agu_valid && !agu_is_store && (match != 0);
+  assign load_data = match[0] ? d0 : match[1] ? d1 : match[2] ? d2 :
+                     match[3] ? d3 : dmem_rdata;
+  assign dmem_addr = ea;
+  assign dmem_wdata = match[0] ? d0 : d1;
+  assign dmem_we = drain;
+endmodule
+`

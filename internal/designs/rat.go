@@ -1,0 +1,112 @@
+package designs
+
+// ratStandardSrc: the standard 4-wide Register Alias Table — rename up
+// to 4 instructions per cycle against a flip-flop map table. This was
+// the paper's own small calibration design (0.6 person-months).
+const ratStandardSrc = `
+// Standard 4-wide register alias table.
+module rat_standard #(parameter AW = 5, parameter PW = 6) (
+  input clk,
+  input rst,
+  input [3:0] wen,
+  input [4*AW-1:0] waddr,
+  input [4*PW-1:0] wtag,
+  input [4*AW-1:0] raddr,
+  output [4*PW-1:0] rtag
+);
+  localparam REGS = 1 << AW;
+  reg [PW-1:0] table_mem [0:REGS-1];
+
+  assign rtag[PW-1:0] = table_mem[raddr[AW-1:0]];
+  assign rtag[2*PW-1:PW] = table_mem[raddr[2*AW-1:AW]];
+  assign rtag[3*PW-1:2*PW] = table_mem[raddr[3*AW-1:2*AW]];
+  assign rtag[4*PW-1:3*PW] = table_mem[raddr[4*AW-1:3*AW]];
+
+  always @(posedge clk) begin
+    if (!rst) begin
+      if (wen[0]) table_mem[waddr[AW-1:0]] <= wtag[PW-1:0];
+      if (wen[1]) table_mem[waddr[2*AW-1:AW]] <= wtag[2*PW-1:PW];
+      if (wen[2]) table_mem[waddr[3*AW-1:2*AW]] <= wtag[3*PW-1:2*PW];
+      if (wen[3]) table_mem[waddr[4*AW-1:3*AW]] <= wtag[4*PW-1:3*PW];
+    end
+  end
+endmodule
+`
+
+// ratSlidingSrc: the enhanced RAT with SPARC-style sliding register
+// windows — logical registers above the split point are offset by the
+// current window pointer before indexing the map table.
+const ratSlidingSrc = `
+// Sliding-window 4-wide register alias table (SPARC register windows).
+module rat_sliding #(parameter AW = 5, parameter PW = 6, parameter WINS = 4) (
+  input clk,
+  input rst,
+  input save,
+  input restore,
+  input [3:0] wen,
+  input [4*AW-1:0] waddr,
+  input [4*PW-1:0] wtag,
+  input [4*AW-1:0] raddr,
+  output [4*PW-1:0] rtag,
+  output [1:0] cwp_out,
+  output overflow
+);
+  localparam REGS = 1 << AW;
+  reg [PW-1:0] table_mem [0:2*REGS-1];
+  reg [1:0] cwp;
+  reg [WINS-1:0] used;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      cwp <= 0;
+      used <= 1;
+    end else if (save) begin
+      cwp <= cwp + 1;
+      used[cwp + 1] <= 1;
+    end else if (restore) begin
+      used[cwp] <= 0;
+      cwp <= cwp - 1;
+    end
+  end
+  assign cwp_out = cwp;
+  assign overflow = save && (used == {WINS{1'b1}});
+
+  // Window translation: registers 0..15 are global, 16..31 slide with
+  // the window pointer.
+  wire [AW:0] xa0, xa1, xa2, xa3;
+  wire [AW-1:0] r0, r1, r2, r3;
+  assign r0 = raddr[AW-1:0];
+  assign r1 = raddr[2*AW-1:AW];
+  assign r2 = raddr[3*AW-1:2*AW];
+  assign r3 = raddr[4*AW-1:3*AW];
+  assign xa0 = r0[AW-1] ? {1'b0, r0} + {4'd0, cwp, 1'b0} : {1'b0, r0};
+  assign xa1 = r1[AW-1] ? {1'b0, r1} + {4'd0, cwp, 1'b0} : {1'b0, r1};
+  assign xa2 = r2[AW-1] ? {1'b0, r2} + {4'd0, cwp, 1'b0} : {1'b0, r2};
+  assign xa3 = r3[AW-1] ? {1'b0, r3} + {4'd0, cwp, 1'b0} : {1'b0, r3};
+
+  assign rtag[PW-1:0] = table_mem[xa0];
+  assign rtag[2*PW-1:PW] = table_mem[xa1];
+  assign rtag[3*PW-1:2*PW] = table_mem[xa2];
+  assign rtag[4*PW-1:3*PW] = table_mem[xa3];
+
+  wire [AW:0] wa0, wa1, wa2, wa3;
+  wire [AW-1:0] w0, w1, w2, w3;
+  assign w0 = waddr[AW-1:0];
+  assign w1 = waddr[2*AW-1:AW];
+  assign w2 = waddr[3*AW-1:2*AW];
+  assign w3 = waddr[4*AW-1:3*AW];
+  assign wa0 = w0[AW-1] ? {1'b0, w0} + {4'd0, cwp, 1'b0} : {1'b0, w0};
+  assign wa1 = w1[AW-1] ? {1'b0, w1} + {4'd0, cwp, 1'b0} : {1'b0, w1};
+  assign wa2 = w2[AW-1] ? {1'b0, w2} + {4'd0, cwp, 1'b0} : {1'b0, w2};
+  assign wa3 = w3[AW-1] ? {1'b0, w3} + {4'd0, cwp, 1'b0} : {1'b0, w3};
+
+  always @(posedge clk) begin
+    if (!rst) begin
+      if (wen[0]) table_mem[wa0] <= wtag[PW-1:0];
+      if (wen[1]) table_mem[wa1] <= wtag[2*PW-1:PW];
+      if (wen[2]) table_mem[wa2] <= wtag[3*PW-1:2*PW];
+      if (wen[3]) table_mem[wa3] <= wtag[4*PW-1:3*PW];
+    end
+  end
+endmodule
+`

@@ -1,0 +1,527 @@
+package elab
+
+import (
+	"fmt"
+
+	"repro/internal/hdl"
+)
+
+// Options tunes elaboration limits.
+type Options struct {
+	// MaxGenIterations caps a single generate/procedural for loop.
+	// Zero means 4096.
+	MaxGenIterations int
+	// MaxInstances caps the total instance count. Zero means 100000.
+	MaxInstances int
+}
+
+func (o Options) maxIter() int {
+	if o.MaxGenIterations == 0 {
+		return 4096
+	}
+	return o.MaxGenIterations
+}
+
+func (o Options) maxInst() int {
+	if o.MaxInstances == 0 {
+		return 100000
+	}
+	return o.MaxInstances
+}
+
+type elaborator struct {
+	design    *hdl.Design
+	opts      Options
+	report    *Report
+	instCount int
+	stack     []string // module names being elaborated, for cycle detection
+}
+
+// Elaborate builds the elaborated instance tree of module top with the
+// given parameter overrides (nil for defaults) and returns it together
+// with the construct report used by the scaling rule.
+func Elaborate(design *hdl.Design, top string, overrides map[string]int64) (*Instance, *Report, error) {
+	return ElaborateOpts(design, top, overrides, Options{})
+}
+
+// ElaborateOpts is Elaborate with explicit limits.
+func ElaborateOpts(design *hdl.Design, top string, overrides map[string]int64, opts Options) (*Instance, *Report, error) {
+	m, err := design.Module(top)
+	if err != nil {
+		return nil, nil, err
+	}
+	el := &elaborator{design: design, opts: opts, report: NewReport()}
+	params := map[string]int64{}
+	// Resolve header parameters left to right: defaults may reference
+	// earlier parameters; overrides replace defaults.
+	env := NewEnv(nil)
+	for _, p := range m.Params {
+		var v int64
+		if ov, ok := overrides[p.Name]; ok {
+			v = ov
+		} else {
+			v, err = Eval(p.Value, env)
+			if err != nil {
+				return nil, nil, fmt.Errorf("elab: default of parameter %s.%s: %w", top, p.Name, err)
+			}
+		}
+		params[p.Name] = v
+		if err := env.Define(p.Name, v); err != nil {
+			return nil, nil, err
+		}
+	}
+	for name := range overrides {
+		if _, ok := params[name]; !ok {
+			return nil, nil, fmt.Errorf("elab: module %s has no parameter %q", top, name)
+		}
+	}
+	inst, err := el.elaborateModule(m, top, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	return inst, el.report, nil
+}
+
+func (el *elaborator) elaborateModule(m *hdl.Module, path string, params map[string]int64) (*Instance, error) {
+	for _, name := range el.stack {
+		if name == m.Name {
+			return nil, fmt.Errorf("elab: recursive instantiation of module %q (%v)", m.Name, el.stack)
+		}
+	}
+	el.stack = append(el.stack, m.Name)
+	defer func() { el.stack = el.stack[:len(el.stack)-1] }()
+
+	el.instCount++
+	if el.instCount > el.opts.maxInst() {
+		return nil, fmt.Errorf("elab: instance limit %d exceeded at %s", el.opts.maxInst(), path)
+	}
+
+	inst := &Instance{
+		Module:  m,
+		Path:    path,
+		Params:  params,
+		Nets:    map[string]*Net{},
+		Mems:    map[string]*Mem{},
+		IntVars: map[string]bool{},
+		Genvars: map[string]bool{},
+	}
+	env := NewEnv(params)
+
+	// Ports become nets.
+	for _, p := range m.Ports {
+		w, lsb, err := el.evalRange(p.Range, env, p.Pos)
+		if err != nil {
+			return nil, fmt.Errorf("elab: port %s.%s: %w", path, p.Name, err)
+		}
+		if _, dup := inst.Nets[p.Name]; dup {
+			return nil, fmt.Errorf("elab: duplicate port %s.%s", path, p.Name)
+		}
+		kind := hdl.KindWire
+		if p.IsReg {
+			kind = hdl.KindReg
+		}
+		inst.Nets[p.Name] = &Net{Name: p.Name, Width: w, LSB: lsb, Kind: kind, IsPort: true, Dir: p.Dir, Pos: p.Pos}
+	}
+
+	if err := el.elaborateItems(inst, m.Items, env); err != nil {
+		return nil, err
+	}
+	if err := el.validateRanges(inst); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// evalRange returns (width, lsb) for a range (nil = scalar 1-bit).
+func (el *elaborator) evalRange(r *hdl.Range, env *Env, pos hdl.Pos) (int, int64, error) {
+	if r == nil {
+		return 1, 0, nil
+	}
+	msb, err := Eval(r.MSB, env)
+	if err != nil {
+		return 0, 0, err
+	}
+	lsb, err := Eval(r.LSB, env)
+	if err != nil {
+		return 0, 0, err
+	}
+	if msb < lsb {
+		return 0, 0, fmt.Errorf("%s: degenerate range [%d:%d]", pos, msb, lsb)
+	}
+	w := msb - lsb + 1
+	if w > 4096 {
+		return 0, 0, fmt.Errorf("%s: range [%d:%d] too wide (%d bits)", pos, msb, lsb, w)
+	}
+	return int(w), lsb, nil
+}
+
+func (el *elaborator) elaborateItems(inst *Instance, items []hdl.Item, env *Env) error {
+	for _, it := range items {
+		if err := el.elaborateItem(inst, it, env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (el *elaborator) elaborateItem(inst *Instance, it hdl.Item, env *Env) error {
+	switch v := it.(type) {
+	case *hdl.ParamDecl:
+		val, err := Eval(v.Value, env)
+		if err != nil {
+			return fmt.Errorf("elab: %s %s in %s: %w", kindWord(v), v.Name, inst.Path, err)
+		}
+		return env.Define(v.Name, val)
+
+	case *hdl.NetDecl:
+		switch v.Kind {
+		case hdl.KindGenvar:
+			for _, n := range v.Names {
+				inst.Genvars[n] = true
+			}
+			return nil
+		case hdl.KindInteger:
+			for _, n := range v.Names {
+				inst.IntVars[n] = true
+			}
+			return nil
+		}
+		w, lsb, err := el.evalRange(v.Range, env, v.Pos)
+		if err != nil {
+			return fmt.Errorf("elab: declaration in %s: %w", inst.Path, err)
+		}
+		if v.ArrayRange != nil {
+			a, err := Eval(v.ArrayRange.MSB, env)
+			if err != nil {
+				return err
+			}
+			b, err := Eval(v.ArrayRange.LSB, env)
+			if err != nil {
+				return err
+			}
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if lo < 0 {
+				return fmt.Errorf("elab: %s: memory %s has negative bound [%d:%d]", v.Pos, v.Names[0], a, b)
+			}
+			depth := hi - lo + 1
+			if depth > 1<<20 {
+				return fmt.Errorf("elab: %s: memory %s too deep (%d)", v.Pos, v.Names[0], depth)
+			}
+			name := env.Prefix() + v.Names[0]
+			if _, dup := inst.Mems[name]; dup {
+				return fmt.Errorf("elab: duplicate memory %s in %s", name, inst.Path)
+			}
+			el.report.recordMem(v.Pos.String(), depth)
+			inst.Mems[name] = &Mem{Name: name, Width: w, Depth: depth, MinIdx: lo, Pos: v.Pos}
+			return nil
+		}
+		for _, n := range v.Names {
+			full := env.Prefix() + n
+			if _, dup := inst.Nets[full]; dup {
+				return fmt.Errorf("elab: duplicate net %s in %s", full, inst.Path)
+			}
+			inst.Nets[full] = &Net{Name: full, Width: w, LSB: lsb, Kind: v.Kind, Pos: v.Pos}
+		}
+		return nil
+
+	case *hdl.ContAssign:
+		inst.Assigns = append(inst.Assigns, &ElabAssign{Item: v, Env: env})
+		return nil
+
+	case *hdl.AlwaysBlock:
+		inst.Alwayses = append(inst.Alwayses, &ElabAlways{Item: v, Env: env})
+		// Walk the body for the construct signature (constant
+		// conditionals, loop trip counts).
+		return el.signStmt(inst, v.Body, env)
+
+	case *hdl.Instance:
+		return el.elaborateInstance(inst, v, env)
+
+	case *hdl.GenFor:
+		return el.elaborateGenFor(inst, v, env)
+
+	case *hdl.GenIf:
+		return el.elaborateGenIf(inst, v, env)
+	}
+	return fmt.Errorf("elab: unsupported item %T in %s", it, inst.Path)
+}
+
+func kindWord(p *hdl.ParamDecl) string {
+	if p.IsLocal {
+		return "localparam"
+	}
+	return "parameter"
+}
+
+func (el *elaborator) elaborateInstance(parent *Instance, v *hdl.Instance, env *Env) error {
+	child, err := el.design.Module(v.ModuleName)
+	if err != nil {
+		return fmt.Errorf("elab: instance %s.%s: %w", parent.Path, v.Name, err)
+	}
+	// Resolve child parameters: defaults (left to right, in the child's
+	// own growing env) overridden by explicit bindings evaluated in the
+	// parent scope.
+	overrides := map[string]int64{}
+	declared := map[string]bool{}
+	for _, p := range child.Params {
+		declared[p.Name] = true
+	}
+	for _, b := range v.Params {
+		if !declared[b.Name] {
+			return fmt.Errorf("elab: %s: module %s has no parameter %q", b.Pos, child.Name, b.Name)
+		}
+		if b.Value == nil {
+			return fmt.Errorf("elab: %s: parameter binding %q has no value", b.Pos, b.Name)
+		}
+		val, err := Eval(b.Value, env)
+		if err != nil {
+			return fmt.Errorf("elab: parameter %s of %s.%s: %w", b.Name, parent.Path, v.Name, err)
+		}
+		overrides[b.Name] = val
+	}
+	params := map[string]int64{}
+	childEnv := NewEnv(nil)
+	for _, p := range child.Params {
+		var val int64
+		if ov, ok := overrides[p.Name]; ok {
+			val = ov
+		} else {
+			val, err = Eval(p.Value, childEnv)
+			if err != nil {
+				return fmt.Errorf("elab: default of %s.%s: %w", child.Name, p.Name, err)
+			}
+		}
+		params[p.Name] = val
+		if err := childEnv.Define(p.Name, val); err != nil {
+			return err
+		}
+	}
+	// Check port binding names.
+	ports := map[string]bool{}
+	for _, p := range child.Ports {
+		ports[p.Name] = true
+	}
+	for _, b := range v.Ports {
+		if !ports[b.Name] {
+			return fmt.Errorf("elab: %s: module %s has no port %q", b.Pos, child.Name, b.Name)
+		}
+	}
+	name := env.Prefix() + v.Name
+	childInst, err := el.elaborateModule(child, parent.Path+"."+name, params)
+	if err != nil {
+		return err
+	}
+	parent.Children = append(parent.Children, &Child{
+		Name:  name,
+		Ports: v.Ports,
+		Env:   env,
+		Inst:  childInst,
+		Pos:   v.Pos,
+	})
+	return nil
+}
+
+func (el *elaborator) elaborateGenFor(inst *Instance, v *hdl.GenFor, env *Env) error {
+	if !inst.Genvars[v.Var] {
+		return fmt.Errorf("elab: %s: generate loop variable %q is not a declared genvar", v.Pos, v.Var)
+	}
+	val, err := Eval(v.Init, env)
+	if err != nil {
+		return fmt.Errorf("elab: generate for init in %s: %w", inst.Path, err)
+	}
+	label := v.Label
+	if label == "" {
+		label = fmt.Sprintf("_gf%d_%d", v.Pos.Line, v.Pos.Col)
+	}
+	trips := int64(0)
+	for {
+		iterEnv := env.Child("", map[string]int64{v.Var: val})
+		cond, err := Eval(v.Cond, iterEnv)
+		if err != nil {
+			return fmt.Errorf("elab: generate for condition in %s: %w", inst.Path, err)
+		}
+		if cond == 0 {
+			break
+		}
+		trips++
+		if trips > int64(el.opts.maxIter()) {
+			return fmt.Errorf("elab: %s: generate loop exceeds %d iterations", v.Pos, el.opts.maxIter())
+		}
+		bodyEnv := env.Child(fmt.Sprintf("%s[%d].", label, val), map[string]int64{v.Var: val})
+		if err := el.elaborateItems(inst, v.Body, bodyEnv); err != nil {
+			return err
+		}
+		next, err := Eval(v.Step, iterEnv)
+		if err != nil {
+			return fmt.Errorf("elab: generate for step in %s: %w", inst.Path, err)
+		}
+		if next == val {
+			return fmt.Errorf("elab: %s: generate loop does not advance (%s stuck at %d)", v.Pos, v.Var, val)
+		}
+		val = next
+	}
+	el.report.recordLoop("genfor", v.Pos.String(), trips)
+	return nil
+}
+
+func (el *elaborator) elaborateGenIf(inst *Instance, v *hdl.GenIf, env *Env) error {
+	cond, err := Eval(v.Cond, env)
+	if err != nil {
+		return fmt.Errorf("elab: generate if condition in %s: %w", inst.Path, err)
+	}
+	if cond != 0 {
+		el.report.recordBranch("genif", v.Pos.String(), "then")
+		branchEnv := env
+		if v.ThenLabel != "" {
+			branchEnv = env.Child(v.ThenLabel+".", nil)
+		}
+		return el.elaborateItems(inst, v.Then, branchEnv)
+	}
+	el.report.recordBranch("genif", v.Pos.String(), "else")
+	if len(v.Else) == 0 {
+		return nil
+	}
+	branchEnv := env
+	if v.ElseLabel != "" {
+		branchEnv = env.Child(v.ElseLabel+".", nil)
+	}
+	return el.elaborateItems(inst, v.Else, branchEnv)
+}
+
+// signStmt walks a behavioral statement recording the construct
+// signature: which branch constant conditionals take and whether loops
+// run. Signal-dependent conditionals are recorded as NonConst and both
+// branches are walked.
+func (el *elaborator) signStmt(inst *Instance, s hdl.Stmt, env *Env) error {
+	switch v := s.(type) {
+	case *hdl.Block:
+		for _, sub := range v.Stmts {
+			if err := el.signStmt(inst, sub, env); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *hdl.Assign:
+		return nil
+	case *hdl.If:
+		if c, err := Eval(v.Cond, env); err == nil {
+			arm := "else"
+			if c != 0 {
+				arm = "then"
+			}
+			el.report.recordBranch("if", v.Pos.String(), arm)
+			if c != 0 {
+				return el.signStmt(inst, v.Then, env)
+			}
+			if v.Else != nil {
+				return el.signStmt(inst, v.Else, env)
+			}
+			return nil
+		}
+		el.report.recordNonConst("if", v.Pos.String())
+		if err := el.signStmt(inst, v.Then, env); err != nil {
+			return err
+		}
+		if v.Else != nil {
+			return el.signStmt(inst, v.Else, env)
+		}
+		return nil
+	case *hdl.Case:
+		if subj, err := Eval(v.Subject, env); err == nil {
+			// Constant subject: find the matching arm (labels must be
+			// constant to match).
+			armName := "default"
+			var body hdl.Stmt
+			for i, item := range v.Items {
+				if item.Exprs == nil {
+					if body == nil {
+						body = item.Body
+					}
+					continue
+				}
+				for _, le := range item.Exprs {
+					lv, lerr := Eval(le, env)
+					if lerr == nil && lv == subj {
+						armName = fmt.Sprintf("arm%d", i)
+						body = item.Body
+						break
+					}
+				}
+				if armName != "default" {
+					break
+				}
+			}
+			el.report.recordBranch("case", v.Pos.String(), armName)
+			if body != nil {
+				return el.signStmt(inst, body, env)
+			}
+			return nil
+		}
+		el.report.recordNonConst("case", v.Pos.String())
+		for _, item := range v.Items {
+			if err := el.signStmt(inst, item.Body, env); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *hdl.For:
+		trips, err := el.forTripCount(inst, v, env)
+		if err != nil {
+			// Loop bounds must be constant for synthesis; report the
+			// error lazily (synthesis will reject it too) but keep the
+			// signature walk going.
+			el.report.recordNonConst("for", v.Pos.String())
+			return el.signStmt(inst, v.Body, env)
+		}
+		el.report.recordLoop("for", v.Pos.String(), trips)
+		return el.signStmt(inst, v.Body, env)
+	}
+	return nil
+}
+
+// forTripCount evaluates the trip count of a constant-bound procedural
+// for loop.
+func (el *elaborator) forTripCount(inst *Instance, v *hdl.For, env *Env) (int64, error) {
+	initA, ok := v.Init.(*hdl.Assign)
+	if !ok {
+		return 0, fmt.Errorf("for init is not an assignment")
+	}
+	stepA, ok := v.Step.(*hdl.Assign)
+	if !ok {
+		return 0, fmt.Errorf("for step is not an assignment")
+	}
+	ident, ok := initA.LHS.(*hdl.Ident)
+	if !ok {
+		return 0, fmt.Errorf("for loop variable is not a simple identifier")
+	}
+	val, err := Eval(initA.RHS, env)
+	if err != nil {
+		return 0, err
+	}
+	trips := int64(0)
+	for {
+		iterEnv := env.Child("", map[string]int64{ident.Name: val})
+		c, err := Eval(v.Cond, iterEnv)
+		if err != nil {
+			return 0, err
+		}
+		if c == 0 {
+			return trips, nil
+		}
+		trips++
+		if trips > int64(el.opts.maxIter()) {
+			return 0, fmt.Errorf("for loop exceeds %d iterations", el.opts.maxIter())
+		}
+		next, err := Eval(stepA.RHS, iterEnv)
+		if err != nil {
+			return 0, err
+		}
+		if next == val {
+			return 0, fmt.Errorf("for loop does not advance")
+		}
+		val = next
+	}
+}

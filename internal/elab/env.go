@@ -1,0 +1,74 @@
+package elab
+
+import "fmt"
+
+// Env is a lexical constant environment: module parameters,
+// localparams, and genvar values, plus the net-name prefix introduced
+// by labeled generate scopes (so a wire declared inside
+// "begin : g" of iteration 2 lives under "g[2].").
+type Env struct {
+	parent *Env
+	prefix string // full accumulated prefix, e.g. "g[2]."
+	consts map[string]int64
+}
+
+// NewEnv returns a root environment with the given constants.
+func NewEnv(consts map[string]int64) *Env {
+	c := make(map[string]int64, len(consts))
+	for k, v := range consts {
+		c[k] = v
+	}
+	return &Env{consts: c}
+}
+
+// Child returns a nested scope. extraPrefix ("g[2]." or "") extends the
+// net-name prefix; consts (may be nil) adds scope-local constants such
+// as the genvar value.
+func (e *Env) Child(extraPrefix string, consts map[string]int64) *Env {
+	c := make(map[string]int64, len(consts))
+	for k, v := range consts {
+		c[k] = v
+	}
+	return &Env{parent: e, prefix: e.prefix + extraPrefix, consts: c}
+}
+
+// Define adds a constant to the innermost scope, rejecting redefinition
+// within the same scope.
+func (e *Env) Define(name string, v int64) error {
+	if _, ok := e.consts[name]; ok {
+		return fmt.Errorf("elab: constant %q redefined in the same scope", name)
+	}
+	e.consts[name] = v
+	return nil
+}
+
+// Lookup resolves a constant by walking scopes outward.
+func (e *Env) Lookup(name string) (int64, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.consts[name]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Prefix returns the accumulated net-name prefix of this scope.
+func (e *Env) Prefix() string { return e.prefix }
+
+// Prefixes returns the prefix chain from innermost to outermost
+// (always ending with ""), used to resolve signal names against an
+// instance's net table.
+func (e *Env) Prefixes() []string {
+	var out []string
+	last := ""
+	for s := e; s != nil; s = s.parent {
+		if len(out) == 0 || s.prefix != last {
+			out = append(out, s.prefix)
+			last = s.prefix
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != "" {
+		out = append(out, "")
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package elab
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInstanceHelpers(t *testing.T) {
+	d := design(t, map[string]string{"m.v": `
+module child (input a, output y);
+  assign y = ~a;
+endmodule
+module m #(parameter W = 4) (input clk, input [W-1:0] a, output [W-1:0] y);
+  integer i;
+  reg [W-1:0] scratch;
+  reg [3:0] mem [0:7];
+  wire t;
+  child u (.a(a[0]), .y(t));
+  always @(posedge clk) begin
+    for (i = 0; i < W; i = i + 1)
+      scratch[i] <= a[i];
+    mem[a[2:0]] <= 4'd1;
+  end
+  assign y = scratch;
+endmodule`})
+	inst, _, err := Elaborate(d, "m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(inst.Params)
+
+	if m, ok := inst.ResolveMem("mem", env); !ok || m.Depth != 8 {
+		t.Errorf("ResolveMem = %+v, %v", m, ok)
+	}
+	if _, ok := inst.ResolveMem("nosuch", env); ok {
+		t.Error("ResolveMem must miss")
+	}
+	if !inst.IsIntVar("i") || inst.IsIntVar("scratch") {
+		t.Error("IsIntVar misclassifies")
+	}
+	ports := inst.PortNets()
+	if len(ports) != 3 || ports[0].Name != "clk" {
+		t.Errorf("PortNets = %+v", ports)
+	}
+	names := inst.SortedNetNames()
+	if len(names) == 0 || !sortedStrings(names) {
+		t.Errorf("SortedNetNames = %v", names)
+	}
+	if s := inst.String(); !strings.Contains(s, "m") {
+		t.Errorf("String = %q", s)
+	}
+	if inst.CountInstances() != 2 {
+		t.Errorf("CountInstances = %d", inst.CountInstances())
+	}
+}
+
+func sortedStrings(xs []string) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIsConstant(t *testing.T) {
+	env := NewEnv(map[string]int64{"W": 8})
+	d := design(t, map[string]string{"m.v": `
+module m #(parameter W = 8) (input [W-1:0] a, output [W-1:0] y);
+  assign y = a + W;
+endmodule`})
+	inst, _, err := Elaborate(d, "m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := inst.Assigns[0]
+	// The RHS (a + W) references a signal: not constant. Its right
+	// operand (W) is.
+	if IsConstant(ca.Item.RHS, env) {
+		t.Error("a + W must not be constant")
+	}
+}
+
+func TestBehavioralForTripCountInSignature(t *testing.T) {
+	src := map[string]string{"m.v": `
+module m #(parameter N = 8) (input [7:0] a, output reg [7:0] y);
+  integer i;
+  always @(*) begin
+    y = 0;
+    for (i = 0; i < N; i = i + 1)
+      y = y ^ (a >> i);
+  end
+endmodule`}
+	d := design(t, src)
+	_, ref, err := Elaborate(d, "m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundFor := false
+	for _, c := range ref.Constructs {
+		if c.Kind == "for" {
+			foundFor = true
+			if !c.Alive {
+				t.Error("N=8 loop must be alive")
+			}
+		}
+	}
+	if !foundFor {
+		t.Fatal("behavioral for loop not in the signature")
+	}
+	// N=0 collapses the loop: incompatible.
+	_, cand, err := Elaborate(d, "m", map[string]int64{"N": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := ref.CompatibleWith(cand); ok {
+		t.Error("zero-trip behavioral loop must be incompatible")
+	}
+	// N=1 keeps it alive: compatible.
+	_, cand1, err := Elaborate(d, "m", map[string]int64{"N": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, reason := ref.CompatibleWith(cand1); !ok {
+		t.Errorf("N=1 should be compatible: %s", reason)
+	}
+}
+
+func TestRangeValidationInsideAlways(t *testing.T) {
+	// Constant out-of-range accesses inside behavioral code are caught
+	// at elaboration (this drives the scaling rule's width pinning).
+	d := design(t, map[string]string{"m.v": `
+module m #(parameter W = 8) (input clk, input [W-1:0] a, output reg [W-1:0] y);
+  always @(posedge clk) begin
+    if (a[7])
+      y <= a;
+  end
+endmodule`})
+	if _, _, err := Elaborate(d, "m", map[string]int64{"W": 4}); err == nil {
+		t.Fatal("a[7] with W=4 must fail elaboration")
+	}
+	if _, _, err := Elaborate(d, "m", nil); err != nil {
+		t.Fatalf("W=8 must elaborate: %v", err)
+	}
+}
+
+func TestRangeValidationInPortBindings(t *testing.T) {
+	d := design(t, map[string]string{"m.v": `
+module leaf (input x, output y);
+  assign y = ~x;
+endmodule
+module m #(parameter W = 8) (input [W-1:0] a, output y);
+  leaf u (.x(a[6]), .y(y));
+endmodule`})
+	if _, _, err := Elaborate(d, "m", map[string]int64{"W": 4}); err == nil {
+		t.Fatal("binding a[6] with W=4 must fail")
+	}
+}

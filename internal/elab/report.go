@@ -1,0 +1,143 @@
+package elab
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Construct records the elaboration fate of one parameter-sensitive
+// syntactic construct, keyed by its source position. Constructs inside
+// generate loops are elaborated repeatedly; their records aggregate all
+// elaborations.
+type Construct struct {
+	Kind string // "genfor", "genif", "if", "case", "for", "mem", "repl"
+	// Alive is true when the construct did real work in at least one
+	// elaboration: a loop ran ≥1 iteration, a memory has depth ≥2, a
+	// replication count was ≥1.
+	Alive bool
+	// Branches is the set of arms taken by a constant conditional
+	// ("then"/"else" for ifs, "arm<N>"/"default" for cases) across all
+	// elaborations.
+	Branches map[string]bool
+	// NonConst is true when the condition/subject was signal-dependent
+	// in at least one elaboration (no branch constraint applies).
+	NonConst bool
+}
+
+// Report is the elaboration signature of a design under one parameter
+// assignment: every parameter-sensitive construct and its fate.
+type Report struct {
+	Constructs map[string]*Construct // key: kind + "@" + position
+}
+
+// NewReport returns an empty report.
+func NewReport() *Report {
+	return &Report{Constructs: map[string]*Construct{}}
+}
+
+func (r *Report) construct(kind, pos string) *Construct {
+	key := kind + "@" + pos
+	c, ok := r.Constructs[key]
+	if !ok {
+		c = &Construct{Kind: kind, Branches: map[string]bool{}}
+		r.Constructs[key] = c
+	}
+	return c
+}
+
+// recordLoop records a loop elaboration with the given trip count.
+func (r *Report) recordLoop(kind, pos string, trips int64) {
+	c := r.construct(kind, pos)
+	if trips >= 1 {
+		c.Alive = true
+	}
+}
+
+// recordBranch records a constant conditional taking one arm.
+func (r *Report) recordBranch(kind, pos, arm string) {
+	c := r.construct(kind, pos)
+	c.Alive = true
+	c.Branches[arm] = true
+}
+
+// recordNonConst records a signal-dependent conditional.
+func (r *Report) recordNonConst(kind, pos string) {
+	c := r.construct(kind, pos)
+	c.Alive = true
+	c.NonConst = true
+}
+
+// recordMem records a memory elaboration with the given depth.
+func (r *Report) recordMem(pos string, depth int64) {
+	c := r.construct("mem", pos)
+	if depth >= 2 {
+		c.Alive = true
+	}
+}
+
+// CompatibleWith reports whether candidate cand preserves every
+// construct of reference r, per the scaling rule of Section 2.2: no
+// loop alive in the reference may collapse to zero iterations, no
+// branch taken in the reference may become unreachable, no non-trivial
+// memory may degenerate, and no construct may disappear entirely.
+// The returned reason describes the first violation.
+func (r *Report) CompatibleWith(cand *Report) (bool, string) {
+	keys := make([]string, 0, len(r.Constructs))
+	for k := range r.Constructs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		ref := r.Constructs[key]
+		c, ok := cand.Constructs[key]
+		if !ok {
+			if ref.Alive {
+				return false, fmt.Sprintf("%s disappeared", key)
+			}
+			continue
+		}
+		if ref.Alive && !c.Alive {
+			return false, fmt.Sprintf("%s optimized away", key)
+		}
+		if !ref.NonConst && !c.NonConst {
+			for arm := range ref.Branches {
+				if !c.Branches[arm] {
+					return false, fmt.Sprintf("%s: branch %q became dead", key, arm)
+				}
+			}
+		}
+		if ref.NonConst && !c.NonConst && len(c.Branches) > 0 {
+			return false, fmt.Sprintf("%s: condition became constant", key)
+		}
+	}
+	return true, ""
+}
+
+// String renders the report compactly, sorted by key, for debugging
+// and golden tests.
+func (r *Report) String() string {
+	keys := make([]string, 0, len(r.Constructs))
+	for k := range r.Constructs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		c := r.Constructs[k]
+		fmt.Fprintf(&b, "%s alive=%v", k, c.Alive)
+		if c.NonConst {
+			b.WriteString(" nonconst")
+		}
+		if len(c.Branches) > 0 {
+			arms := make([]string, 0, len(c.Branches))
+			for a := range c.Branches {
+				arms = append(arms, a)
+			}
+			sort.Strings(arms)
+			fmt.Fprintf(&b, " branches=%v", arms)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,232 @@
+// Package fpga maps a synthesized netlist onto k-input LUTs and
+// derives the two FPGA-side metrics of Table 3: Freq (the maximum
+// clock frequency on a Stratix-II-class device) and the LUT-based
+// approximation of FanInLC.
+//
+// The paper measured these with Synplify Pro targeting an Altera
+// Stratix-II EP2S90 and estimated FanInLC "by summing all the inputs
+// used in all the LUTs", noting that a logic cone wider than the eight
+// inputs available on a single LUT is cascaded (rarely, in their
+// designs). This package reproduces that flow with a greedy
+// level-oriented LUT covering: each combinational cell either absorbs
+// its fan-in cones into one LUT (when the merged support fits k
+// inputs) or starts a new LUT level.
+package fpga
+
+import (
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Options configures the mapping.
+type Options struct {
+	// K is the LUT input count. Zero means 8, matching the paper's
+	// description of the Stratix-II ALM.
+	K int
+	// Timing parameters in ns. Zeros select Stratix-II-class defaults.
+	ClkToQ, LUTDelay, RouteDelay, Setup, RAMAccess float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 8
+	}
+	if o.ClkToQ == 0 {
+		o.ClkToQ = 0.2
+	}
+	if o.LUTDelay == 0 {
+		o.LUTDelay = 0.45
+	}
+	if o.RouteDelay == 0 {
+		o.RouteDelay = 0.6
+	}
+	if o.Setup == 0 {
+		o.Setup = 0.1
+	}
+	if o.RAMAccess == 0 {
+		o.RAMAccess = 1.8
+	}
+	return o
+}
+
+// LUT is one mapped lookup table.
+type LUT struct {
+	Root   netlist.NetID // the net the LUT produces
+	Inputs []netlist.NetID
+	Level  int // LUT depth from the leaves (1 = fed only by leaves)
+}
+
+// Mapping is the result of LUT covering.
+type Mapping struct {
+	LUTs []LUT
+	// LUTInputSum is Σ inputs over all LUTs — the paper's FanInLC
+	// approximation.
+	LUTInputSum int
+	// Levels is the deepest LUT level on any register-to-register or
+	// input-to-output path.
+	Levels int
+	// FreqMHz is the achievable clock frequency under the timing
+	// model.
+	FreqMHz float64
+	// FFs counts flip-flops (the paper reports FFs from the FPGA
+	// flow).
+	FFs int
+}
+
+// Map covers the netlist's combinational logic with k-LUTs and
+// evaluates the timing model.
+func Map(n *netlist.Netlist, opts Options) *Mapping {
+	o := opts.withDefaults()
+	drivers := n.Drivers()
+
+	isLeaf := func(id netlist.NetID) bool {
+		if id == n.Const0 || id == n.Const1 {
+			return false
+		}
+		d := drivers[id]
+		return d < 0 || n.Cells[d].Type.IsSequential()
+	}
+
+	type netInfo struct {
+		cut      []netlist.NetID // support of the would-be LUT rooted here
+		realized bool
+	}
+	info := make([]netInfo, n.NumNets())
+	level := make([]int, n.NumNets()) // level of the net once realized
+
+	m := &Mapping{}
+	var realize func(id netlist.NetID)
+
+	// cutOf returns the support set of a net's logic (the net itself
+	// for leaves and constants-free).
+	cutOf := func(id netlist.NetID) []netlist.NetID {
+		if id == n.Const0 || id == n.Const1 {
+			return nil
+		}
+		if isLeaf(id) {
+			return []netlist.NetID{id}
+		}
+		return info[id].cut
+	}
+
+	realize = func(id netlist.NetID) {
+		if id == netlist.Nil || id == n.Const0 || id == n.Const1 || isLeaf(id) {
+			return
+		}
+		if info[id].realized {
+			return
+		}
+		info[id].realized = true
+		cut := info[id].cut
+		maxIn := 0
+		for _, in := range cut {
+			if !isLeaf(in) {
+				realize(in)
+			}
+			if level[in] > maxIn {
+				maxIn = level[in]
+			}
+		}
+		if len(cut) == 0 {
+			// Pure-constant logic: no LUT needed.
+			level[id] = 0
+			return
+		}
+		level[id] = maxIn + 1
+		m.LUTs = append(m.LUTs, LUT{Root: id, Inputs: cut, Level: level[id]})
+		m.LUTInputSum += len(cut)
+	}
+
+	order, err := n.TopoOrder()
+	if err != nil {
+		// A cyclic netlist cannot be mapped; return an empty mapping
+		// (Validate in synth prevents this in practice).
+		return m
+	}
+	for _, ci := range order {
+		c := &n.Cells[ci]
+		// Merge the supports of the inputs.
+		merged := map[netlist.NetID]bool{}
+		for _, in := range c.Inputs() {
+			for _, l := range cutOf(in) {
+				merged[l] = true
+			}
+		}
+		if len(merged) <= o.K {
+			cut := make([]netlist.NetID, 0, len(merged))
+			for l := range merged {
+				cut = append(cut, l)
+			}
+			sort.Slice(cut, func(i, j int) bool { return cut[i] < cut[j] })
+			info[c.Out].cut = cut
+			continue
+		}
+		// Too wide: realize the inputs as LUT roots and cascade.
+		cut := map[netlist.NetID]bool{}
+		for _, in := range c.Inputs() {
+			if in == n.Const0 || in == n.Const1 {
+				continue
+			}
+			realize(in)
+			cut[in] = true
+		}
+		cutS := make([]netlist.NetID, 0, len(cut))
+		for l := range cut {
+			cutS = append(cutS, l)
+		}
+		sort.Slice(cutS, func(i, j int) bool { return cutS[i] < cutS[j] })
+		info[c.Out].cut = cutS
+	}
+
+	// Realize every endpoint.
+	for _, p := range n.Outputs {
+		realize(p.Net)
+	}
+	hasRAM := len(n.RAMs) > 0
+	for ci := range n.Cells {
+		c := &n.Cells[ci]
+		switch c.Type {
+		case netlist.DFF:
+			m.FFs++
+			realize(c.In[0])
+		case netlist.Latch:
+			realize(c.In[0])
+			realize(c.In[1])
+		}
+	}
+	for _, r := range n.RAMs {
+		for _, wp := range r.WritePorts {
+			realize(wp.En)
+			for _, b := range wp.Addr {
+				realize(b)
+			}
+			for _, b := range wp.Data {
+				realize(b)
+			}
+		}
+		for _, rp := range r.ReadPorts {
+			for _, b := range rp.Addr {
+				realize(b)
+			}
+		}
+	}
+
+	for _, l := range m.LUTs {
+		if l.Level > m.Levels {
+			m.Levels = l.Level
+		}
+	}
+
+	// Timing: clk-to-q, L LUT+route stages, setup; RAM read access
+	// adds its latency when memories are present.
+	period := o.ClkToQ + float64(m.Levels)*(o.LUTDelay+o.RouteDelay) + o.Setup
+	if hasRAM {
+		period += o.RAMAccess
+	}
+	if period <= 0 {
+		period = o.ClkToQ + o.Setup
+	}
+	m.FreqMHz = 1000.0 / period
+	return m
+}

@@ -1,0 +1,19 @@
+package hdl
+
+import "testing"
+
+func BenchmarkParseCounter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("bench.v", counterSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLexCounter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := LexAll("bench.v", counterSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

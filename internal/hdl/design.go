@@ -1,0 +1,144 @@
+package hdl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Design is a collection of parsed source files forming one design:
+// every module name maps to exactly one declaration.
+type Design struct {
+	Files   []*SourceFile
+	modules map[string]*Module
+}
+
+// NewDesign builds a Design from parsed files, rejecting duplicate
+// module names.
+func NewDesign(files ...*SourceFile) (*Design, error) {
+	d := &Design{modules: map[string]*Module{}}
+	for _, f := range files {
+		if err := d.AddFile(f); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// AddFile adds a parsed file to the design.
+func (d *Design) AddFile(f *SourceFile) error {
+	for _, m := range f.Modules {
+		if prev, ok := d.modules[m.Name]; ok {
+			return fmt.Errorf("hdl: module %q declared at both %s and %s", m.Name, prev.Pos, m.Pos)
+		}
+		d.modules[m.Name] = m
+	}
+	d.Files = append(d.Files, f)
+	return nil
+}
+
+// ParseDesign parses named sources (name → text) into one Design.
+// Sources are processed in sorted name order for determinism.
+func ParseDesign(sources map[string]string) (*Design, error) {
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	d := &Design{modules: map[string]*Module{}}
+	for _, n := range names {
+		f, err := Parse(n, sources[n])
+		if err != nil {
+			return nil, err
+		}
+		if err := d.AddFile(f); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Module returns the module named name, or an error listing what the
+// design does contain.
+func (d *Design) Module(name string) (*Module, error) {
+	m, ok := d.modules[name]
+	if !ok {
+		return nil, fmt.Errorf("hdl: no module %q in design (have %v)", name, d.ModuleNames())
+	}
+	return m, nil
+}
+
+// HasModule reports whether the design declares name.
+func (d *Design) HasModule(name string) bool {
+	_, ok := d.modules[name]
+	return ok
+}
+
+// ModuleNames returns all module names, sorted.
+func (d *Design) ModuleNames() []string {
+	names := make([]string, 0, len(d.modules))
+	for n := range d.modules {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Instantiated returns the set of module names instantiated (directly)
+// by m that are declared in this design.
+func (d *Design) Instantiated(m *Module) []string {
+	seen := map[string]bool{}
+	var walk func(items []Item)
+	walk = func(items []Item) {
+		for _, it := range items {
+			switch v := it.(type) {
+			case *Instance:
+				if d.HasModule(v.ModuleName) {
+					seen[v.ModuleName] = true
+				}
+			case *GenFor:
+				walk(v.Body)
+			case *GenIf:
+				walk(v.Then)
+				walk(v.Else)
+			}
+		}
+	}
+	walk(m.Items)
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TransitiveModules returns top and every module reachable from it via
+// instantiation, sorted, or an error on a missing module reference.
+func (d *Design) TransitiveModules(top string) ([]string, error) {
+	root, err := d.Module(top)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{top: true}
+	queue := []*Module{root}
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		for _, child := range d.Instantiated(m) {
+			if !seen[child] {
+				seen[child] = true
+				cm, err := d.Module(child)
+				if err != nil {
+					return nil, err
+				}
+				queue = append(queue, cm)
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}

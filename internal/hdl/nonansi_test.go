@@ -1,0 +1,79 @@
+package hdl
+
+import (
+	"strings"
+	"testing"
+)
+
+const nonANSISrc = `
+// Verilog-95 style module (the dialect PUMA and IVM used).
+module v95 (clk, rst, d, q, count);
+  input clk;
+  input rst;
+  input [7:0] d;
+  output [7:0] q;
+  output reg [3:0] count;
+  reg [7:0] q;
+  always @(posedge clk) begin
+    if (rst) begin
+      q <= 0;
+      count <= 0;
+    end else begin
+      q <= d;
+      count <= count + 1;
+    end
+  end
+endmodule
+`
+
+func TestParseNonANSIPorts(t *testing.T) {
+	sf := mustParse(t, nonANSISrc)
+	m := sf.Modules[0]
+	if len(m.Ports) != 5 {
+		t.Fatalf("ports = %d, want 5", len(m.Ports))
+	}
+	byName := map[string]*Port{}
+	for _, p := range m.Ports {
+		byName[p.Name] = p
+	}
+	if byName["clk"].Dir != Input || byName["clk"].Range != nil {
+		t.Errorf("clk = %+v", byName["clk"])
+	}
+	if byName["d"].Dir != Input || byName["d"].Range == nil {
+		t.Errorf("d = %+v", byName["d"])
+	}
+	if byName["q"].Dir != Output || !byName["q"].IsReg {
+		t.Errorf("q = %+v (separate reg decl must mark it)", byName["q"])
+	}
+	if byName["count"].Dir != Output || !byName["count"].IsReg {
+		t.Errorf("count = %+v (output reg form)", byName["count"])
+	}
+	// The consumed reg/port declarations must not linger as items.
+	for _, it := range m.Items {
+		if nd, ok := it.(*NetDecl); ok {
+			for _, n := range nd.Names {
+				if n == "q" {
+					t.Error("reg q declaration should have been merged into the port")
+				}
+			}
+		}
+	}
+}
+
+func TestNonANSIErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"undeclared port", `module m (a, b); input a; endmodule`, "no direction declaration"},
+		{"decl for non-port", `module m (a); input a; output b; endmodule`, "not in the module's port list"},
+		{"double decl", `module m (a); input a; input a; endmodule`, "declared twice"},
+	}
+	for _, c := range cases {
+		_, err := Parse("t.v", c.src)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantSub)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package hdl
+
+import (
+	"strings"
+	"testing"
+)
+
+const counterSrc = `
+// An 8-bit counter with enable and synchronous clear.
+module counter #(parameter W = 8) (
+  input clk,
+  input rst,
+  input en,
+  output reg [W-1:0] q
+);
+  always @(posedge clk) begin
+    if (rst)
+      q <= 0;
+    else if (en)
+      q <= q + 1;
+  end
+endmodule
+`
+
+func mustParse(t *testing.T, src string) *SourceFile {
+	t.Helper()
+	sf, err := Parse("test.v", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return sf
+}
+
+func TestParseCounter(t *testing.T) {
+	sf := mustParse(t, counterSrc)
+	if len(sf.Modules) != 1 {
+		t.Fatalf("got %d modules", len(sf.Modules))
+	}
+	m := sf.Modules[0]
+	if m.Name != "counter" {
+		t.Errorf("name = %q", m.Name)
+	}
+	if len(m.Params) != 1 || m.Params[0].Name != "W" {
+		t.Fatalf("params = %+v", m.Params)
+	}
+	if n, ok := m.Params[0].Value.(*Number); !ok || n.Value != 8 {
+		t.Errorf("W default = %v", m.Params[0].Value)
+	}
+	if len(m.Ports) != 4 {
+		t.Fatalf("got %d ports", len(m.Ports))
+	}
+	q := m.Ports[3]
+	if q.Name != "q" || q.Dir != Output || !q.IsReg || q.Range == nil {
+		t.Errorf("q port = %+v", q)
+	}
+	if len(m.Items) != 1 {
+		t.Fatalf("items = %d", len(m.Items))
+	}
+	ab, ok := m.Items[0].(*AlwaysBlock)
+	if !ok {
+		t.Fatalf("item 0 is %T", m.Items[0])
+	}
+	if len(ab.Sens) != 1 || ab.Sens[0].Edge != EdgePos || ab.Sens[0].Signal != "clk" {
+		t.Errorf("sens = %+v", ab.Sens)
+	}
+}
+
+func TestParsePortDirectionPersistence(t *testing.T) {
+	src := `module m (input a, b, output [3:0] x, y, input wire c); endmodule`
+	m := mustParse(t, src).Modules[0]
+	if len(m.Ports) != 5 {
+		t.Fatalf("got %d ports", len(m.Ports))
+	}
+	if m.Ports[1].Dir != Input || m.Ports[1].Range != nil {
+		t.Errorf("b = %+v", m.Ports[1])
+	}
+	if m.Ports[3].Dir != Output || m.Ports[3].Range == nil {
+		t.Errorf("y = %+v (range must persist)", m.Ports[3])
+	}
+	if m.Ports[4].Dir != Input {
+		t.Errorf("c = %+v", m.Ports[4])
+	}
+}
+
+func TestParseDeclarationsAndAssign(t *testing.T) {
+	src := `
+module m (input [7:0] a, output [7:0] y);
+  localparam HALF = 4;
+  wire [7:0] t1, t2;
+  reg [3:0] state;
+  reg [7:0] mem [0:15];
+  integer i;
+  assign y = (a & t1) | {t2[3:0], 4'b0000};
+endmodule`
+	m := mustParse(t, src).Modules[0]
+	if len(m.Items) != 6 {
+		t.Fatalf("got %d items", len(m.Items))
+	}
+	if p := m.Items[0].(*ParamDecl); !p.IsLocal || p.Name != "HALF" {
+		t.Errorf("localparam = %+v", p)
+	}
+	if d := m.Items[1].(*NetDecl); d.Kind != KindWire || len(d.Names) != 2 {
+		t.Errorf("wire decl = %+v", d)
+	}
+	mm := m.Items[3].(*NetDecl)
+	if mm.ArrayRange == nil || mm.Names[0] != "mem" {
+		t.Errorf("memory decl = %+v", mm)
+	}
+	ca := m.Items[5].(*ContAssign)
+	if _, ok := ca.RHS.(*Binary); !ok {
+		t.Errorf("assign rhs = %T", ca.RHS)
+	}
+}
+
+func TestParseInstanceWithParamsAndPorts(t *testing.T) {
+	src := `
+module top (input clk, output [7:0] q);
+  counter #(.W(8)) u0 (.clk(clk), .rst(1'b0), .en(1'b1), .q(q));
+  counter u1 (.clk(clk), .rst(1'b0), .en(1'b0), .q());
+endmodule`
+	m := mustParse(t, src).Modules[0]
+	u0 := m.Items[0].(*Instance)
+	if u0.ModuleName != "counter" || u0.Name != "u0" {
+		t.Errorf("u0 = %+v", u0)
+	}
+	if len(u0.Params) != 1 || u0.Params[0].Name != "W" {
+		t.Errorf("u0 params = %+v", u0.Params)
+	}
+	if len(u0.Ports) != 4 {
+		t.Errorf("u0 ports = %+v", u0.Ports)
+	}
+	u1 := m.Items[1].(*Instance)
+	if u1.Ports[3].Value != nil {
+		t.Errorf("unconnected port must have nil value")
+	}
+}
+
+func TestParseGenerate(t *testing.T) {
+	src := `
+module m #(parameter N = 4) (input [N-1:0] a, output [N-1:0] y);
+  genvar i;
+  generate
+    for (i = 0; i < N; i = i + 1) begin : g
+      assign y[i] = ~a[i];
+    end
+    if (N > 2) begin : wide
+      wire extra;
+    end else begin : narrow
+      wire other;
+    end
+  endgenerate
+endmodule`
+	m := mustParse(t, src).Modules[0]
+	var gf *GenFor
+	var gi *GenIf
+	for _, it := range m.Items {
+		switch v := it.(type) {
+		case *GenFor:
+			gf = v
+		case *GenIf:
+			gi = v
+		}
+	}
+	if gf == nil || gf.Var != "i" || gf.Label != "g" || len(gf.Body) != 1 {
+		t.Fatalf("genfor = %+v", gf)
+	}
+	if gi == nil || gi.ThenLabel != "wide" || gi.ElseLabel != "narrow" {
+		t.Fatalf("genif = %+v", gi)
+	}
+}
+
+func TestParseCaseStatement(t *testing.T) {
+	src := `
+module m (input [1:0] sel, input [3:0] a, b, c, output reg [3:0] y);
+  always @(*) begin
+    case (sel)
+      2'd0: y = a;
+      2'd1, 2'd2: y = b;
+      default: y = c;
+    endcase
+  end
+endmodule`
+	m := mustParse(t, src).Modules[0]
+	ab := m.Items[0].(*AlwaysBlock)
+	blk := ab.Body.(*Block)
+	cs := blk.Stmts[0].(*Case)
+	if len(cs.Items) != 3 {
+		t.Fatalf("case items = %d", len(cs.Items))
+	}
+	if len(cs.Items[1].Exprs) != 2 {
+		t.Errorf("multi-label arm = %+v", cs.Items[1])
+	}
+	if cs.Items[2].Exprs != nil {
+		t.Errorf("default arm must have nil exprs")
+	}
+}
+
+func TestParseProceduralFor(t *testing.T) {
+	src := `
+module m (input [7:0] a, output reg [7:0] y);
+  integer i;
+  always @(*) begin
+    for (i = 0; i < 8; i = i + 1)
+      y[i] = a[7 - i];
+  end
+endmodule`
+	m := mustParse(t, src).Modules[0]
+	ab := m.Items[1].(*AlwaysBlock)
+	blk := ab.Body.(*Block)
+	if _, ok := blk.Stmts[0].(*For); !ok {
+		t.Fatalf("stmt = %T", blk.Stmts[0])
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	src := `module m (input a, b, c, output y); assign y = a | b & c; endmodule`
+	m := mustParse(t, src).Modules[0]
+	ca := m.Items[0].(*ContAssign)
+	top := ca.RHS.(*Binary)
+	// & binds tighter than |, so the tree is a | (b & c).
+	if top.Op != OpOr {
+		t.Fatalf("top op = %v", top.Op)
+	}
+	if inner, ok := top.R.(*Binary); !ok || inner.Op != OpAnd {
+		t.Errorf("rhs = %v", FormatExpr(top.R))
+	}
+}
+
+func TestParseTernaryAndReplication(t *testing.T) {
+	src := `module m (input s, input [3:0] a, output [7:0] y);
+  assign y = s ? {2{a}} : {4'b0, a};
+endmodule`
+	m := mustParse(t, src).Modules[0]
+	ca := m.Items[0].(*ContAssign)
+	tern := ca.RHS.(*Ternary)
+	if _, ok := tern.Then.(*Repl); !ok {
+		t.Errorf("then branch = %T", tern.Then)
+	}
+	if _, ok := tern.Else.(*Concat); !ok {
+		t.Errorf("else branch = %T", tern.Else)
+	}
+}
+
+func TestParseUnaryReductions(t *testing.T) {
+	src := `module m (input [7:0] a, output x, y, z);
+  assign x = &a;
+  assign y = ~|a;
+  assign z = ^a ^ !a[0];
+endmodule`
+	m := mustParse(t, src).Modules[0]
+	if u := m.Items[0].(*ContAssign).RHS.(*Unary); u.Op != OpRedAnd {
+		t.Errorf("x op = %v", u.Op)
+	}
+	if u := m.Items[1].(*ContAssign).RHS.(*Unary); u.Op != OpRedNor {
+		t.Errorf("y op = %v", u.Op)
+	}
+}
+
+func TestParseSensitivityLists(t *testing.T) {
+	src := `module m (input clk, rst, d, output reg q1, q2, q3);
+  always @(posedge clk) q1 <= d;
+  always @(posedge clk or posedge rst) q2 <= d;
+  always @(*) q3 = d;
+endmodule`
+	m := mustParse(t, src).Modules[0]
+	s2 := m.Items[1].(*AlwaysBlock).Sens
+	if len(s2) != 2 || s2[1].Edge != EdgePos || s2[1].Signal != "rst" {
+		t.Errorf("sens2 = %+v", s2)
+	}
+	s3 := m.Items[2].(*AlwaysBlock).Sens
+	if len(s3) != 1 || s3[0].Edge != EdgeAny {
+		t.Errorf("sens3 = %+v", s3)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"missing semi", "module m (input a) endmodule", "expected ';'"},
+		{"bad item", "module m (input a); 42; endmodule", "unexpected"},
+		{"eof in module", "module m (input a);", "unexpected EOF"},
+		{"for outside always", "module m (input a); for (i = 0; i < 2; i = i + 1) begin end endmodule", "generate"},
+		{"memory multi-decl", "module m (input a); reg [3:0] x [0:3], y; endmodule", "alone"},
+		{"gen step var", "module m #(parameter N=2) (input a); genvar i; generate for (i = 0; i < N; j = i + 1) begin end endgenerate endmodule", "loop variable"},
+		{"dup module", "module m (input a); endmodule module m (input a); endmodule", ""},
+	}
+	for _, c := range cases {
+		sf, err := Parse("t.v", c.src)
+		if c.name == "dup module" {
+			if err != nil {
+				continue // dup detection happens in NewDesign
+			}
+			if _, err := NewDesign(sf); err == nil {
+				t.Errorf("%s: expected error", c.name)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if c.wantSub != "" && !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseRoundTripThroughFormat(t *testing.T) {
+	// Format must re-parse to an equivalent tree (checked by formatting
+	// again and comparing strings).
+	srcs := []string{
+		counterSrc,
+		`module m #(parameter N = 4, parameter W = 8) (input [W-1:0] a, output [W-1:0] y);
+  genvar i;
+  generate for (i = 0; i < N; i = i + 1) begin : g
+    assign y[i] = a[i] ^ 1'b1;
+  end endgenerate
+  generate if (N > 2) begin : big
+    wire extra;
+  end else begin : small
+    wire other;
+  end endgenerate
+endmodule`,
+		`module alu (input [3:0] op, input [15:0] a, b, output reg [15:0] y, output reg carry);
+  always @(*) begin
+    carry = 1'b0;
+    case (op)
+      4'd0: {carry, y} = a + b;
+      4'd1: y = a - b;
+      4'd2: y = a & b;
+      default: y = 16'd0;
+    endcase
+  end
+endmodule`,
+	}
+	for _, src := range srcs {
+		sf := mustParse(t, src)
+		once := Format(sf.Modules[0])
+		sf2, err := Parse("fmt.v", once)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\nsource:\n%s", err, once)
+		}
+		twice := Format(sf2.Modules[0])
+		if once != twice {
+			t.Errorf("format not a fixpoint:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+		}
+	}
+}
+
+func TestDesignLookupAndTraversal(t *testing.T) {
+	d, err := ParseDesign(map[string]string{
+		"a.v": `module leaf (input a, output y); assign y = ~a; endmodule`,
+		"b.v": `module mid (input a, output y); leaf u (.a(a), .y(y)); endmodule`,
+		"c.v": `module top (input a, output y);
+  wire t;
+  mid u0 (.a(a), .y(t));
+  leaf u1 (.a(t), .y(y));
+endmodule`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := d.ModuleNames(); len(names) != 3 {
+		t.Fatalf("modules = %v", names)
+	}
+	top, err := d.Module("top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := d.Instantiated(top)
+	if len(inst) != 2 || inst[0] != "leaf" || inst[1] != "mid" {
+		t.Errorf("instantiated = %v", inst)
+	}
+	all, err := d.TransitiveModules("top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Errorf("transitive = %v", all)
+	}
+	if _, err := d.Module("nosuch"); err == nil {
+		t.Error("expected error for missing module")
+	}
+}

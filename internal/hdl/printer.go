@@ -1,0 +1,269 @@
+package hdl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a module back to µHDL source. The output is
+// semantically equivalent to the input (it re-parses to an identical
+// tree) but normalizes whitespace; it is used for debugging and for the
+// parser round-trip tests.
+func Format(m *Module) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s", m.Name)
+	if len(m.Params) > 0 {
+		b.WriteString(" #(")
+		for i, p := range m.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "parameter %s = %s", p.Name, FormatExpr(p.Value))
+		}
+		b.WriteString(")")
+	}
+	b.WriteString(" (")
+	for i, p := range m.Ports {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.Dir.String())
+		if p.IsReg {
+			b.WriteString(" reg")
+		}
+		if p.Range != nil {
+			fmt.Fprintf(&b, " [%s:%s]", FormatExpr(p.Range.MSB), FormatExpr(p.Range.LSB))
+		}
+		b.WriteString(" " + p.Name)
+	}
+	b.WriteString(");\n")
+	for _, it := range m.Items {
+		printItem(&b, it, 1)
+	}
+	b.WriteString("endmodule\n")
+	return b.String()
+}
+
+func labelSuffix(label string) string {
+	if label == "" {
+		return ""
+	}
+	return " : " + label
+}
+
+func indent(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func printItem(b *strings.Builder, it Item, depth int) {
+	indent(b, depth)
+	switch v := it.(type) {
+	case *ParamDecl:
+		kw := "parameter"
+		if v.IsLocal {
+			kw = "localparam"
+		}
+		fmt.Fprintf(b, "%s %s = %s;\n", kw, v.Name, FormatExpr(v.Value))
+	case *NetDecl:
+		b.WriteString(v.Kind.String())
+		if v.Range != nil {
+			fmt.Fprintf(b, " [%s:%s]", FormatExpr(v.Range.MSB), FormatExpr(v.Range.LSB))
+		}
+		b.WriteString(" " + strings.Join(v.Names, ", "))
+		if v.ArrayRange != nil {
+			fmt.Fprintf(b, " [%s:%s]", FormatExpr(v.ArrayRange.MSB), FormatExpr(v.ArrayRange.LSB))
+		}
+		b.WriteString(";\n")
+	case *ContAssign:
+		fmt.Fprintf(b, "assign %s = %s;\n", FormatExpr(v.LHS), FormatExpr(v.RHS))
+	case *AlwaysBlock:
+		b.WriteString("always @(")
+		for i, s := range v.Sens {
+			if i > 0 {
+				b.WriteString(" or ")
+			}
+			switch s.Edge {
+			case EdgeAny:
+				b.WriteString("*")
+			case EdgePos:
+				b.WriteString("posedge " + s.Signal)
+			case EdgeNeg:
+				b.WriteString("negedge " + s.Signal)
+			default:
+				b.WriteString(s.Signal)
+			}
+		}
+		b.WriteString(")\n")
+		printStmt(b, v.Body, depth+1)
+	case *Instance:
+		b.WriteString(v.ModuleName)
+		if len(v.Params) > 0 {
+			b.WriteString(" #(")
+			printBindings(b, v.Params)
+			b.WriteString(")")
+		}
+		fmt.Fprintf(b, " %s (", v.Name)
+		printBindings(b, v.Ports)
+		b.WriteString(");\n")
+	case *GenFor:
+		fmt.Fprintf(b, "generate for (%s = %s; %s; %s = %s) begin%s\n",
+			v.Var, FormatExpr(v.Init), FormatExpr(v.Cond), v.Var, FormatExpr(v.Step), labelSuffix(v.Label))
+		for _, sub := range v.Body {
+			printItem(b, sub, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("end endgenerate\n")
+	case *GenIf:
+		fmt.Fprintf(b, "generate if (%s) begin%s\n", FormatExpr(v.Cond), labelSuffix(v.ThenLabel))
+		for _, sub := range v.Then {
+			printItem(b, sub, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("end")
+		if len(v.Else) > 0 {
+			fmt.Fprintf(b, " else begin%s\n", labelSuffix(v.ElseLabel))
+			for _, sub := range v.Else {
+				printItem(b, sub, depth+1)
+			}
+			indent(b, depth)
+			b.WriteString("end")
+		}
+		b.WriteString(" endgenerate\n")
+	default:
+		fmt.Fprintf(b, "// unknown item %T\n", it)
+	}
+}
+
+func printBindings(b *strings.Builder, bs []Binding) {
+	for i, bind := range bs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if bind.Value == nil {
+			fmt.Fprintf(b, ".%s()", bind.Name)
+		} else {
+			fmt.Fprintf(b, ".%s(%s)", bind.Name, FormatExpr(bind.Value))
+		}
+	}
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch v := s.(type) {
+	case *Block:
+		b.WriteString("begin\n")
+		for _, sub := range v.Stmts {
+			printStmt(b, sub, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("end\n")
+	case *Assign:
+		op := "="
+		if !v.Blocking {
+			op = "<="
+		}
+		fmt.Fprintf(b, "%s %s %s;\n", FormatExpr(v.LHS), op, FormatExpr(v.RHS))
+	case *If:
+		fmt.Fprintf(b, "if (%s)\n", FormatExpr(v.Cond))
+		printStmt(b, v.Then, depth+1)
+		if v.Else != nil {
+			indent(b, depth)
+			b.WriteString("else\n")
+			printStmt(b, v.Else, depth+1)
+		}
+	case *Case:
+		kw := "case"
+		if v.IsCasez {
+			kw = "casez"
+		}
+		fmt.Fprintf(b, "%s (%s)\n", kw, FormatExpr(v.Subject))
+		for _, item := range v.Items {
+			indent(b, depth+1)
+			if item.Exprs == nil {
+				b.WriteString("default:\n")
+			} else {
+				labels := make([]string, len(item.Exprs))
+				for i, e := range item.Exprs {
+					labels[i] = FormatExpr(e)
+				}
+				fmt.Fprintf(b, "%s:\n", strings.Join(labels, ", "))
+			}
+			printStmt(b, item.Body, depth+2)
+		}
+		indent(b, depth)
+		b.WriteString("endcase\n")
+	case *For:
+		initA := v.Init.(*Assign)
+		stepA := v.Step.(*Assign)
+		fmt.Fprintf(b, "for (%s = %s; %s; %s = %s)\n",
+			FormatExpr(initA.LHS), FormatExpr(initA.RHS), FormatExpr(v.Cond),
+			FormatExpr(stepA.LHS), FormatExpr(stepA.RHS))
+		printStmt(b, v.Body, depth+1)
+	default:
+		fmt.Fprintf(b, "// unknown stmt %T\n", s)
+	}
+}
+
+var unaryOpText = map[UnaryOp]string{
+	OpNot: "~", OpLogNot: "!", OpNeg: "-",
+	OpRedAnd: "&", OpRedOr: "|", OpRedXor: "^",
+	OpRedNand: "~&", OpRedNor: "~|", OpRedXnor: "~^",
+}
+
+var binaryOpText = map[BinaryOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpXnor: "~^",
+	OpLogAnd: "&&", OpLogOr: "||",
+	OpEq: "==", OpNeq: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpShl: "<<", OpShr: ">>",
+}
+
+// FormatExpr renders an expression with full parenthesization (safe,
+// if verbose).
+func FormatExpr(e Expr) string {
+	switch v := e.(type) {
+	case *Ident:
+		return v.Name
+	case *Number:
+		if v.CareMask != 0 {
+			digits := make([]byte, v.Width)
+			for i := 0; i < v.Width; i++ {
+				bitPos := uint(v.Width - 1 - i)
+				switch {
+				case (v.CareMask>>bitPos)&1 == 0:
+					digits[i] = '?'
+				case (v.Value>>bitPos)&1 == 1:
+					digits[i] = '1'
+				default:
+					digits[i] = '0'
+				}
+			}
+			return fmt.Sprintf("%d'b%s", v.Width, digits)
+		}
+		if v.Width > 0 {
+			return fmt.Sprintf("%d'd%d", v.Width, v.Value)
+		}
+		return fmt.Sprintf("%d", v.Value)
+	case *Unary:
+		return fmt.Sprintf("(%s%s)", unaryOpText[v.Op], FormatExpr(v.X))
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(v.L), binaryOpText[v.Op], FormatExpr(v.R))
+	case *Ternary:
+		return fmt.Sprintf("(%s ? %s : %s)", FormatExpr(v.Cond), FormatExpr(v.Then), FormatExpr(v.Else))
+	case *Index:
+		return fmt.Sprintf("%s[%s]", FormatExpr(v.Base), FormatExpr(v.Idx))
+	case *PartSelect:
+		return fmt.Sprintf("%s[%s:%s]", FormatExpr(v.Base), FormatExpr(v.MSB), FormatExpr(v.LSB))
+	case *Concat:
+		parts := make([]string, len(v.Parts))
+		for i, p := range v.Parts {
+			parts[i] = FormatExpr(p)
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case *Repl:
+		return fmt.Sprintf("{%s{%s}}", FormatExpr(v.Count), FormatExpr(v.X))
+	}
+	return fmt.Sprintf("/*?%T*/", e)
+}

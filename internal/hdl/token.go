@@ -1,0 +1,179 @@
+package hdl
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds. Multi-character operators get their own kinds; single
+// punctuation characters are covered by the punctuation kinds below.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber  // 42, 8'hFF, 4'b1010, 'd7
+	TokKeyword // see keywords map
+
+	// Punctuation and operators.
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+	TokLBrace   // {
+	TokRBrace   // }
+	TokSemi     // ;
+	TokComma    // ,
+	TokColon    // :
+	TokDot      // .
+	TokHash     // #
+	TokAt       // @
+	TokQuestion // ?
+	TokAssign   // =
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokPercent  // %
+	TokAmp      // &
+	TokAmpAmp   // &&
+	TokPipe     // |
+	TokPipePipe // ||
+	TokCaret    // ^
+	TokXnor     // ~^ or ^~
+	TokTilde    // ~
+	TokNand     // ~&
+	TokNor      // ~|
+	TokBang     // !
+	TokEq       // ==
+	TokNeq      // !=
+	TokLt       // <
+	TokLe       // <=  (also nonblocking assign)
+	TokGt       // >
+	TokGe       // >=
+	TokShl      // <<
+	TokShr      // >>
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // raw text (for idents, keywords, numbers)
+	Pos  Pos
+}
+
+// Pos is a line/column source position (both 1-based).
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String formats the position as file:line:col.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// keywords of µHDL. Identifiers matching these lex as TokKeyword.
+var keywords = map[string]bool{
+	"module": true, "endmodule": true,
+	"input": true, "output": true, "inout": true,
+	"wire": true, "reg": true, "integer": true, "genvar": true,
+	"parameter": true, "localparam": true,
+	"assign": true, "always": true,
+	"posedge": true, "negedge": true, "or": true,
+	"if": true, "else": true,
+	"case": true, "casez": true, "endcase": true, "default": true,
+	"begin": true, "end": true,
+	"for":      true,
+	"generate": true, "endgenerate": true,
+}
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokKeyword:
+		return "keyword"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokLBracket:
+		return "'['"
+	case TokRBracket:
+		return "']'"
+	case TokLBrace:
+		return "'{'"
+	case TokRBrace:
+		return "'}'"
+	case TokSemi:
+		return "';'"
+	case TokComma:
+		return "','"
+	case TokColon:
+		return "':'"
+	case TokDot:
+		return "'.'"
+	case TokHash:
+		return "'#'"
+	case TokAt:
+		return "'@'"
+	case TokQuestion:
+		return "'?'"
+	case TokAssign:
+		return "'='"
+	case TokPlus:
+		return "'+'"
+	case TokMinus:
+		return "'-'"
+	case TokStar:
+		return "'*'"
+	case TokSlash:
+		return "'/'"
+	case TokPercent:
+		return "'%'"
+	case TokAmp:
+		return "'&'"
+	case TokAmpAmp:
+		return "'&&'"
+	case TokPipe:
+		return "'|'"
+	case TokPipePipe:
+		return "'||'"
+	case TokCaret:
+		return "'^'"
+	case TokXnor:
+		return "'~^'"
+	case TokTilde:
+		return "'~'"
+	case TokNand:
+		return "'~&'"
+	case TokNor:
+		return "'~|'"
+	case TokBang:
+		return "'!'"
+	case TokEq:
+		return "'=='"
+	case TokNeq:
+		return "'!='"
+	case TokLt:
+		return "'<'"
+	case TokLe:
+		return "'<='"
+	case TokGt:
+		return "'>'"
+	case TokGe:
+		return "'>='"
+	case TokShl:
+		return "'<<'"
+	case TokShr:
+		return "'>>'"
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}

@@ -1,0 +1,183 @@
+// Package measure runs the full µComplexity measurement pipeline on
+// one module: elaborate → synthesize → optimize, then extract every
+// Table 3 metric (software metrics from the source, ASIC metrics from
+// the optimized netlist and cell library, FPGA metrics from the LUT
+// mapping).
+package measure
+
+import (
+	"fmt"
+
+	"repro/internal/cones"
+	"repro/internal/dataset"
+	"repro/internal/fpga"
+	"repro/internal/hdl"
+	"repro/internal/power"
+	"repro/internal/srcmetrics"
+	"repro/internal/stdcell"
+	"repro/internal/synth"
+)
+
+// Metrics is the full Table 3 metric vector for one measured unit,
+// plus the exact-cone FanInLC that the paper's LUT approximation
+// stands in for.
+type Metrics struct {
+	Stmts int
+	LoC   int
+	// FanInLC is the LUT-input-sum approximation (what the paper
+	// reports); FanInLCExact is the true logic-cone fan-in total.
+	FanInLC      int
+	FanInLCExact int
+	Nets         int
+	Cells        int
+	FFs          int
+	FreqMHz      float64
+	AreaL        float64 // µm²
+	AreaS        float64 // µm²
+	PowerD       float64 // mW
+	PowerS       float64 // µW
+}
+
+// Add accumulates other into m. Freq aggregates as the minimum
+// non-zero frequency (the slowest sub-block limits the clock).
+func (m *Metrics) Add(other *Metrics) {
+	m.Stmts += other.Stmts
+	m.LoC += other.LoC
+	m.FanInLC += other.FanInLC
+	m.FanInLCExact += other.FanInLCExact
+	m.Nets += other.Nets
+	m.Cells += other.Cells
+	m.FFs += other.FFs
+	m.AreaL += other.AreaL
+	m.AreaS += other.AreaS
+	m.PowerD += other.PowerD
+	m.PowerS += other.PowerS
+	if other.FreqMHz > 0 && (m.FreqMHz == 0 || other.FreqMHz < m.FreqMHz) {
+		m.FreqMHz = other.FreqMHz
+	}
+}
+
+// Value returns the metric by its Table 3 name.
+func (m *Metrics) Value(metric dataset.Metric) (float64, error) {
+	switch metric {
+	case dataset.Stmts:
+		return float64(m.Stmts), nil
+	case dataset.LoC:
+		return float64(m.LoC), nil
+	case dataset.FanInLC:
+		return float64(m.FanInLC), nil
+	case dataset.Nets:
+		return float64(m.Nets), nil
+	case dataset.Cells:
+		return float64(m.Cells), nil
+	case dataset.FFs:
+		return float64(m.FFs), nil
+	case dataset.Freq:
+		return m.FreqMHz, nil
+	case dataset.AreaL:
+		return m.AreaL, nil
+	case dataset.AreaS:
+		return m.AreaS, nil
+	case dataset.PowerD:
+		return m.PowerD, nil
+	case dataset.PowerS:
+		return m.PowerS, nil
+	}
+	return 0, fmt.Errorf("measure: unknown metric %q", metric)
+}
+
+// MetricMap returns all metrics as a dataset-compatible map.
+func (m *Metrics) MetricMap() map[dataset.Metric]float64 {
+	out := make(map[dataset.Metric]float64, len(dataset.AllMetrics))
+	for _, metric := range dataset.AllMetrics {
+		v, err := m.Value(metric)
+		if err != nil {
+			panic(err) // unreachable: AllMetrics is closed
+		}
+		out[metric] = v
+	}
+	return out
+}
+
+// Options configures a measurement run.
+type Options struct {
+	Library *stdcell.Library // nil means stdcell.Default180nm()
+	FPGA    fpga.Options
+	// DedupInstances applies the single-instance rule during lowering
+	// (used by internal/accounting).
+	DedupInstances bool
+}
+
+func (o Options) library() *stdcell.Library {
+	if o.Library == nil {
+		return stdcell.Default180nm()
+	}
+	return o.Library
+}
+
+// Module measures one module of the design, synthesized standalone
+// with the given parameter overrides (nil = declared defaults). The
+// software metrics (LoC, Stmts) are measured on the module's own
+// source text and are parameter-independent; the synthesis metrics
+// cover the module with its full submodule hierarchy flattened.
+func Module(design *hdl.Design, top string, overrides map[string]int64, opts Options) (*Metrics, error) {
+	mod, err := design.Module(top)
+	if err != nil {
+		return nil, err
+	}
+	res, err := synth.SynthesizeOpts(design, top, overrides, synth.LowerOptions{DedupInstances: opts.DedupInstances})
+	if err != nil {
+		return nil, fmt.Errorf("measure: synthesize %s: %w", top, err)
+	}
+	return fromNetlist(res, mod, opts)
+}
+
+// SynthMetricsOnly measures only the synthesis-derived metrics of an
+// already-synthesized result (used by accounting to avoid re-running
+// synthesis).
+func SynthMetricsOnly(res *synth.Result, opts Options) *Metrics {
+	m, err := fromNetlist(res, nil, opts)
+	if err != nil {
+		panic(err) // fromNetlist only errors on source measurement
+	}
+	return m
+}
+
+func fromNetlist(res *synth.Result, mod *hdl.Module, opts Options) (*Metrics, error) {
+	lib := opts.library()
+	nl := res.Optimized
+	stats := nl.Stats()
+	coneAn := cones.Analyze(nl)
+	mapping := fpga.Map(nl, opts.FPGA)
+	pw := power.Analyze(nl, lib, mapping.FreqMHz)
+	areaL, areaS := lib.Areas(nl)
+
+	m := &Metrics{
+		FanInLC:      mapping.LUTInputSum,
+		FanInLCExact: coneAn.FanInLC,
+		Nets:         stats.Nets,
+		Cells:        stats.Cells,
+		FFs:          stats.FFs,
+		FreqMHz:      mapping.FreqMHz,
+		AreaL:        areaL,
+		AreaS:        areaS,
+		PowerD:       pw.DynamicMW,
+		PowerS:       pw.StaticUW,
+	}
+	if mod != nil {
+		sc := srcmetrics.MeasureModule(mod)
+		m.Stmts = sc.Stmts
+		m.LoC = sc.LoC
+	}
+	return m, nil
+}
+
+// SourceOnly measures just the software metrics of one module.
+func SourceOnly(design *hdl.Design, name string) (*Metrics, error) {
+	mod, err := design.Module(name)
+	if err != nil {
+		return nil, err
+	}
+	sc := srcmetrics.MeasureModule(mod)
+	return &Metrics{Stmts: sc.Stmts, LoC: sc.LoC}, nil
+}

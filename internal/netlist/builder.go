@@ -1,0 +1,369 @@
+package netlist
+
+import "fmt"
+
+// Builder constructs a Netlist incrementally. It supports net aliasing
+// (union-find) so that hierarchical port connections can merge nets
+// without buffer cells, and folds constants peephole-style as gates are
+// created, which keeps the raw netlist close to what a synthesis tool
+// emits after its first sweep.
+type Builder struct {
+	names   []string
+	parent  []NetID // union-find
+	named   []bool  // representative preference
+	cells   []Cell
+	rams    []*RAM
+	inputs  []PortBit
+	outputs []PortBit
+
+	const0, const1 NetID
+}
+
+// NewBuilder returns an empty builder with the two constant nets
+// already allocated.
+func NewBuilder() *Builder {
+	b := &Builder{}
+	b.const0 = b.NewNet("const0")
+	b.const1 = b.NewNet("const1")
+	return b
+}
+
+// Const0 returns the constant-0 net.
+func (b *Builder) Const0() NetID { return b.const0 }
+
+// Const1 returns the constant-1 net.
+func (b *Builder) Const1() NetID { return b.const1 }
+
+// ConstBit returns Const1 for true, Const0 for false.
+func (b *Builder) ConstBit(v bool) NetID {
+	if v {
+		return b.const1
+	}
+	return b.const0
+}
+
+// NewNet allocates a net. A non-empty name marks it as a user-visible
+// signal, preferred as alias representative.
+func (b *Builder) NewNet(name string) NetID {
+	id := NetID(len(b.names))
+	b.names = append(b.names, name)
+	b.parent = append(b.parent, id)
+	b.named = append(b.named, name != "")
+	return id
+}
+
+// Find returns the alias representative of n.
+func (b *Builder) Find(n NetID) NetID {
+	if n == Nil {
+		return Nil
+	}
+	root := n
+	for b.parent[root] != root {
+		root = b.parent[root]
+	}
+	for b.parent[n] != root {
+		b.parent[n], n = root, b.parent[n]
+	}
+	return root
+}
+
+// Alias merges nets a and b into one. Constants and named nets win
+// representative selection; aliasing both constants together is an
+// error (it means the design shorted 0 to 1).
+func (b *Builder) Alias(x, y NetID) error {
+	rx, ry := b.Find(x), b.Find(y)
+	if rx == ry {
+		return nil
+	}
+	cx := rx == b.const0 || rx == b.const1
+	cy := ry == b.const0 || ry == b.const1
+	if cx && cy {
+		return fmt.Errorf("netlist: aliasing const0 with const1 (contradictory drivers)")
+	}
+	// Prefer constants, then named nets, as representatives.
+	keep, drop := rx, ry
+	if cy || (!cx && b.named[ry] && !b.named[rx]) {
+		keep, drop = ry, rx
+	}
+	b.parent[drop] = keep
+	return nil
+}
+
+// IsConst reports whether net n is (an alias of) a constant, and its
+// value.
+func (b *Builder) IsConst(n NetID) (val bool, ok bool) {
+	r := b.Find(n)
+	if r == b.const0 {
+		return false, true
+	}
+	if r == b.const1 {
+		return true, true
+	}
+	return false, false
+}
+
+// AddInput declares a top-level input bit.
+func (b *Builder) AddInput(name string, n NetID) {
+	b.inputs = append(b.inputs, PortBit{Name: name, Net: n})
+}
+
+// AddOutput declares a top-level output bit.
+func (b *Builder) AddOutput(name string, n NetID) {
+	b.outputs = append(b.outputs, PortBit{Name: name, Net: n})
+}
+
+// AddRAM registers a RAM macro.
+func (b *Builder) AddRAM(r *RAM) { b.rams = append(b.rams, r) }
+
+// rawCell appends a cell driving a fresh anonymous net and returns the
+// output net.
+func (b *Builder) rawCell(t CellType, a, bb, c NetID, clk NetID) NetID {
+	out := b.NewNet("")
+	b.cells = append(b.cells, Cell{Type: t, In: [3]NetID{a, bb, c}, Clk: clk, Out: out})
+	return out
+}
+
+// Not returns ~a, folding constants and double inversions.
+func (b *Builder) Not(a NetID) NetID {
+	if v, ok := b.IsConst(a); ok {
+		return b.ConstBit(!v)
+	}
+	return b.rawCell(Inv, a, Nil, Nil, Nil)
+}
+
+// And returns a & c with constant folding and idempotence.
+func (b *Builder) And(a, c NetID) NetID {
+	if v, ok := b.IsConst(a); ok {
+		if !v {
+			return b.const0
+		}
+		return c
+	}
+	if v, ok := b.IsConst(c); ok {
+		if !v {
+			return b.const0
+		}
+		return a
+	}
+	if b.Find(a) == b.Find(c) {
+		return a
+	}
+	return b.rawCell(And2, a, c, Nil, Nil)
+}
+
+// Or returns a | c with constant folding and idempotence.
+func (b *Builder) Or(a, c NetID) NetID {
+	if v, ok := b.IsConst(a); ok {
+		if v {
+			return b.const1
+		}
+		return c
+	}
+	if v, ok := b.IsConst(c); ok {
+		if v {
+			return b.const1
+		}
+		return a
+	}
+	if b.Find(a) == b.Find(c) {
+		return a
+	}
+	return b.rawCell(Or2, a, c, Nil, Nil)
+}
+
+// Xor returns a ^ c with constant folding.
+func (b *Builder) Xor(a, c NetID) NetID {
+	if v, ok := b.IsConst(a); ok {
+		if v {
+			return b.Not(c)
+		}
+		return c
+	}
+	if v, ok := b.IsConst(c); ok {
+		if v {
+			return b.Not(a)
+		}
+		return a
+	}
+	if b.Find(a) == b.Find(c) {
+		return b.const0
+	}
+	return b.rawCell(Xor2, a, c, Nil, Nil)
+}
+
+// Xnor returns ~(a ^ c).
+func (b *Builder) Xnor(a, c NetID) NetID { return b.Not(b.Xor(a, c)) }
+
+// Nand returns ~(a & c).
+func (b *Builder) Nand(a, c NetID) NetID { return b.Not(b.And(a, c)) }
+
+// Nor returns ~(a | c).
+func (b *Builder) Nor(a, c NetID) NetID { return b.Not(b.Or(a, c)) }
+
+// Mux returns s ? bb : a (a when s=0), with constant folding.
+func (b *Builder) Mux(s, a, bb NetID) NetID {
+	if v, ok := b.IsConst(s); ok {
+		if v {
+			return bb
+		}
+		return a
+	}
+	if b.Find(a) == b.Find(bb) {
+		return a
+	}
+	// mux(s, 0, 1) = s; mux(s, 1, 0) = ~s
+	av, aok := b.IsConst(a)
+	bv, bok := b.IsConst(bb)
+	if aok && bok {
+		if !av && bv {
+			return s
+		}
+		if av && !bv {
+			return b.Not(s)
+		}
+	}
+	return b.rawCell(Mux2, a, bb, s, Nil)
+}
+
+// NewDFF creates a flip-flop capturing d on clk and returns Q.
+func (b *Builder) NewDFF(d, clk NetID) NetID {
+	return b.rawCell(DFF, d, Nil, Nil, clk)
+}
+
+// NewLatch creates a transparent latch (Q follows d while en=1).
+func (b *Builder) NewLatch(d, en NetID) NetID {
+	return b.rawCell(Latch, d, en, Nil, Nil)
+}
+
+// Build resolves aliases, compacts nets, and returns the final Netlist.
+// Cell output nets that were aliased to constants are rejected (that
+// would be a short).
+func (b *Builder) Build() (*Netlist, error) {
+	// Resolve all pins through the union-find.
+	for i := range b.cells {
+		c := &b.cells[i]
+		for j := range c.In {
+			if c.In[j] != Nil {
+				c.In[j] = b.Find(c.In[j])
+			}
+		}
+		if c.Clk != Nil {
+			c.Clk = b.Find(c.Clk)
+		}
+		c.Out = b.Find(c.Out)
+	}
+	resolve := func(ids []NetID) {
+		for i, id := range ids {
+			if id != Nil {
+				ids[i] = b.Find(id)
+			}
+		}
+	}
+	for _, r := range b.rams {
+		r.Clk = b.Find(r.Clk)
+		for i := range r.WritePorts {
+			r.WritePorts[i].En = b.Find(r.WritePorts[i].En)
+			resolve(r.WritePorts[i].Addr)
+			resolve(r.WritePorts[i].Data)
+		}
+		for i := range r.ReadPorts {
+			resolve(r.ReadPorts[i].Addr)
+			resolve(r.ReadPorts[i].Out)
+		}
+	}
+	for i := range b.inputs {
+		b.inputs[i].Net = b.Find(b.inputs[i].Net)
+	}
+	for i := range b.outputs {
+		b.outputs[i].Net = b.Find(b.outputs[i].Net)
+	}
+
+	// Detect multiple drivers and cells driving constants.
+	seen := map[NetID]string{}
+	c0, c1 := b.Find(b.const0), b.Find(b.const1)
+	driverName := func(i int) string { return fmt.Sprintf("cell %d (%s)", i, b.cells[i].Type) }
+	for i := range b.cells {
+		out := b.cells[i].Out
+		if out == c0 || out == c1 {
+			return nil, fmt.Errorf("netlist: %s drives a constant net", driverName(i))
+		}
+		if prev, dup := seen[out]; dup {
+			return nil, fmt.Errorf("netlist: net %q driven by both %s and %s", b.names[out], prev, driverName(i))
+		}
+		seen[out] = driverName(i)
+	}
+	for _, r := range b.rams {
+		for pi, rp := range r.ReadPorts {
+			for _, o := range rp.Out {
+				name := fmt.Sprintf("RAM %s read port %d", r.Name, pi)
+				if prev, dup := seen[o]; dup {
+					return nil, fmt.Errorf("netlist: net %q driven by both %s and %s", b.names[o], prev, name)
+				}
+				seen[o] = name
+			}
+		}
+	}
+	for _, p := range b.inputs {
+		if prev, dup := seen[p.Net]; dup {
+			return nil, fmt.Errorf("netlist: input %s conflicts with %s", p.Name, prev)
+		}
+		seen[p.Net] = "input " + p.Name
+	}
+
+	// Compact: renumber only referenced representatives.
+	remap := make(map[NetID]NetID)
+	var names []string
+	get := func(id NetID) NetID {
+		if id == Nil {
+			return Nil
+		}
+		if nid, ok := remap[id]; ok {
+			return nid
+		}
+		nid := NetID(len(names))
+		names = append(names, b.names[id])
+		remap[id] = nid
+		return nid
+	}
+	nl := &Netlist{}
+	nl.Const0 = get(c0)
+	nl.Const1 = get(c1)
+	for i := range b.cells {
+		c := b.cells[i]
+		for j := range c.In {
+			c.In[j] = get(c.In[j])
+		}
+		c.Clk = get(c.Clk)
+		c.Out = get(c.Out)
+		nl.Cells = append(nl.Cells, c)
+	}
+	for _, r := range b.rams {
+		rc := *r
+		rc.Clk = get(r.Clk)
+		rc.WritePorts = make([]RAMWritePort, len(r.WritePorts))
+		for i, wp := range r.WritePorts {
+			rc.WritePorts[i] = RAMWritePort{En: get(wp.En), Addr: mapIDs(wp.Addr, get), Data: mapIDs(wp.Data, get)}
+		}
+		rc.ReadPorts = make([]RAMReadPort, len(r.ReadPorts))
+		for i, rp := range r.ReadPorts {
+			rc.ReadPorts[i] = RAMReadPort{Addr: mapIDs(rp.Addr, get), Out: mapIDs(rp.Out, get)}
+		}
+		nl.RAMs = append(nl.RAMs, &rc)
+	}
+	for _, p := range b.inputs {
+		nl.Inputs = append(nl.Inputs, PortBit{Name: p.Name, Net: get(p.Net)})
+	}
+	for _, p := range b.outputs {
+		nl.Outputs = append(nl.Outputs, PortBit{Name: p.Name, Net: get(p.Net)})
+	}
+	nl.NetNames = names
+	return nl, nil
+}
+
+func mapIDs(ids []NetID, f func(NetID) NetID) []NetID {
+	out := make([]NetID, len(ids))
+	for i, id := range ids {
+		out[i] = f(id)
+	}
+	return out
+}

@@ -1,0 +1,317 @@
+// Package netlist defines the gate-level intermediate representation
+// produced by internal/synth: single-bit nets, primitive cells
+// (inverters, two-input gates, muxes, flip-flops, latches), and RAM
+// macros. It also implements the netlist optimization passes that a
+// synthesis tool such as Design Compiler would run before reporting
+// metrics: constant folding, structural hashing (common subexpression
+// elimination), and dead-logic removal.
+//
+// The Table 3 synthesis metrics of the µComplexity paper — Cells, Nets,
+// FFs, AreaL, AreaS, PowerD, PowerS — are all computed from this
+// representation (see internal/synth and internal/power); FanInLC and
+// Freq come from logic-cone and LUT analyses over the same structure
+// (internal/cones, internal/fpga).
+package netlist
+
+import "fmt"
+
+// NetID identifies a single-bit net. The zero value is valid (net 0);
+// Nil marks absent optional pins.
+type NetID int32
+
+// Nil is the absent-net marker.
+const Nil NetID = -1
+
+// CellType enumerates primitive cells.
+type CellType uint8
+
+// Primitive cell types. Mux2 selects A when S=0 and B when S=1.
+// DFF captures D on the clock edge; Latch is transparent while EN=1.
+const (
+	Inv CellType = iota
+	Buf
+	And2
+	Or2
+	Nand2
+	Nor2
+	Xor2
+	Xnor2
+	Mux2
+	DFF
+	Latch
+	numCellTypes
+)
+
+func (t CellType) String() string {
+	switch t {
+	case Inv:
+		return "INV"
+	case Buf:
+		return "BUF"
+	case And2:
+		return "AND2"
+	case Or2:
+		return "OR2"
+	case Nand2:
+		return "NAND2"
+	case Nor2:
+		return "NOR2"
+	case Xor2:
+		return "XOR2"
+	case Xnor2:
+		return "XNOR2"
+	case Mux2:
+		return "MUX2"
+	case DFF:
+		return "DFF"
+	case Latch:
+		return "LATCH"
+	}
+	return fmt.Sprintf("CellType(%d)", uint8(t))
+}
+
+// IsSequential reports whether the cell type is a state element.
+func (t CellType) IsSequential() bool { return t == DFF || t == Latch }
+
+// NumInputs returns the number of input pins of the cell type
+// (excluding the DFF clock, which is tracked separately).
+func (t CellType) NumInputs() int {
+	switch t {
+	case Inv, Buf:
+		return 1
+	case Mux2:
+		return 3
+	case DFF:
+		return 1 // D; clock is in Cell.Clk
+	case Latch:
+		return 2 // D, EN
+	default:
+		return 2
+	}
+}
+
+// Cell is one primitive cell instance.
+type Cell struct {
+	Type CellType
+	// In holds the input pins: [a], [a b], [a b s] for Mux2 (s = In[2]),
+	// [d] for DFF, [d en] for Latch.
+	In  [3]NetID
+	Clk NetID // DFF only; Nil otherwise
+	Out NetID
+}
+
+// Inputs returns the used input pins.
+func (c *Cell) Inputs() []NetID { return c.In[:c.Type.NumInputs()] }
+
+// RAM is an inferred memory macro with synchronous write ports (all on
+// one clock) and any number of asynchronous read ports. Write ports
+// apply in order on the clock edge, so a later port wins when two
+// enabled ports target the same address — matching the sequential
+// semantics of the always block they were inferred from.
+type RAM struct {
+	Name  string
+	Width int
+	Depth int
+
+	Clk        NetID
+	WritePorts []RAMWritePort
+	ReadPorts  []RAMReadPort
+}
+
+// RAMWritePort is one synchronous write port.
+type RAMWritePort struct {
+	En   NetID
+	Addr []NetID
+	Data []NetID
+}
+
+// RAMReadPort is one asynchronous read port: Out bits are driven by
+// the RAM.
+type RAMReadPort struct {
+	Addr []NetID
+	Out  []NetID
+}
+
+// PortBit names one bit of a top-level port.
+type PortBit struct {
+	Name string // "data[3]" or "clk"
+	Net  NetID
+}
+
+// Netlist is a flattened gate-level design.
+type Netlist struct {
+	NetNames []string // per-net debug names ("" for anonymous)
+	Cells    []Cell
+	RAMs     []*RAM
+
+	Const0, Const1 NetID
+
+	Inputs  []PortBit
+	Outputs []PortBit
+}
+
+// NumNets returns the number of nets (including constants).
+func (n *Netlist) NumNets() int { return len(n.NetNames) }
+
+// NetName returns the debug name of a net (possibly "").
+func (n *Netlist) NetName(id NetID) string {
+	if int(id) < len(n.NetNames) {
+		return n.NetNames[id]
+	}
+	return ""
+}
+
+// NumFFs counts DFF cells.
+func (n *Netlist) NumFFs() int {
+	c := 0
+	for i := range n.Cells {
+		if n.Cells[i].Type == DFF {
+			c++
+		}
+	}
+	return c
+}
+
+// CountByType returns the number of cells of each type.
+func (n *Netlist) CountByType() map[CellType]int {
+	out := map[CellType]int{}
+	for i := range n.Cells {
+		out[n.Cells[i].Type]++
+	}
+	return out
+}
+
+// Drivers returns, for every net, the index of the cell driving it
+// (-1 for undriven nets: primary inputs, constants, RAM outputs).
+func (n *Netlist) Drivers() []int {
+	d := make([]int, n.NumNets())
+	for i := range d {
+		d[i] = -1
+	}
+	for i := range n.Cells {
+		d[n.Cells[i].Out] = i
+	}
+	return d
+}
+
+// TopoOrder returns the combinational cells in topological order
+// (inputs before outputs). Sequential cells are excluded (their outputs
+// are leaves). It returns an error if the combinational logic contains
+// a cycle.
+func (n *Netlist) TopoOrder() ([]int, error) {
+	drivers := n.Drivers()
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := make([]byte, len(n.Cells))
+	var order []int
+
+	// Iterative DFS to avoid deep recursion on long gate chains.
+	type frame struct {
+		cell int
+		pin  int
+	}
+	for start := range n.Cells {
+		if n.Cells[start].Type.IsSequential() || state[start] != white {
+			continue
+		}
+		stack := []frame{{cell: start}}
+		state[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			cell := &n.Cells[f.cell]
+			ins := cell.Inputs()
+			if f.pin < len(ins) {
+				pin := ins[f.pin]
+				f.pin++
+				if pin == Nil {
+					continue
+				}
+				d := drivers[pin]
+				if d < 0 || n.Cells[d].Type.IsSequential() {
+					continue
+				}
+				switch state[d] {
+				case white:
+					state[d] = gray
+					stack = append(stack, frame{cell: d})
+				case gray:
+					return nil, fmt.Errorf("netlist: combinational cycle through cell %d (%s) and %d (%s)",
+						f.cell, cell.Type, d, n.Cells[d].Type)
+				}
+				continue
+			}
+			state[f.cell] = black
+			order = append(order, f.cell)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return order, nil
+}
+
+// Stats summarizes a netlist for reports and tests.
+type Stats struct {
+	Cells int // total cells (RAM macros count once each)
+	Nets  int // nets referenced by live structure
+	FFs   int
+	RAMs  int
+}
+
+// Stats computes summary statistics. Nets counts every distinct net
+// attached to a cell pin, port, or RAM pin.
+func (n *Netlist) Stats() Stats {
+	used := make([]bool, n.NumNets())
+	mark := func(id NetID) {
+		if id != Nil {
+			used[id] = true
+		}
+	}
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		for _, in := range c.Inputs() {
+			mark(in)
+		}
+		mark(c.Clk)
+		mark(c.Out)
+	}
+	for _, r := range n.RAMs {
+		mark(r.Clk)
+		for _, wp := range r.WritePorts {
+			mark(wp.En)
+			for _, b := range wp.Addr {
+				mark(b)
+			}
+			for _, b := range wp.Data {
+				mark(b)
+			}
+		}
+		for _, rp := range r.ReadPorts {
+			for _, b := range rp.Addr {
+				mark(b)
+			}
+			for _, b := range rp.Out {
+				mark(b)
+			}
+		}
+	}
+	for _, p := range n.Inputs {
+		mark(p.Net)
+	}
+	for _, p := range n.Outputs {
+		mark(p.Net)
+	}
+	nets := 0
+	for _, u := range used {
+		if u {
+			nets++
+		}
+	}
+	return Stats{
+		Cells: len(n.Cells) + len(n.RAMs),
+		Nets:  nets,
+		FFs:   n.NumFFs(),
+		RAMs:  len(n.RAMs),
+	}
+}

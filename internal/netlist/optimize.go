@@ -1,0 +1,376 @@
+package netlist
+
+import "fmt"
+
+// OptimizeResult reports what the optimization passes removed.
+type OptimizeResult struct {
+	ConstFolded int // cells simplified away by constant propagation
+	Merged      int // cells merged by structural hashing (CSE)
+	DeadRemoved int // cells removed as unreachable from any output
+	Iterations  int
+}
+
+// Optimize runs the standard post-synthesis cleanup to fixpoint:
+// constant folding, structural hashing, buffer elision, and dead-logic
+// removal. The passes preserve the observable behaviour at primary
+// outputs and RAM/FF state. Optimize returns a new Netlist.
+//
+// The accounting experiments (Figure 6) depend on this pass: the paper
+// defines minimal parameterization in terms of what "constant
+// propagation and dead code elimination" would remove, and this is
+// where those removals actually happen for synthesis metrics.
+func Optimize(n *Netlist) (*Netlist, OptimizeResult, error) {
+	res := OptimizeResult{}
+	cur := n
+	for iter := 0; iter < 50; iter++ {
+		res.Iterations = iter + 1
+		next, folded, merged, err := foldAndHash(cur)
+		if err != nil {
+			return nil, res, err
+		}
+		next, dead := removeDead(next)
+		res.ConstFolded += folded
+		res.Merged += merged
+		res.DeadRemoved += dead
+		cur = next
+		if folded == 0 && merged == 0 && dead == 0 {
+			break
+		}
+	}
+	return cur, res, nil
+}
+
+// subst tracks net replacements (net → equivalent net).
+type subst struct {
+	m map[NetID]NetID
+}
+
+func (s *subst) get(id NetID) NetID {
+	if id == Nil {
+		return Nil
+	}
+	for {
+		nid, ok := s.m[id]
+		if !ok {
+			return id
+		}
+		id = nid
+	}
+}
+
+func (s *subst) put(from, to NetID) { s.m[from] = to }
+
+type hashKey struct {
+	t       CellType
+	a, b, c NetID
+	clk     NetID
+}
+
+// foldAndHash performs one sweep of constant folding, algebraic
+// simplification, buffer elision, and structural hashing over the
+// combinational cells (processed in topological order so substitutions
+// propagate forward in a single pass).
+func foldAndHash(n *Netlist) (*Netlist, int, int, error) {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	// Sequential cells are processed after combinational ones; their
+	// inputs get substituted but they are never folded away here (dead
+	// removal handles unused state).
+	sub := &subst{m: map[NetID]NetID{}}
+	hash := map[hashKey]NetID{}
+	removed := make([]bool, len(n.Cells))
+	folded, merged := 0, 0
+	c0, c1 := n.Const0, n.Const1
+
+	isConst := func(id NetID) (bool, bool) {
+		switch id {
+		case c0:
+			return false, true
+		case c1:
+			return true, true
+		}
+		return false, false
+	}
+
+	for _, ci := range order {
+		cell := &n.Cells[ci]
+		a := sub.get(cell.In[0])
+		b := sub.get(cell.In[1])
+		s := sub.get(cell.In[2])
+		cell.In[0], cell.In[1], cell.In[2] = a, b, s
+
+		simplifyTo := func(id NetID) {
+			sub.put(cell.Out, id)
+			removed[ci] = true
+			folded++
+		}
+
+		av, aok := isConst(a)
+		bv, bok := isConst(b)
+		switch cell.Type {
+		case Buf:
+			simplifyTo(a)
+			continue
+		case Inv:
+			if aok {
+				simplifyTo(constNet(!av, c0, c1))
+				continue
+			}
+		case And2:
+			switch {
+			case aok && !av, bok && !bv:
+				simplifyTo(c0)
+				continue
+			case aok && av:
+				simplifyTo(b)
+				continue
+			case bok && bv:
+				simplifyTo(a)
+				continue
+			case a == b:
+				simplifyTo(a)
+				continue
+			}
+		case Or2:
+			switch {
+			case aok && av, bok && bv:
+				simplifyTo(c1)
+				continue
+			case aok && !av:
+				simplifyTo(b)
+				continue
+			case bok && !bv:
+				simplifyTo(a)
+				continue
+			case a == b:
+				simplifyTo(a)
+				continue
+			}
+		case Nand2:
+			if (aok && !av) || (bok && !bv) {
+				simplifyTo(c1)
+				continue
+			}
+		case Nor2:
+			if (aok && av) || (bok && bv) {
+				simplifyTo(c0)
+				continue
+			}
+		case Xor2:
+			switch {
+			case aok && bok:
+				simplifyTo(constNet(av != bv, c0, c1))
+				continue
+			case aok && !av:
+				simplifyTo(b)
+				continue
+			case bok && !bv:
+				simplifyTo(a)
+				continue
+			case a == b:
+				simplifyTo(c0)
+				continue
+			}
+		case Xnor2:
+			if aok && bok {
+				simplifyTo(constNet(av == bv, c0, c1))
+				continue
+			}
+			if a == b {
+				simplifyTo(c1)
+				continue
+			}
+		case Mux2:
+			sv, sok := isConst(s)
+			switch {
+			case sok && !sv:
+				simplifyTo(a)
+				continue
+			case sok && sv:
+				simplifyTo(b)
+				continue
+			case a == b:
+				simplifyTo(a)
+				continue
+			case aok && bok && !av && bv:
+				simplifyTo(s)
+				continue
+			}
+		}
+
+		// Structural hashing: identical (type, inputs) cells merge.
+		// Commutative gates normalize input order.
+		ka, kb := a, b
+		if commutative(cell.Type) && ka > kb {
+			ka, kb = kb, ka
+		}
+		key := hashKey{t: cell.Type, a: ka, b: kb, c: s, clk: sub.get(cell.Clk)}
+		if prev, ok := hash[key]; ok {
+			sub.put(cell.Out, prev)
+			removed[ci] = true
+			merged++
+			continue
+		}
+		hash[key] = cell.Out
+	}
+
+	// Rewrite remaining structure through the substitution map.
+	out := &Netlist{
+		NetNames: n.NetNames,
+		Const0:   c0,
+		Const1:   c1,
+		RAMs:     n.RAMs,
+	}
+	for ci := range n.Cells {
+		if removed[ci] {
+			continue
+		}
+		c := n.Cells[ci]
+		for j := range c.In {
+			c.In[j] = sub.get(c.In[j])
+		}
+		c.Clk = sub.get(c.Clk)
+		// Outputs are never substituted for kept cells.
+		out.Cells = append(out.Cells, c)
+	}
+	for _, r := range out.RAMs {
+		r.Clk = sub.get(r.Clk)
+		for i := range r.WritePorts {
+			r.WritePorts[i].En = sub.get(r.WritePorts[i].En)
+			substIDs(r.WritePorts[i].Addr, sub)
+			substIDs(r.WritePorts[i].Data, sub)
+		}
+		for i := range r.ReadPorts {
+			substIDs(r.ReadPorts[i].Addr, sub)
+			// Read-port outputs are RAM-driven; no substitution.
+		}
+	}
+	for _, p := range n.Inputs {
+		out.Inputs = append(out.Inputs, p)
+	}
+	for _, p := range n.Outputs {
+		out.Outputs = append(out.Outputs, PortBit{Name: p.Name, Net: sub.get(p.Net)})
+	}
+	return out, folded, merged, nil
+}
+
+func substIDs(ids []NetID, s *subst) {
+	for i, id := range ids {
+		ids[i] = s.get(id)
+	}
+}
+
+func constNet(v bool, c0, c1 NetID) NetID {
+	if v {
+		return c1
+	}
+	return c0
+}
+
+func commutative(t CellType) bool {
+	switch t {
+	case And2, Or2, Nand2, Nor2, Xor2, Xnor2:
+		return true
+	}
+	return false
+}
+
+// removeDead removes cells whose outputs cannot reach a primary output
+// or a RAM pin. FFs and latches are kept only if observable; unread
+// state is deleted just as a synthesis tool would.
+func removeDead(n *Netlist) (*Netlist, int) {
+	drivers := n.Drivers()
+	live := make([]bool, len(n.Cells))
+	var stack []NetID
+	push := func(id NetID) {
+		if id != Nil {
+			stack = append(stack, id)
+		}
+	}
+	for _, p := range n.Outputs {
+		push(p.Net)
+	}
+	for _, r := range n.RAMs {
+		push(r.Clk)
+		for _, wp := range r.WritePorts {
+			push(wp.En)
+			for _, b := range wp.Addr {
+				push(b)
+			}
+			for _, b := range wp.Data {
+				push(b)
+			}
+		}
+		for _, rp := range r.ReadPorts {
+			for _, b := range rp.Addr {
+				push(b)
+			}
+		}
+	}
+	seenNet := make([]bool, n.NumNets())
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seenNet[id] {
+			continue
+		}
+		seenNet[id] = true
+		d := drivers[id]
+		if d < 0 || live[d] {
+			continue
+		}
+		live[d] = true
+		c := &n.Cells[d]
+		for _, in := range c.Inputs() {
+			push(in)
+		}
+		push(c.Clk)
+	}
+
+	dead := 0
+	out := &Netlist{
+		NetNames: n.NetNames,
+		Const0:   n.Const0,
+		Const1:   n.Const1,
+		RAMs:     n.RAMs,
+		Inputs:   n.Inputs,
+		Outputs:  n.Outputs,
+	}
+	for ci := range n.Cells {
+		if live[ci] {
+			out.Cells = append(out.Cells, n.Cells[ci])
+		} else {
+			dead++
+		}
+	}
+	return out, dead
+}
+
+// Validate checks structural invariants: every pin within range, no
+// multiple drivers, no combinational cycles. It is used by tests and
+// by the synthesizer's own self-checks.
+func Validate(n *Netlist) error {
+	inRange := func(id NetID) bool { return id == Nil || (id >= 0 && int(id) < n.NumNets()) }
+	driven := map[NetID]int{}
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		for _, in := range c.Inputs() {
+			if !inRange(in) {
+				return fmt.Errorf("netlist: cell %d input out of range", i)
+			}
+		}
+		if !inRange(c.Clk) || !inRange(c.Out) || c.Out == Nil {
+			return fmt.Errorf("netlist: cell %d pins invalid", i)
+		}
+		driven[c.Out]++
+		if driven[c.Out] > 1 {
+			return fmt.Errorf("netlist: net %d multiply driven", c.Out)
+		}
+	}
+	if _, err := n.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}

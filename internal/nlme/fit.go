@@ -1,0 +1,380 @@
+package nlme
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Result is a fitted mixed-effects model.
+type Result struct {
+	// Weights are the fixed-effect coefficients w_k of Equation 1.
+	Weights []float64
+	// MetricNames labels Weights (copied from the input data; may be nil).
+	MetricNames []string
+	// SigmaEps is σε, the standard deviation of the log of the
+	// multiplicative error ε. This is the paper's goodness-of-fit
+	// measure: lower is better, zero is perfect.
+	SigmaEps float64
+	// SigmaRho is σρ, the standard deviation of the log of the
+	// productivity ρ across projects. Zero for FitFixed.
+	SigmaRho float64
+	// LogLik is the maximized marginal log-likelihood of the log-scale
+	// model (what SAS NLMIXED / R nlme method="ML" report).
+	LogLik float64
+	// NumParams counts the free parameters: len(Weights) + 2 for the
+	// mixed model (σε, σρ), or + 1 for the fixed model (σε).
+	NumParams int
+	// NumObs is the number of observations fitted.
+	NumObs int
+	// Productivities maps each project to its empirical-Bayes ρ_i
+	// estimate (exp of minus the BLUP of the random effect). For
+	// FitFixed every project has ρ = 1.
+	Productivities map[string]float64
+	// Converged reports whether the optimizer met its tolerances.
+	Converged bool
+	// Mixed records whether the random productivity effect was fitted.
+	Mixed bool
+}
+
+// AIC returns Akaike's Information Criterion, −2·logL + 2·p.
+// Lower is better (Section 5.1.1).
+func (r *Result) AIC() float64 { return -2*r.LogLik + 2*float64(r.NumParams) }
+
+// BIC returns the Bayesian Information Criterion, −2·logL + p·ln(n).
+// Lower is better (Section 5.1.1).
+func (r *Result) BIC() float64 {
+	return -2*r.LogLik + float64(r.NumParams)*math.Log(float64(r.NumObs))
+}
+
+// Predict returns the estimated (median) design effort
+// (1/ρ)·Σ_k w_k·m_k for one metric vector and a productivity factor.
+// Use rho = 1 for an unadjusted or relative estimate (Section 3.1.1).
+func (r *Result) Predict(metrics []float64, rho float64) (float64, error) {
+	if len(metrics) != len(r.Weights) {
+		return 0, fmt.Errorf("nlme: Predict: %d metrics for %d weights", len(metrics), len(r.Weights))
+	}
+	if rho <= 0 {
+		return 0, fmt.Errorf("nlme: Predict: productivity must be positive, got %v", rho)
+	}
+	var eta float64
+	for k, m := range metrics {
+		eta += r.Weights[k] * m
+	}
+	return eta / rho, nil
+}
+
+// MeanFactor returns e^((σε²+σρ²)/2), the Equation 4 factor that
+// converts the median effort estimate into the mean estimate.
+func (r *Result) MeanFactor() float64 {
+	return math.Exp((r.SigmaEps*r.SigmaEps + r.SigmaRho*r.SigmaRho) / 2)
+}
+
+// ConfidenceInterval returns the conf-level interval (lo, hi) for the
+// true effort around the median estimate eff, using the fitted σε
+// (Figures 3 and 4 of the paper).
+func (r *Result) ConfidenceInterval(eff, conf float64) (lo, hi float64) {
+	yl, yh := stats.ConfidenceFactors(r.SigmaEps, conf)
+	return yl * eff, yh * eff
+}
+
+// profiledObjective builds the negative profiled log-likelihood of the
+// mixed model over θ = (log w_1..log w_k, log λ) where λ = σρ²/σε².
+//
+// With residuals r_ij = log Eff_ij − log η_ij and group sizes n_i, the
+// marginal covariance of group i is σε²(I + λJ), giving
+//
+//	−2·logL = n·log 2π + n·log σε² + Σ_i log(1+n_i·λ) + Q(λ,w)/σε²
+//	Q(λ,w)  = Σ_i [ Σ_j r_ij² − λ/(1+n_i·λ)·(Σ_j r_ij)² ]
+//
+// and the ML σε² given (w, λ) is Q/n, which is substituted back in.
+func (d *Data) profiledObjective(members [][]int, logEff []float64) func(theta []float64) float64 {
+	k := d.NumMetrics()
+	n := d.NumObs()
+	return func(theta []float64) float64 {
+		w := make([]float64, k)
+		for i := 0; i < k; i++ {
+			if theta[i] > 400 || theta[i] < -400 {
+				return math.Inf(1)
+			}
+			w[i] = math.Exp(theta[i])
+		}
+		lambda := math.Exp(theta[k])
+		if math.IsInf(lambda, 1) {
+			return math.Inf(1)
+		}
+		logEta, err := d.predictorLogs(w)
+		if err != nil {
+			return math.Inf(1)
+		}
+		var q, logDetTerm float64
+		for _, idx := range members {
+			var sum, sumsq float64
+			for _, i := range idx {
+				r := logEff[i] - logEta[i]
+				sum += r
+				sumsq += r * r
+			}
+			ni := float64(len(idx))
+			q += sumsq - lambda/(1+ni*lambda)*sum*sum
+			logDetTerm += math.Log(1 + ni*lambda)
+		}
+		if q <= 0 || math.IsNaN(q) {
+			return math.Inf(1)
+		}
+		nn := float64(n)
+		// −logL with σε² profiled at Q/n.
+		return 0.5 * (nn*math.Log(2*math.Pi) + nn*math.Log(q/nn) + logDetTerm + nn)
+	}
+}
+
+// Fit maximizes the marginal likelihood of the mixed-effects model and
+// returns the fitted weights, variance components, productivities, and
+// information criteria. It uses multi-start Nelder–Mead over
+// log-weights and the log variance ratio; starting points are seeded
+// from per-metric effort/metric scale ratios and an OLS fit.
+func Fit(d *Data) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := d.NumObs()
+	k := d.NumMetrics()
+	names, members := d.groupIndex()
+	if len(names) < 2 {
+		return nil, fmt.Errorf("nlme: mixed model needs at least 2 projects, got %d (use FitFixed)", len(names))
+	}
+	logEff := make([]float64, n)
+	for i, e := range d.Efforts {
+		logEff[i] = math.Log(e)
+	}
+
+	obj := d.profiledObjective(members, logEff)
+	starts := startingPoints(d, true)
+	best := stats.MinimizeMultistart(obj, starts, stats.NelderMeadOptions{MaxIter: 40000, TolF: 1e-12, TolX: 1e-9})
+	if math.IsInf(best.F, 1) {
+		return nil, fmt.Errorf("nlme: optimization found no feasible point")
+	}
+
+	w := make([]float64, k)
+	for i := 0; i < k; i++ {
+		w[i] = math.Exp(best.X[i])
+	}
+	lambda := math.Exp(best.X[k])
+	logEta, err := d.predictorLogs(w)
+	if err != nil {
+		return nil, fmt.Errorf("nlme: internal: optimum infeasible: %w", err)
+	}
+	// Recover σε² = Q/n at the optimum.
+	var q float64
+	groupSum := make([]float64, len(members))
+	for gi, idx := range members {
+		var sum, sumsq float64
+		for _, i := range idx {
+			r := logEff[i] - logEta[i]
+			sum += r
+			sumsq += r * r
+		}
+		ni := float64(len(idx))
+		q += sumsq - lambda/(1+ni*lambda)*sum*sum
+		groupSum[gi] = sum
+	}
+	sigmaEps2 := q / float64(n)
+	sigmaRho2 := lambda * sigmaEps2
+
+	// Empirical-Bayes (BLUP) productivities: the posterior mean of the
+	// random effect b_i is σρ²·Σ_j r_ij / (σε² + n_i·σρ²), and
+	// ρ_i = exp(−b_i) since b_i = −log ρ_i.
+	prods := make(map[string]float64, len(names))
+	for gi, name := range names {
+		ni := float64(len(members[gi]))
+		b := sigmaRho2 * groupSum[gi] / (sigmaEps2 + ni*sigmaRho2)
+		prods[name] = math.Exp(-b)
+	}
+
+	res := &Result{
+		Weights:        w,
+		MetricNames:    append([]string(nil), d.MetricNames...),
+		SigmaEps:       math.Sqrt(sigmaEps2),
+		SigmaRho:       math.Sqrt(sigmaRho2),
+		LogLik:         -best.F,
+		NumParams:      k + 2,
+		NumObs:         n,
+		Productivities: prods,
+		Converged:      best.Converged,
+		Mixed:          true,
+	}
+	return res, nil
+}
+
+// FitFixed fits the model of Section 3.2 with every ρ_i forced to 1:
+// log Eff_ij = log(Σ_k w_k·m_ijk) + N(0, σε²). This is nonlinear least
+// squares on the log scale, with σε² profiled at RSS/n (the ML
+// estimate). Productivities in the result are all exactly 1.
+func FitFixed(d *Data) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := d.NumObs()
+	k := d.NumMetrics()
+	logEff := make([]float64, n)
+	for i, e := range d.Efforts {
+		logEff[i] = math.Log(e)
+	}
+	obj := func(theta []float64) float64 {
+		w := make([]float64, k)
+		for i := 0; i < k; i++ {
+			if theta[i] > 400 || theta[i] < -400 {
+				return math.Inf(1)
+			}
+			w[i] = math.Exp(theta[i])
+		}
+		logEta, err := d.predictorLogs(w)
+		if err != nil {
+			return math.Inf(1)
+		}
+		var rss float64
+		for i := range logEff {
+			r := logEff[i] - logEta[i]
+			rss += r * r
+		}
+		if rss <= 0 {
+			// A perfect fit; return the limit (−∞ likelihood objective
+			// would be −Inf, i.e. unboundedly good — report a huge
+			// negative number to let the optimizer accept it).
+			return math.Inf(-1)
+		}
+		nn := float64(n)
+		return 0.5 * (nn*math.Log(2*math.Pi) + nn*math.Log(rss/nn) + nn)
+	}
+	starts := startingPoints(d, false)
+	best := stats.MinimizeMultistart(obj, starts, stats.NelderMeadOptions{MaxIter: 40000, TolF: 1e-12, TolX: 1e-9})
+	if math.IsInf(best.F, 1) {
+		return nil, fmt.Errorf("nlme: optimization found no feasible point")
+	}
+	w := make([]float64, k)
+	for i := 0; i < k; i++ {
+		w[i] = math.Exp(best.X[i])
+	}
+	logEta, err := d.predictorLogs(w)
+	if err != nil {
+		return nil, fmt.Errorf("nlme: internal: optimum infeasible: %w", err)
+	}
+	var rss float64
+	for i := range logEff {
+		r := logEff[i] - logEta[i]
+		rss += r * r
+	}
+	names, _ := d.groupIndex()
+	prods := make(map[string]float64, len(names))
+	for _, name := range names {
+		prods[name] = 1
+	}
+	return &Result{
+		Weights:        w,
+		MetricNames:    append([]string(nil), d.MetricNames...),
+		SigmaEps:       math.Sqrt(rss / float64(n)),
+		SigmaRho:       0,
+		LogLik:         -best.F,
+		NumParams:      k + 1,
+		NumObs:         n,
+		Productivities: prods,
+		Converged:      best.Converged,
+		Mixed:          false,
+	}, nil
+}
+
+// startingPoints builds a set of optimizer seeds in θ-space. Each seed
+// sets log-weights from a heuristic and, for the mixed model, appends a
+// log variance-ratio seed.
+func startingPoints(d *Data, mixed bool) [][]float64 {
+	k := d.NumMetrics()
+	n := d.NumObs()
+
+	// Heuristic 1: w_k = mean(effort) / (k · mean(metric_k)), the scale
+	// that makes each term contribute equally on average.
+	meanEff := stats.Mean(d.Efforts)
+	scaleSeed := make([]float64, k)
+	for j := 0; j < k; j++ {
+		var s float64
+		cnt := 0
+		for i := 0; i < n; i++ {
+			if d.Metrics[i][j] > 0 {
+				s += d.Metrics[i][j]
+				cnt++
+			}
+		}
+		if cnt == 0 || s == 0 {
+			scaleSeed[j] = math.Log(1e-6)
+			continue
+		}
+		scaleSeed[j] = math.Log(meanEff / (float64(k) * s / float64(cnt)))
+	}
+
+	// Heuristic 2: non-negative OLS of effort on metrics (negative
+	// coefficients clipped to a tiny positive fraction of the scale seed).
+	olsSeed := append([]float64(nil), scaleSeed...)
+	x := stats.NewMatrix(n, k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			x.Set(i, j, d.Metrics[i][j])
+		}
+	}
+	if beta, _, err := stats.OLS(x, d.Efforts); err == nil {
+		for j := 0; j < k; j++ {
+			if beta[j] > 0 {
+				olsSeed[j] = math.Log(beta[j])
+			} else {
+				olsSeed[j] = scaleSeed[j] - 4 // strongly down-weighted
+			}
+		}
+	}
+
+	bases := [][]float64{scaleSeed, olsSeed}
+	// Perturbed variants widen the basin coverage deterministically.
+	for _, delta := range []float64{-2, 2} {
+		v := append([]float64(nil), scaleSeed...)
+		for j := range v {
+			v[j] += delta
+		}
+		bases = append(bases, v)
+	}
+	if k == 2 {
+		// Lopsided seeds matter for two-metric estimators like DEE1
+		// where one metric may dominate.
+		a := append([]float64(nil), scaleSeed...)
+		a[0] += 3
+		a[1] -= 3
+		b := append([]float64(nil), scaleSeed...)
+		b[0] -= 3
+		b[1] += 3
+		bases = append(bases, a, b)
+	}
+
+	if !mixed {
+		return bases
+	}
+	var starts [][]float64
+	for _, b := range bases {
+		for _, logLambda := range []float64{math.Log(0.25), math.Log(1), math.Log(4)} {
+			s := append(append([]float64(nil), b...), logLambda)
+			starts = append(starts, s)
+		}
+	}
+	return starts
+}
+
+// SortedProductivities returns project names and ρ values sorted by
+// project name, for deterministic reporting.
+func (r *Result) SortedProductivities() (projects []string, rhos []float64) {
+	for p := range r.Productivities {
+		projects = append(projects, p)
+	}
+	sort.Strings(projects)
+	rhos = make([]float64, len(projects))
+	for i, p := range projects {
+		rhos[i] = r.Productivities[p]
+	}
+	return projects, rhos
+}

@@ -1,0 +1,125 @@
+package nlme
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestClosedFormMatchesQuadrature(t *testing.T) {
+	// The closed-form marginal likelihood and the adaptive
+	// Gauss–Hermite integral must agree to high precision — they are
+	// independent derivations of the same quantity.
+	d := paperData(dataset.Stmts, dataset.FanInLC)
+	cases := []struct {
+		w      []float64
+		se, sr float64
+	}{
+		{[]float64{0.004, 0.0001}, 0.5, 0.3},
+		{[]float64{0.002, 0.0005}, 0.8, 0.8},
+		{[]float64{0.01, 0.00001}, 0.3, 1.5},
+	}
+	for _, c := range cases {
+		exact, err := LogLikelihood(d, c.w, c.se, c.sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gh, err := LogLikelihoodGH(d, c.w, c.se, c.sr, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact-gh) > 1e-6 {
+			t.Errorf("w=%v σε=%v σρ=%v: closed form %v vs quadrature %v", c.w, c.se, c.sr, exact, gh)
+		}
+	}
+}
+
+func TestQuadratureConvergesWithNodes(t *testing.T) {
+	d := paperData(dataset.Stmts)
+	w := []float64{0.004}
+	exact, err := LogLikelihood(d, w, 0.5, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevErr float64 = math.Inf(1)
+	for _, nodes := range []int{3, 5, 10, 20} {
+		gh, err := LogLikelihoodGH(d, w, 0.5, 0.4, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := math.Abs(gh - exact)
+		if e > prevErr+1e-9 {
+			t.Errorf("error grew from %v to %v at %d nodes", prevErr, e, nodes)
+		}
+		prevErr = e
+	}
+	if prevErr > 1e-8 {
+		t.Errorf("20-node quadrature error %v too large", prevErr)
+	}
+}
+
+func TestLogLikelihoodTinySigmaRhoApproachesFixed(t *testing.T) {
+	// As σρ → 0 the mixed likelihood approaches the independent-error
+	// likelihood.
+	d := paperData(dataset.Stmts)
+	w := []float64{0.004}
+	mixed, err := LogLikelihood(d, w, 0.5, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent: Σ log N(r_i; 0, σε²).
+	resid, err := Residuals(d, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var indep float64
+	for _, r := range resid {
+		indep += -0.5*(r/0.5)*(r/0.5) - math.Log(0.5) - 0.5*math.Log(2*math.Pi)
+	}
+	if math.Abs(mixed-indep) > 1e-6 {
+		t.Errorf("σρ→0 likelihood %v, independent %v", mixed, indep)
+	}
+}
+
+func TestLogLikelihoodParameterErrors(t *testing.T) {
+	d := paperData(dataset.Stmts)
+	if _, err := LogLikelihood(d, []float64{0.004}, 0, 0.5); err == nil {
+		t.Error("expected σε>0 error")
+	}
+	if _, err := LogLikelihood(d, []float64{0.004}, 0.5, -1); err == nil {
+		t.Error("expected σρ>=0 error")
+	}
+	if _, err := LogLikelihoodGH(d, []float64{0.004}, 0.5, 0, 10); err == nil {
+		t.Error("expected σρ>0 error for quadrature")
+	}
+	if _, err := LogLikelihoodGH(d, []float64{0.004}, 0.5, 0.5, 1); err == nil {
+		t.Error("expected node-count error")
+	}
+	if _, err := LogLikelihood(d, []float64{0}, 0.5, 0.5); err == nil {
+		t.Error("expected non-positive predictor error")
+	}
+}
+
+func TestResidualsCenterAtOptimum(t *testing.T) {
+	// At the fixed-effects ML optimum of a single-metric model the mean
+	// log residual is ~0: the weight acts as a free intercept on the
+	// log scale.
+	d := paperData(dataset.LoC)
+	r, err := FitFixed(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resid, err := Residuals(d, r.Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, v := range resid {
+		mean += v
+	}
+	mean /= float64(len(resid))
+	if math.Abs(mean) > 1e-4 {
+		t.Errorf("mean residual = %v, want ≈0", mean)
+	}
+}

@@ -1,0 +1,81 @@
+package nlme
+
+import (
+	"strings"
+	"testing"
+)
+
+func validData() *Data {
+	return &Data{
+		Groups:      []string{"A", "A", "B", "B", "B"},
+		Efforts:     []float64{1, 2, 3, 4, 5},
+		Metrics:     [][]float64{{10}, {20}, {30}, {40}, {50}},
+		MetricNames: []string{"m"},
+	}
+}
+
+func TestValidateAcceptsGoodData(t *testing.T) {
+	if err := validData().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Data)
+		wantSub string
+	}{
+		{"empty", func(d *Data) { d.Efforts = nil; d.Groups = nil; d.Metrics = nil }, "empty"},
+		{"group count", func(d *Data) { d.Groups = d.Groups[:3] }, "groups"},
+		{"metric rows", func(d *Data) { d.Metrics = d.Metrics[:3] }, "metric rows"},
+		{"ragged", func(d *Data) { d.Metrics[2] = []float64{1, 2} }, "metrics, want"},
+		{"zero effort", func(d *Data) { d.Efforts[0] = 0 }, "non-positive effort"},
+		{"negative effort", func(d *Data) { d.Efforts[0] = -1 }, "non-positive effort"},
+		{"negative metric", func(d *Data) { d.Metrics[1][0] = -5 }, "invalid metric"},
+		{"all-zero metrics", func(d *Data) { d.Metrics[1][0] = 0 }, "all-zero"},
+		{"empty group", func(d *Data) { d.Groups[4] = "" }, "empty group"},
+		{"name count", func(d *Data) { d.MetricNames = []string{"a", "b"} }, "metric names"},
+	}
+	for _, c := range cases {
+		d := validData()
+		c.mutate(d)
+		err := d.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestGroupIndexOrderAndMembership(t *testing.T) {
+	d := &Data{
+		Groups:  []string{"x", "y", "x", "z", "y"},
+		Efforts: []float64{1, 1, 1, 1, 1},
+		Metrics: [][]float64{{1}, {1}, {1}, {1}, {1}},
+	}
+	names, members := d.groupIndex()
+	if len(names) != 3 || names[0] != "x" || names[1] != "y" || names[2] != "z" {
+		t.Fatalf("names = %v", names)
+	}
+	if len(members[0]) != 2 || members[0][0] != 0 || members[0][1] != 2 {
+		t.Errorf("x members = %v", members[0])
+	}
+	if len(members[2]) != 1 || members[2][0] != 3 {
+		t.Errorf("z members = %v", members[2])
+	}
+}
+
+func TestPredictorLogsErrors(t *testing.T) {
+	d := validData()
+	if _, err := d.predictorLogs([]float64{1, 2}); err == nil {
+		t.Error("expected weight-count error")
+	}
+	// A zero weight on the only metric makes the predictor zero.
+	if _, err := d.predictorLogs([]float64{0}); err == nil {
+		t.Error("expected non-positive predictor error")
+	}
+}

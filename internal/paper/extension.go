@@ -1,0 +1,141 @@
+package paper
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/accounting"
+	"repro/internal/designs"
+	"repro/internal/measure"
+	"repro/internal/nlme"
+	"repro/internal/stdcell"
+	"repro/internal/synth"
+	"repro/internal/timing"
+)
+
+// TimingAwareResult is the future-work extension experiment of §2.5/§7:
+// the paper conjectures that estimators "aware of back-end physical
+// design and timing concerns" could capture effort that structural
+// metrics miss (e.g. the redesign iterations a hard-to-close component
+// forces). This experiment measures two timing-derived metrics on the
+// synthetic corpus — the static critical-path delay and the count of
+// near-critical endpoints — and fits them alongside the Table 3
+// estimators.
+type TimingAwareResult struct {
+	// SigmaEps per estimator, including the two timing metrics
+	// ("CriticalNs", "NearCritical") and a DEE1+NearCritical
+	// three-metric combination ("DEE1+Timing").
+	SigmaEps map[string]float64
+}
+
+// TimingAware runs the extension experiment on the synthetic corpus.
+func TimingAware() (*TimingAwareResult, error) {
+	comps := designs.All()
+	lib := stdcell.Default180nm()
+
+	type row struct {
+		project      string
+		effort       float64
+		stmts        float64
+		fanInLC      float64
+		criticalNs   float64
+		nearCritical float64
+	}
+	rows := make([]row, len(comps))
+	errs := make([]error, len(comps))
+	var wg sync.WaitGroup
+	for i, c := range comps {
+		wg.Add(1)
+		go func(i int, c designs.Component) {
+			defer wg.Done()
+			d, err := designs.Design(c)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			acc, err := accounting.MeasureComponent(d, c.Top, true, measure.Options{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			// Timing runs on the accounting-scaled synthesis.
+			res, err := synth.SynthesizeOpts(d, c.Top, acc.MinimizedParams, synth.LowerOptions{DedupInstances: true})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ta := timing.Analyze(res.Optimized, lib)
+			rows[i] = row{
+				project:      c.Project,
+				effort:       c.Effort,
+				stmts:        float64(acc.Metrics.Stmts),
+				fanInLC:      float64(acc.Metrics.FanInLC),
+				criticalNs:   ta.CriticalNs,
+				nearCritical: float64(ta.NearCritical),
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	fit := func(name string, cols func(r row) []float64, names []string) (float64, error) {
+		d := &nlme.Data{MetricNames: names}
+		for _, r := range rows {
+			vals := cols(r)
+			for i, v := range vals {
+				if v == 0 {
+					vals[i] = 1
+				}
+			}
+			d.Groups = append(d.Groups, r.project)
+			d.Efforts = append(d.Efforts, r.effort)
+			d.Metrics = append(d.Metrics, vals)
+		}
+		res, err := nlme.Fit(d)
+		if err != nil {
+			return 0, fmt.Errorf("paper: timing estimator %s: %w", name, err)
+		}
+		return res.SigmaEps, nil
+	}
+
+	out := &TimingAwareResult{SigmaEps: map[string]float64{}}
+	specs := []struct {
+		name  string
+		cols  func(r row) []float64
+		names []string
+	}{
+		{"Stmts", func(r row) []float64 { return []float64{r.stmts} }, []string{"Stmts"}},
+		{"DEE1", func(r row) []float64 { return []float64{r.stmts, r.fanInLC} }, []string{"Stmts", "FanInLC"}},
+		{"CriticalNs", func(r row) []float64 { return []float64{r.criticalNs} }, []string{"CriticalNs"}},
+		{"NearCritical", func(r row) []float64 { return []float64{r.nearCritical} }, []string{"NearCritical"}},
+		{"DEE1+Timing", func(r row) []float64 { return []float64{r.stmts, r.fanInLC, r.nearCritical} }, []string{"Stmts", "FanInLC", "NearCritical"}},
+	}
+	for _, s := range specs {
+		sigma, err := fit(s.name, s.cols, s.names)
+		if err != nil {
+			return nil, err
+		}
+		out.SigmaEps[s.name] = sigma
+	}
+	return out, nil
+}
+
+// String renders the extension experiment.
+func (r *TimingAwareResult) String() string {
+	var b strings.Builder
+	b.WriteString("Extension (§2.5/§7 future work): timing-aware effort estimators\n")
+	b.WriteString("(synthetic corpus, accounting procedure applied)\n\n")
+	t := &table{header: []string{"Estimator", "sigma_eps"}}
+	for _, name := range []string{"DEE1", "Stmts", "DEE1+Timing", "CriticalNs", "NearCritical"} {
+		if v, ok := r.SigmaEps[name]; ok {
+			t.add(name, f2(v))
+		}
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

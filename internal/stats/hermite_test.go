@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussHermiteWeightSum(t *testing.T) {
+	// Σ w_i = ∫ e^{−x²} dx = √π for every rule size.
+	for _, n := range []int{1, 2, 5, 10, 20, 40, 64} {
+		g := NewGaussHermite(n)
+		var sum float64
+		for _, w := range g.Weights {
+			sum += w
+		}
+		closeTo(t, sum, math.Sqrt(math.Pi), 1e-9, "weight sum")
+	}
+}
+
+func TestGaussHermiteMoments(t *testing.T) {
+	g := NewGaussHermite(20)
+	// ∫ x²·e^{−x²} dx = √π/2
+	closeTo(t, g.Integrate(func(x float64) float64 { return x * x }), math.Sqrt(math.Pi)/2, 1e-9, "2nd moment")
+	// ∫ x⁴·e^{−x²} dx = 3√π/4
+	closeTo(t, g.Integrate(func(x float64) float64 { return x * x * x * x }), 3*math.Sqrt(math.Pi)/4, 1e-9, "4th moment")
+	// Odd moments vanish by symmetry.
+	closeTo(t, g.Integrate(func(x float64) float64 { return x * x * x }), 0, 1e-9, "odd moment")
+}
+
+func TestGaussHermiteExactForPolynomials(t *testing.T) {
+	// An n-point rule integrates polynomials up to degree 2n−1 exactly.
+	g := NewGaussHermite(3)
+	// degree 5: x⁵ integrates to 0; x⁴ handled above with bigger rule —
+	// check x⁴ with the 3-point rule, degree 4 ≤ 2·3−1.
+	closeTo(t, g.Integrate(func(x float64) float64 { return x * x * x * x }), 3*math.Sqrt(math.Pi)/4, 1e-10, "deg-4 with 3 points")
+}
+
+func TestGaussHermiteNodesSymmetric(t *testing.T) {
+	g := NewGaussHermite(7)
+	n := len(g.Nodes)
+	for i := 0; i < n/2; i++ {
+		closeTo(t, g.Nodes[i], -g.Nodes[n-1-i], 1e-10, "node symmetry")
+		closeTo(t, g.Weights[i], g.Weights[n-1-i], 1e-10, "weight symmetry")
+	}
+	// Odd rule has a node at 0.
+	closeTo(t, g.Nodes[n/2], 0, 1e-10, "center node")
+}
+
+func TestIntegrateNormalExpectation(t *testing.T) {
+	g := NewGaussHermite(30)
+	mu, sigma := 1.5, 0.8
+	// E[X] = mu
+	closeTo(t, g.IntegrateNormal(func(x float64) float64 { return x }, mu, sigma), mu, 1e-9, "E[X]")
+	// E[X²] = mu² + sigma²
+	closeTo(t, g.IntegrateNormal(func(x float64) float64 { return x * x }, mu, sigma), mu*mu+sigma*sigma, 1e-9, "E[X²]")
+	// E[e^X] = e^{mu + sigma²/2} (lognormal mean)
+	closeTo(t, g.IntegrateNormal(math.Exp, mu, sigma), math.Exp(mu+sigma*sigma/2), 1e-6, "E[e^X]")
+}
+
+func TestNewGaussHermitePanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGaussHermite(0)
+}

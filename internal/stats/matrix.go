@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a small dense row-major matrix. It is deliberately minimal:
+// only the operations needed by OLS seeding and the mixed-model algebra
+// are provided.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("stats: NewMatrix: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("stats: MulVec: vector length %d, want %d", len(x), m.Cols))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// ErrSingular reports that a linear system was numerically singular.
+var ErrSingular = errors.New("stats: matrix is singular or not positive definite")
+
+// SolveSPD solves A·x = b for a symmetric positive-definite A using
+// Cholesky factorization. A is not modified. It returns ErrSingular if
+// a non-positive pivot appears.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("stats: SolveSPD: matrix must be square")
+	}
+	if len(b) != n {
+		panic("stats: SolveSPD: rhs length mismatch")
+	}
+	// Cholesky: A = L·Lᵀ, L lower-triangular.
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrSingular
+				}
+				l[i*n+i] = math.Sqrt(sum)
+			} else {
+				l[i*n+j] = sum / l[j*n+j]
+			}
+		}
+	}
+	// Forward substitution L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i*n+k] * y[k]
+		}
+		y[i] = sum / l[i*n+i]
+	}
+	// Back substitution Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k*n+i] * x[k]
+		}
+		x[i] = sum / l[i*n+i]
+	}
+	return x, nil
+}
+
+// OLS fits y ≈ X·β by ordinary least squares (no intercept is added;
+// include a column of ones in X if an intercept is wanted). It returns
+// the coefficient vector and the residual sum of squares. X must have
+// at least as many rows as columns.
+func OLS(x *Matrix, y []float64) (beta []float64, rss float64, err error) {
+	if len(y) != x.Rows {
+		panic(fmt.Sprintf("stats: OLS: response length %d, want %d", len(y), x.Rows))
+	}
+	if x.Rows < x.Cols {
+		return nil, 0, fmt.Errorf("stats: OLS: underdetermined system (%d rows, %d cols)", x.Rows, x.Cols)
+	}
+	p := x.Cols
+	xtx := NewMatrix(p, p)
+	xty := make([]float64, p)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Data[i*p : (i+1)*p]
+		for a := 0; a < p; a++ {
+			xty[a] += row[a] * y[i]
+			for b := a; b < p; b++ {
+				xtx.Data[a*p+b] += row[a] * row[b]
+			}
+		}
+	}
+	for a := 0; a < p; a++ {
+		for b := 0; b < a; b++ {
+			xtx.Set(a, b, xtx.At(b, a))
+		}
+	}
+	beta, err = SolveSPD(xtx, xty)
+	if err != nil {
+		return nil, 0, err
+	}
+	fit := x.MulVec(beta)
+	for i, v := range fit {
+		d := y[i] - v
+		rss += d * d
+	}
+	return beta, rss, nil
+}

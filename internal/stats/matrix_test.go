@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveSPDIdentity(t *testing.T) {
+	a := NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		a.Set(i, i, 1)
+	}
+	x, err := SolveSPD(a, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		closeTo(t, x[i], want, 1e-12, "identity solve")
+	}
+}
+
+func TestSolveSPDKnownSystem(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [10, 9] → x = [1.5, 2]
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	x, err := SolveSPD(a, []float64{10, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeTo(t, x[0], 1.5, 1e-12, "x0")
+	closeTo(t, x[1], 2, 1e-12, "x1")
+}
+
+func TestSolveSPDSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1)
+	if _, err := SolveSPD(a, []float64{1, 1}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveSPDRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(8)
+		// Build SPD matrix A = MᵀM + I.
+		m := make([][]float64, n)
+		for i := range m {
+			m[i] = make([]float64, n)
+			for j := range m[i] {
+				m[i][j] = rng.NormFloat64()
+			}
+		}
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += m[k][i] * m[k][j]
+				}
+				if i == j {
+					s++
+				}
+				a.Set(i, j, s)
+			}
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := SolveSPD(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			closeTo(t, got[i], want[i], 1e-8, "random SPD solve")
+		}
+	}
+}
+
+func TestOLSExactFit(t *testing.T) {
+	// y = 2·x1 + 3·x2 with no noise.
+	x := NewMatrix(4, 2)
+	rows := [][2]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}}
+	y := make([]float64, 4)
+	for i, r := range rows {
+		x.Set(i, 0, r[0])
+		x.Set(i, 1, r[1])
+		y[i] = 2*r[0] + 3*r[1]
+	}
+	beta, rss, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeTo(t, beta[0], 2, 1e-10, "beta0")
+	closeTo(t, beta[1], 3, 1e-10, "beta1")
+	closeTo(t, rss, 0, 1e-18, "rss")
+}
+
+func TestOLSUnderdetermined(t *testing.T) {
+	x := NewMatrix(1, 2)
+	if _, _, err := OLS(x, []float64{1}); err == nil {
+		t.Fatal("expected error for underdetermined system")
+	}
+}
+
+func TestOLSResidualOrthogonality(t *testing.T) {
+	// OLS residuals must be orthogonal to every column of X.
+	rng := rand.New(rand.NewSource(11))
+	n, p := 30, 3
+	x := NewMatrix(n, p)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < p; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = rng.NormFloat64()
+	}
+	beta, _, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := x.MulVec(beta)
+	for j := 0; j < p; j++ {
+		var dot float64
+		for i := 0; i < n; i++ {
+			dot += x.At(i, j) * (y[i] - fit[i])
+		}
+		if math.Abs(dot) > 1e-8 {
+			t.Errorf("residual not orthogonal to column %d: %v", j, dot)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package synth
+
+import "repro/internal/netlist"
+
+// addVec builds a ripple-carry adder: sum = a + b + cin, returning the
+// sum bits (width = len(a)) and the carry out. a and b must be the
+// same width.
+func (s *synthesizer) addVec(a, b []netlist.NetID, cin netlist.NetID) ([]netlist.NetID, netlist.NetID) {
+	sum := make([]netlist.NetID, len(a))
+	c := cin
+	for i := range a {
+		axb := s.b.Xor(a[i], b[i])
+		sum[i] = s.b.Xor(axb, c)
+		c = s.b.Or(s.b.And(a[i], b[i]), s.b.And(axb, c))
+	}
+	return sum, c
+}
+
+// subVec builds a - b as a + ~b + 1, truncated to len(a).
+func (s *synthesizer) subVec(a, b []netlist.NetID) []netlist.NetID {
+	nb := make([]netlist.NetID, len(b))
+	for i := range b {
+		nb[i] = s.b.Not(b[i])
+	}
+	sum, _ := s.addVec(a, nb, s.b.Const1())
+	return sum
+}
+
+// negVec builds two's-complement negation.
+func (s *synthesizer) negVec(a []netlist.NetID) []netlist.NetID {
+	zero := make([]netlist.NetID, len(a))
+	for i := range zero {
+		zero[i] = s.b.Const0()
+	}
+	return s.subVec(zero, a)
+}
+
+// subConst subtracts a constant (used for address bases and LSB
+// offsets).
+func (s *synthesizer) subConst(a []netlist.NetID, k int64) []netlist.NetID {
+	if k == 0 {
+		return a
+	}
+	return s.subVec(a, s.constBits(k, len(a)))
+}
+
+// mulVec builds an unsigned array multiplier truncated to len(a) bits:
+// for each set bit j of b, add (a << j).
+func (s *synthesizer) mulVec(a, b []netlist.NetID) []netlist.NetID {
+	w := len(a)
+	acc := make([]netlist.NetID, w)
+	for i := range acc {
+		acc[i] = s.b.Const0()
+	}
+	for j := 0; j < w && j < len(b); j++ {
+		// Partial product: (a << j) AND-gated by b[j].
+		pp := make([]netlist.NetID, w)
+		for i := 0; i < w; i++ {
+			if i < j {
+				pp[i] = s.b.Const0()
+			} else {
+				pp[i] = s.b.And(a[i-j], b[j])
+			}
+		}
+		acc, _ = s.addVec(acc, pp, s.b.Const0())
+	}
+	return acc
+}
+
+// eqVec builds the equality bit of two equal-width vectors.
+func (s *synthesizer) eqVec(a, b []netlist.NetID) netlist.NetID {
+	bits := make([]netlist.NetID, len(a))
+	for i := range a {
+		bits[i] = s.b.Xnor(a[i], b[i])
+	}
+	return s.reduceAnd(bits)
+}
+
+// ltVec builds the unsigned a < b bit: the borrow out of a - b.
+func (s *synthesizer) ltVec(a, b []netlist.NetID) netlist.NetID {
+	nb := make([]netlist.NetID, len(b))
+	for i := range b {
+		nb[i] = s.b.Not(b[i])
+	}
+	_, carry := s.addVec(a, nb, s.b.Const1())
+	return s.b.Not(carry)
+}
+
+// shlConst shifts left by a constant, filling with zeros.
+func (s *synthesizer) shlConst(a []netlist.NetID, k int) []netlist.NetID {
+	w := len(a)
+	out := make([]netlist.NetID, w)
+	for i := 0; i < w; i++ {
+		if i < k {
+			out[i] = s.b.Const0()
+		} else {
+			out[i] = a[i-k]
+		}
+	}
+	return out
+}
+
+// shrConst shifts right by a constant, filling with zeros.
+func (s *synthesizer) shrConst(a []netlist.NetID, k int) []netlist.NetID {
+	w := len(a)
+	out := make([]netlist.NetID, w)
+	for i := 0; i < w; i++ {
+		if i+k < w {
+			out[i] = a[i+k]
+		} else {
+			out[i] = s.b.Const0()
+		}
+	}
+	return out
+}
+
+// shiftVar builds a barrel shifter: stage i muxes between the current
+// value and the value shifted by 2^i, controlled by amount bit i.
+// Amount bits beyond the width force a zero result.
+func (s *synthesizer) shiftVar(a []netlist.NetID, amt []netlist.NetID, left bool) []netlist.NetID {
+	w := len(a)
+	cur := a
+	// Stages that can still produce a nonzero result.
+	stages := 0
+	for (1 << uint(stages)) < w {
+		stages++
+	}
+	if stages == 0 {
+		stages = 1
+	}
+	for i := 0; i < stages && i < len(amt); i++ {
+		var shifted []netlist.NetID
+		if left {
+			shifted = s.shlConst(cur, 1<<uint(i))
+		} else {
+			shifted = s.shrConst(cur, 1<<uint(i))
+		}
+		next := make([]netlist.NetID, w)
+		for j := 0; j < w; j++ {
+			next[j] = s.b.Mux(amt[i], cur[j], shifted[j])
+		}
+		cur = next
+	}
+	// If any higher amount bit is set, the result is zero.
+	if len(amt) > stages {
+		high := s.reduceOr(amt[stages:])
+		out := make([]netlist.NetID, w)
+		for j := 0; j < w; j++ {
+			out[j] = s.b.Mux(high, cur[j], s.b.Const0())
+		}
+		cur = out
+	}
+	return cur
+}
+
+// muxTreeSelect picks bits[idx] with a binary mux tree.
+func (s *synthesizer) muxTreeSelect(bitsIn []netlist.NetID, idx []netlist.NetID) netlist.NetID {
+	level := append([]netlist.NetID(nil), bitsIn...)
+	for i := 0; len(level) > 1; i++ {
+		var sel netlist.NetID
+		if i < len(idx) {
+			sel = idx[i]
+		} else {
+			sel = s.b.Const0()
+		}
+		next := make([]netlist.NetID, 0, (len(level)+1)/2)
+		for j := 0; j < len(level); j += 2 {
+			if j+1 < len(level) {
+				next = append(next, s.b.Mux(sel, level[j], level[j+1]))
+			} else {
+				// Odd tail: selecting past the end yields 0.
+				next = append(next, s.b.Mux(sel, level[j], s.b.Const0()))
+			}
+		}
+		level = next
+	}
+	if len(level) == 0 {
+		return s.b.Const0()
+	}
+	return level[0]
+}
+
+// reduceAnd builds an AND tree over bits.
+func (s *synthesizer) reduceAnd(bits []netlist.NetID) netlist.NetID {
+	return s.reduceTree(bits, s.b.And, s.b.Const1())
+}
+
+// reduceOr builds an OR tree over bits.
+func (s *synthesizer) reduceOr(bits []netlist.NetID) netlist.NetID {
+	return s.reduceTree(bits, s.b.Or, s.b.Const0())
+}
+
+// reduceXor builds an XOR tree over bits.
+func (s *synthesizer) reduceXor(bits []netlist.NetID) netlist.NetID {
+	return s.reduceTree(bits, s.b.Xor, s.b.Const0())
+}
+
+func (s *synthesizer) reduceTree(bits []netlist.NetID, f func(a, b netlist.NetID) netlist.NetID, empty netlist.NetID) netlist.NetID {
+	if len(bits) == 0 {
+		return empty
+	}
+	level := append([]netlist.NetID(nil), bits...)
+	for len(level) > 1 {
+		next := make([]netlist.NetID, 0, (len(level)+1)/2)
+		for j := 0; j < len(level); j += 2 {
+			if j+1 < len(level) {
+				next = append(next, f(level[j], level[j+1]))
+			} else {
+				next = append(next, level[j])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}

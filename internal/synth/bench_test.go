@@ -1,0 +1,35 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/hdl"
+)
+
+const benchSrc = `
+module bench #(parameter W = 16) (input clk, input [W-1:0] a, b, input [2:0] op, output reg [W-1:0] acc);
+  reg [W-1:0] t;
+  always @(*) begin
+    case (op)
+      3'd0: t = a + b;
+      3'd1: t = a - b;
+      3'd2: t = a * b;
+      3'd3: t = a << b[3:0];
+      default: t = a ^ b;
+    endcase
+  end
+  always @(posedge clk) acc <= acc + t;
+endmodule`
+
+func BenchmarkSynthesizeDatapath(b *testing.B) {
+	d, err := hdl.ParseDesign(map[string]string{"b.v": benchSrc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(d, "bench", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

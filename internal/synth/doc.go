@@ -1,0 +1,27 @@
+// Package synth lowers elaborated µHDL (internal/elab) to a flattened
+// gate-level netlist (internal/netlist), playing the role Synopsys
+// Design Compiler plays in the µComplexity paper's measurement flow.
+//
+// The lowering is structural and complete:
+//
+//   - every multi-bit signal is bit-blasted to single-bit nets;
+//   - expressions become primitive-gate networks (ripple-carry adders
+//     and subtractors, array multipliers, comparator chains, barrel
+//     shifters, mux trees, reduction trees);
+//   - clocked always blocks become D flip-flops via per-bit symbolic
+//     execution (unassigned paths hold through a Q-feedback mux);
+//   - combinational always blocks with incomplete assignment infer
+//     transparent latches with a synthesized enable condition;
+//   - memory arrays (reg [W-1:0] m [0:D-1]) become RAM macros with a
+//     synchronous write port and one asynchronous read port per read
+//     site;
+//   - the module hierarchy is flattened through port aliasing (no
+//     buffer cells at boundaries), then the netlist is optimized by
+//     constant propagation, structural hashing, and dead-logic removal.
+//
+// Deliberate simplifications, documented for the reproduction: all
+// arithmetic is unsigned; division and modulo are supported only by
+// constant powers of two; asynchronous resets are modeled as
+// synchronous (the paper's metrics are structural, not timing
+// semantics); negedge clocks are treated as posedge.
+package synth

@@ -1,0 +1,476 @@
+package synth
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/elab"
+	"repro/internal/hdl"
+	"repro/internal/netlist"
+)
+
+// Result bundles the synthesized netlists of one run: the raw netlist
+// as lowered and the optimized netlist metrics are measured on.
+type Result struct {
+	Raw       *netlist.Netlist
+	Optimized *netlist.Netlist
+	OptStats  netlist.OptimizeResult
+	Top       *elab.Instance
+	Report    *elab.Report
+	// Deduped counts instances removed by the single-instance rule
+	// (only non-zero when LowerOptions.DedupInstances was set).
+	Deduped int
+}
+
+// Synthesize elaborates module top of the design with the given
+// parameter overrides and lowers it to an optimized netlist.
+func Synthesize(design *hdl.Design, top string, overrides map[string]int64) (*Result, error) {
+	return SynthesizeOpts(design, top, overrides, LowerOptions{})
+}
+
+// SynthesizeOpts is Synthesize with lowering options.
+func SynthesizeOpts(design *hdl.Design, top string, overrides map[string]int64, opts LowerOptions) (*Result, error) {
+	inst, report, err := elab.Elaborate(design, top, overrides)
+	if err != nil {
+		return nil, err
+	}
+	raw, deduped, err := LowerOpts(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	opt, stats, err := netlist.Optimize(raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := netlist.Validate(opt); err != nil {
+		return nil, fmt.Errorf("synth: optimized netlist invalid: %w", err)
+	}
+	return &Result{Raw: raw, Optimized: opt, OptStats: stats, Top: inst, Report: report, Deduped: deduped}, nil
+}
+
+// LowerOptions tunes the lowering.
+type LowerOptions struct {
+	// DedupInstances implements the single-instance rule of the
+	// µComplexity accounting procedure at the structural level: when a
+	// parent instantiates the same (module, parameters) more than
+	// once, only the first instance is synthesized; the outputs of the
+	// repeats alias to the representative's outputs and their
+	// input-side glue logic is dropped.
+	DedupInstances bool
+}
+
+// Lower converts an elaborated instance tree to a flattened raw
+// netlist with the top instance's ports as primary I/O.
+func Lower(top *elab.Instance) (*netlist.Netlist, error) {
+	nl, _, err := LowerOpts(top, LowerOptions{})
+	return nl, err
+}
+
+// LowerOpts is Lower with options; it also reports how many duplicate
+// instances the single-instance rule removed.
+func LowerOpts(top *elab.Instance, opts LowerOptions) (*netlist.Netlist, int, error) {
+	s := &synthesizer{
+		b:     netlist.NewBuilder(),
+		sigs:  map[*elab.Instance]map[string][]netlist.NetID{},
+		rams:  map[*elab.Instance]map[string]*ramBuild{},
+		dedup: opts.DedupInstances,
+	}
+	// Allocate and register top-level ports.
+	for _, p := range top.PortNets() {
+		bits := s.netBits(top, p.Name)
+		for i, nid := range bits {
+			bitName := p.Name
+			if p.Width > 1 {
+				bitName = fmt.Sprintf("%s[%d]", p.Name, int64(i)+p.LSB)
+			}
+			switch p.Dir {
+			case hdl.Input:
+				s.b.AddInput(bitName, nid)
+			case hdl.Output:
+				s.b.AddOutput(bitName, nid)
+			default:
+				return nil, 0, fmt.Errorf("synth: inout port %s.%s is not supported", top.Path, p.Name)
+			}
+		}
+	}
+	if err := s.instance(top); err != nil {
+		return nil, 0, err
+	}
+	if err := s.finalizeRAMs(); err != nil {
+		return nil, 0, err
+	}
+	nl, err := s.b.Build()
+	return nl, s.deduped, err
+}
+
+// ramBuild accumulates the read/write sites of one memory during
+// lowering.
+type ramBuild struct {
+	mem    *elab.Mem
+	inst   *elab.Instance
+	writes []ramWrite
+	reads  []netlist.RAMReadPort
+}
+
+type ramWrite struct {
+	clk  netlist.NetID
+	en   netlist.NetID
+	addr []netlist.NetID
+	data []netlist.NetID
+}
+
+type synthesizer struct {
+	b       *netlist.Builder
+	sigs    map[*elab.Instance]map[string][]netlist.NetID
+	rams    map[*elab.Instance]map[string]*ramBuild
+	dedup   bool
+	deduped int
+}
+
+// netBits returns (allocating on first use) the bit nets of a declared
+// net, LSB first.
+func (s *synthesizer) netBits(inst *elab.Instance, name string) []netlist.NetID {
+	tbl, ok := s.sigs[inst]
+	if !ok {
+		tbl = map[string][]netlist.NetID{}
+		s.sigs[inst] = tbl
+	}
+	if bits, ok := tbl[name]; ok {
+		return bits
+	}
+	n := inst.Nets[name]
+	if n == nil {
+		panic(fmt.Sprintf("synth: internal: unknown net %s in %s", name, inst.Path))
+	}
+	bits := make([]netlist.NetID, n.Width)
+	for i := range bits {
+		bits[i] = s.b.NewNet(fmt.Sprintf("%s.%s[%d]", inst.Path, name, int64(i)+n.LSB))
+	}
+	tbl[name] = bits
+	return bits
+}
+
+// ramFor returns (allocating on first use) the RAM build record of a
+// memory.
+func (s *synthesizer) ramFor(inst *elab.Instance, mem *elab.Mem) *ramBuild {
+	tbl, ok := s.rams[inst]
+	if !ok {
+		tbl = map[string]*ramBuild{}
+		s.rams[inst] = tbl
+	}
+	rb, ok := tbl[mem.Name]
+	if !ok {
+		rb = &ramBuild{mem: mem, inst: inst}
+		tbl[mem.Name] = rb
+	}
+	return rb
+}
+
+// instance lowers one elaborated instance and recurses into children.
+func (s *synthesizer) instance(inst *elab.Instance) error {
+	// Continuous assignments.
+	for _, ea := range inst.Assigns {
+		if err := s.contAssign(inst, ea); err != nil {
+			return err
+		}
+	}
+	// Always blocks.
+	for _, ab := range inst.Alwayses {
+		if err := s.alwaysBlock(inst, ab); err != nil {
+			return err
+		}
+	}
+	// Children: bind ports, recurse. Under the single-instance rule,
+	// repeated (module, parameters) children reuse the representative's
+	// synthesized logic.
+	reps := map[string]*elab.Child{}
+	for _, child := range inst.Children {
+		if s.dedup {
+			sig := childSignature(child.Inst)
+			if rep, seen := reps[sig]; seen {
+				s.deduped++
+				if err := s.bindDuplicate(inst, child, rep); err != nil {
+					return err
+				}
+				continue
+			}
+			reps[sig] = child
+		}
+		if err := s.bindChild(inst, child); err != nil {
+			return err
+		}
+		if err := s.instance(child.Inst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// childSignature keys instances by module and resolved parameters.
+func childSignature(i *elab.Instance) string {
+	sig := i.Module.Name
+	names := make([]string, 0, len(i.Params))
+	for k := range i.Params {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		sig += fmt.Sprintf(";%s=%d", k, i.Params[k])
+	}
+	return sig
+}
+
+// bindDuplicate wires a repeated instance's output bindings to the
+// representative instance's ports; its inputs (and their glue logic)
+// are dropped along with the instance body.
+func (s *synthesizer) bindDuplicate(inst *elab.Instance, child, rep *elab.Child) error {
+	for _, b := range child.Ports {
+		if b.Value == nil {
+			continue
+		}
+		for _, port := range child.Inst.Module.Ports {
+			if port.Name != b.Name || port.Dir != hdl.Output {
+				continue
+			}
+			repBits := s.netBits(rep.Inst, port.Name)
+			slots, err := s.lvalueSlots(inst, child.Env, b.Value)
+			if err != nil {
+				return fmt.Errorf("synth: %s: deduplicated port %s.%s: %w", b.Pos, child.Name, port.Name, err)
+			}
+			for i, slot := range slots {
+				v := s.b.Const0()
+				if i < len(repBits) {
+					v = repBits[i]
+				}
+				if err := s.b.Alias(slot, v); err != nil {
+					return fmt.Errorf("synth: %s: deduplicated port %s.%s: %w", b.Pos, child.Name, port.Name, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// contAssign lowers "assign lhs = rhs".
+func (s *synthesizer) contAssign(inst *elab.Instance, ea *elab.ElabAssign) error {
+	slots, err := s.lvalueSlots(inst, ea.Env, ea.Item.LHS)
+	if err != nil {
+		return fmt.Errorf("synth: %s: %w", ea.Item.Pos, err)
+	}
+	rhs, err := s.expr(inst, ea.Env, nil, ea.Item.RHS, len(slots))
+	if err != nil {
+		return fmt.Errorf("synth: %s: %w", ea.Item.Pos, err)
+	}
+	for i, slot := range slots {
+		v := s.b.Const0()
+		if i < len(rhs) {
+			v = rhs[i]
+		}
+		if err := s.b.Alias(slot, v); err != nil {
+			return fmt.Errorf("synth: %s: conflicting drivers: %w", ea.Item.Pos, err)
+		}
+	}
+	return nil
+}
+
+// bindChild connects a child instance's ports.
+func (s *synthesizer) bindChild(inst *elab.Instance, child *elab.Child) error {
+	bound := map[string]hdl.Binding{}
+	for _, b := range child.Ports {
+		bound[b.Name] = b
+	}
+	for _, port := range child.Inst.Module.Ports {
+		childBits := s.netBits(child.Inst, port.Name)
+		b, ok := bound[port.Name]
+		if !ok || b.Value == nil {
+			if port.Dir == hdl.Input {
+				// Unconnected input: tie to 0.
+				for _, cb := range childBits {
+					if err := s.b.Alias(cb, s.b.Const0()); err != nil {
+						return fmt.Errorf("synth: %s: tie-off of %s.%s: %w", child.Pos, child.Name, port.Name, err)
+					}
+				}
+			}
+			continue // unconnected output floats
+		}
+		switch port.Dir {
+		case hdl.Input:
+			vals, err := s.expr(inst, child.Env, nil, b.Value, len(childBits))
+			if err != nil {
+				return fmt.Errorf("synth: %s: port %s.%s: %w", b.Pos, child.Name, port.Name, err)
+			}
+			for i, cb := range childBits {
+				v := s.b.Const0()
+				if i < len(vals) {
+					v = vals[i]
+				}
+				if err := s.b.Alias(cb, v); err != nil {
+					return fmt.Errorf("synth: %s: port %s.%s: %w", b.Pos, child.Name, port.Name, err)
+				}
+			}
+		case hdl.Output:
+			slots, err := s.lvalueSlots(inst, child.Env, b.Value)
+			if err != nil {
+				return fmt.Errorf("synth: %s: output port %s.%s must connect to a simple signal: %w", b.Pos, child.Name, port.Name, err)
+			}
+			for i, slot := range slots {
+				v := s.b.Const0()
+				if i < len(childBits) {
+					v = childBits[i]
+				}
+				if err := s.b.Alias(slot, v); err != nil {
+					return fmt.Errorf("synth: %s: port %s.%s: %w", b.Pos, child.Name, port.Name, err)
+				}
+			}
+		default:
+			return fmt.Errorf("synth: %s: inout port %s.%s is not supported", b.Pos, child.Name, port.Name)
+		}
+	}
+	return nil
+}
+
+// lvalueSlots resolves an assignable expression to its target bit
+// nets, LSB first. Only static targets are allowed here; variable-index
+// bit writes are handled separately inside always blocks.
+func (s *synthesizer) lvalueSlots(inst *elab.Instance, env *elab.Env, e hdl.Expr) ([]netlist.NetID, error) {
+	switch v := e.(type) {
+	case *hdl.Ident:
+		n, ok := inst.ResolveNet(v.Name, env)
+		if !ok {
+			return nil, fmt.Errorf("assignment to undeclared signal %q", v.Name)
+		}
+		return s.netBits(inst, n.Name), nil
+	case *hdl.Index:
+		base, ok := v.Base.(*hdl.Ident)
+		if !ok {
+			return nil, fmt.Errorf("unsupported nested index in lvalue")
+		}
+		n, ok := inst.ResolveNet(base.Name, env)
+		if !ok {
+			return nil, fmt.Errorf("assignment to undeclared signal %q", base.Name)
+		}
+		idx, err := elab.Eval(v.Idx, env)
+		if err != nil {
+			return nil, fmt.Errorf("bit index of %q must be constant here: %v", base.Name, err)
+		}
+		bit := idx - n.LSB
+		if bit < 0 || bit >= int64(n.Width) {
+			return nil, fmt.Errorf("bit index %d out of range for %q", idx, base.Name)
+		}
+		return s.netBits(inst, n.Name)[bit : bit+1], nil
+	case *hdl.PartSelect:
+		base, ok := v.Base.(*hdl.Ident)
+		if !ok {
+			return nil, fmt.Errorf("unsupported nested part select in lvalue")
+		}
+		n, ok := inst.ResolveNet(base.Name, env)
+		if !ok {
+			return nil, fmt.Errorf("assignment to undeclared signal %q", base.Name)
+		}
+		msb, err := elab.Eval(v.MSB, env)
+		if err != nil {
+			return nil, err
+		}
+		lsb, err := elab.Eval(v.LSB, env)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := lsb-n.LSB, msb-n.LSB
+		if lo > hi || lo < 0 || hi >= int64(n.Width) {
+			return nil, fmt.Errorf("part select [%d:%d] out of range for %q", msb, lsb, base.Name)
+		}
+		return s.netBits(inst, n.Name)[lo : hi+1], nil
+	case *hdl.Concat:
+		// Verilog concat is MSB-first: the last part is the LSBs.
+		var slots []netlist.NetID
+		for i := len(v.Parts) - 1; i >= 0; i-- {
+			sub, err := s.lvalueSlots(inst, env, v.Parts[i])
+			if err != nil {
+				return nil, err
+			}
+			slots = append(slots, sub...)
+		}
+		return slots, nil
+	}
+	return nil, fmt.Errorf("expression %s is not assignable", hdl.FormatExpr(e))
+}
+
+// finalizeRAMs converts accumulated memory read/write sites into RAM
+// macros.
+func (s *synthesizer) finalizeRAMs() error {
+	for inst, tbl := range s.rams {
+		for name, rb := range tbl {
+			if len(rb.writes) == 0 && len(rb.reads) == 0 {
+				continue
+			}
+			r := &netlist.RAM{
+				Name:  inst.Path + "." + name,
+				Width: rb.mem.Width,
+				Depth: int(rb.mem.Depth),
+				Clk:   netlist.Nil,
+			}
+			// One write port per write site, in program order; all
+			// ports of one memory must share a clock.
+			for _, w := range rb.writes {
+				if r.Clk == netlist.Nil {
+					r.Clk = w.clk
+				} else if r.Clk != w.clk {
+					return fmt.Errorf("synth: memory %s.%s written from two clock domains", inst.Path, name)
+				}
+				r.WritePorts = append(r.WritePorts, netlist.RAMWritePort{En: w.en, Addr: w.addr, Data: w.data})
+			}
+			r.ReadPorts = rb.reads
+			s.b.AddRAM(r)
+		}
+	}
+	return nil
+}
+
+// constBits returns the bit nets of a constant value at the given
+// width (LSB first).
+func (s *synthesizer) constBits(v int64, width int) []netlist.NetID {
+	out := make([]netlist.NetID, width)
+	for i := 0; i < width; i++ {
+		out[i] = s.b.ConstBit((uint64(v)>>uint(i))&1 == 1)
+	}
+	return out
+}
+
+// addrWidth returns the address width of a memory of the given depth.
+func addrWidth(depth int64) int {
+	if depth <= 1 {
+		return 1
+	}
+	return bits.Len64(uint64(depth - 1))
+}
+
+// pickClock chooses the clock from an edge-sensitive list: the first
+// item whose name looks like a clock, else the first edge item.
+func pickClock(sens []hdl.SensItem) (clock string, others []string) {
+	cands := make([]string, 0, len(sens))
+	for _, it := range sens {
+		if it.Edge == hdl.EdgePos || it.Edge == hdl.EdgeNeg {
+			cands = append(cands, it.Signal)
+		}
+	}
+	if len(cands) == 0 {
+		return "", nil
+	}
+	pick := 0
+	for i, c := range cands {
+		lower := strings.ToLower(c)
+		if lower == "clk" || lower == "clock" || strings.HasSuffix(lower, "clk") || strings.HasSuffix(lower, "clock") {
+			pick = i
+			break
+		}
+	}
+	clock = cands[pick]
+	for i, c := range cands {
+		if i != pick {
+			others = append(others, c)
+		}
+	}
+	return clock, others
+}

@@ -1,0 +1,19 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/stdcell"
+)
+
+func BenchmarkAnalyzeAdder(b *testing.B) {
+	nl := netlistOf(b, `
+module add #(parameter W = 32) (input clk, input [W-1:0] a, x, output reg [W-1:0] s);
+  always @(posedge clk) s <= a + x;
+endmodule`, "add", nil)
+	lib := stdcell.Default180nm()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(nl, lib)
+	}
+}

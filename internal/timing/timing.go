@@ -1,0 +1,150 @@
+// Package timing performs static timing analysis over a synthesized
+// netlist with standard-cell delays — the back-end awareness the paper
+// calls out as future work: "varying the value of certain parameters
+// may have implications on the difficulty of timing closure … This
+// issue suggests the need for future design effort estimators that are
+// aware of back-end physical design and timing concerns" (§2.5).
+//
+// The analysis computes, for every endpoint (primary output, FF/latch
+// data input, RAM input pin), the longest combinational arrival time
+// under the cell library's delays, and summarizes the design's timing
+// profile: the critical path, the achievable ASIC frequency, and the
+// count of near-critical endpoints (paths within 10% of the worst) —
+// a proxy for how many logic cones a timing-closure effort would have
+// to restructure.
+package timing
+
+import (
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/stdcell"
+)
+
+// PathReport is one endpoint's timing.
+type PathReport struct {
+	Endpoint  string
+	ArrivalNs float64
+}
+
+// Analysis summarizes the design's static timing.
+type Analysis struct {
+	// CriticalNs is the longest register-to-register (or input-to-
+	// output) combinational delay, including clk-to-q and setup.
+	CriticalNs float64
+	// FreqMHz is 1000/CriticalNs.
+	FreqMHz float64
+	// NearCritical counts endpoints within 10% of the critical path —
+	// the cones timing closure would fight with.
+	NearCritical int
+	// Endpoints holds every endpoint's arrival time, sorted slowest
+	// first.
+	Endpoints []PathReport
+}
+
+// Constants of the flop timing model (ns), matching the FPGA model's
+// structure but with ASIC-scale values.
+const (
+	clkToQ = 0.20
+	setup  = 0.10
+)
+
+// Analyze runs static timing over the netlist with the given library.
+func Analyze(n *netlist.Netlist, lib *stdcell.Library) *Analysis {
+	arrival := make([]float64, n.NumNets())
+	computed := make([]bool, n.NumNets())
+
+	// Leaves launch at clk-to-q (sequential outputs, RAM reads) or 0
+	// (primary inputs, constants).
+	for i := range arrival {
+		arrival[i] = 0
+	}
+	for ci := range n.Cells {
+		c := &n.Cells[ci]
+		if c.Type.IsSequential() {
+			arrival[c.Out] = clkToQ
+			computed[c.Out] = true
+		}
+	}
+	for _, r := range n.RAMs {
+		for _, rp := range r.ReadPorts {
+			for _, o := range rp.Out {
+				arrival[o] = clkToQ + lib.RAMAccessDelay
+				computed[o] = true
+			}
+		}
+	}
+
+	order, err := n.TopoOrder()
+	if err != nil {
+		return &Analysis{}
+	}
+	for _, ci := range order {
+		c := &n.Cells[ci]
+		worst := 0.0
+		for _, in := range c.Inputs() {
+			if arrival[in] > worst {
+				worst = arrival[in]
+			}
+		}
+		arrival[c.Out] = worst + lib.CellParams(c.Type).Delay
+		computed[c.Out] = true
+	}
+
+	an := &Analysis{}
+	add := func(endpoint string, id netlist.NetID, extra float64) {
+		if id == netlist.Nil {
+			return
+		}
+		an.Endpoints = append(an.Endpoints, PathReport{
+			Endpoint:  endpoint,
+			ArrivalNs: arrival[id] + extra,
+		})
+	}
+	for _, p := range n.Outputs {
+		add("out:"+p.Name, p.Net, 0)
+	}
+	for ci := range n.Cells {
+		c := &n.Cells[ci]
+		if c.Type.IsSequential() {
+			add("seq:"+c.Type.String(), c.In[0], setup)
+			if c.Type == netlist.Latch {
+				add("seq:LATCH.en", c.In[1], setup)
+			}
+		}
+	}
+	for _, r := range n.RAMs {
+		for _, wp := range r.WritePorts {
+			add("ram:"+r.Name+":wen", wp.En, setup)
+			for _, b := range wp.Addr {
+				add("ram:"+r.Name+":waddr", b, setup)
+			}
+			for _, b := range wp.Data {
+				add("ram:"+r.Name+":wdata", b, setup)
+			}
+		}
+		for _, rp := range r.ReadPorts {
+			for _, b := range rp.Addr {
+				add("ram:"+r.Name+":raddr", b, setup)
+			}
+		}
+	}
+	sort.Slice(an.Endpoints, func(i, j int) bool {
+		return an.Endpoints[i].ArrivalNs > an.Endpoints[j].ArrivalNs
+	})
+	if len(an.Endpoints) > 0 {
+		an.CriticalNs = an.Endpoints[0].ArrivalNs
+		if an.CriticalNs > 0 {
+			an.FreqMHz = 1000.0 / an.CriticalNs
+		}
+		threshold := an.CriticalNs * 0.9
+		for _, e := range an.Endpoints {
+			if e.ArrivalNs >= threshold {
+				an.NearCritical++
+			} else {
+				break
+			}
+		}
+	}
+	return an
+}
