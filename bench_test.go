@@ -11,7 +11,9 @@ package repro
 
 import (
 	"math"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/cones"
 	"repro/internal/core"
@@ -145,6 +147,86 @@ func BenchmarkAICBIC(b *testing.B) {
 	}
 	b.ReportMetric(res.DEE1AIC, "dee1_aic(paper:34.8)")
 	b.ReportMetric(res.DEE1BIC, "dee1_bic(paper:38.4)")
+}
+
+// ---------------------------------------------------------------
+// Parallel engine (speedup vs the sequential baselines)
+// ---------------------------------------------------------------
+
+// BenchmarkTable4Sequential pins the single-core baseline of the
+// headline reproduction: every pool in the fit pipeline forced to the
+// exact sequential path.
+func BenchmarkTable4Sequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := paper.Table4N(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Parallel runs the headline reproduction on the
+// GOMAXPROCS-bounded pools and reports the wall-clock speedup over a
+// sequential run as a custom metric. The results themselves are
+// bit-identical to the sequential path (see TestTable4ParallelDeterminism).
+func BenchmarkTable4Parallel(b *testing.B) {
+	seqStart := time.Now()
+	if _, err := paper.Table4N(1); err != nil {
+		b.Fatal(err)
+	}
+	seq := time.Since(seqStart)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := paper.Table4N(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if par := b.Elapsed() / time.Duration(b.N); par > 0 {
+		b.ReportMetric(float64(seq)/float64(par), "speedup_vs_sequential")
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// BenchmarkFitDEE1Parallel benchmarks one mixed-effects DEE1 fit with
+// the multi-start restarts spread across cores, reporting the speedup
+// over the sequential restart loop.
+func BenchmarkFitDEE1Parallel(b *testing.B) {
+	d := paperNLMEData(b, dataset.Stmts, dataset.FanInLC)
+	seqStart := time.Now()
+	if _, err := nlme.FitOpts(d, nlme.FitOptions{Concurrency: 1}); err != nil {
+		b.Fatal(err)
+	}
+	seq := time.Since(seqStart)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nlme.FitOpts(d, nlme.FitOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if par := b.Elapsed() / time.Duration(b.N); par > 0 {
+		b.ReportMetric(float64(seq)/float64(par), "speedup_vs_sequential")
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// BenchmarkMeasureCorpusParallel measures the synthetic corpus (the
+// Figure 6 hot path) on the bounded component pool, reporting the
+// speedup over a strictly sequential measurement.
+func BenchmarkMeasureCorpusParallel(b *testing.B) {
+	seqStart := time.Now()
+	if _, err := paper.MeasureCorpusN(true, 1); err != nil {
+		b.Fatal(err)
+	}
+	seq := time.Since(seqStart)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := paper.MeasureCorpusN(true, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if par := b.Elapsed() / time.Duration(b.N); par > 0 {
+		b.ReportMetric(float64(seq)/float64(par), "speedup_vs_sequential")
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 }
 
 // ---------------------------------------------------------------

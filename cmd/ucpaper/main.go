@@ -8,6 +8,9 @@
 //	ucpaper -figure 2|3|4|5|6     print one figure
 //	ucpaper -aicbic               print the Section 5.1.1 comparison
 //	ucpaper -all                  print everything (default)
+//	ucpaper -parallel N           bound the worker pools (0 = all
+//	                              cores, 1 = sequential; results are
+//	                              identical for every value)
 //
 // Figure 6 measures the 18-component synthetic design corpus through
 // the full synthesis pipeline and takes a few seconds.
@@ -27,18 +30,19 @@ func main() {
 	aicbic := flag.Bool("aicbic", false, "print the AIC/BIC model comparison")
 	extension := flag.Bool("extension", false, "print the timing-aware estimator extension experiment")
 	all := flag.Bool("all", false, "print every table and figure")
+	par := flag.Int("parallel", 0, "worker pool bound: 0 = GOMAXPROCS, 1 = sequential (results are identical)")
 	flag.Parse()
 
 	if !*aicbic && !*extension && *tableN == 0 && *figureN == 0 {
 		*all = true
 	}
-	if err := run(*tableN, *figureN, *aicbic, *extension, *all); err != nil {
+	if err := run(*tableN, *figureN, *aicbic, *extension, *all, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "ucpaper:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tableN, figureN int, aicbic, extension, all bool) error {
+func run(tableN, figureN int, aicbic, extension, all bool, par int) error {
 	table := func(n int) error {
 		switch n {
 		case 1:
@@ -48,7 +52,7 @@ func run(tableN, figureN int, aicbic, extension, all bool) error {
 		case 3:
 			fmt.Println(paper.Table3())
 		case 4:
-			t4, err := paper.Table4()
+			t4, err := paper.Table4N(par)
 			if err != nil {
 				return err
 			}
@@ -65,19 +69,19 @@ func run(tableN, figureN int, aicbic, extension, all bool) error {
 		case 3:
 			fmt.Println(paper.Figure3())
 		case 4:
-			f4, err := paper.Figure4()
+			f4, err := paper.Figure4N(par)
 			if err != nil {
 				return err
 			}
 			fmt.Println(f4.Plot)
 		case 5:
-			f5, err := paper.Figure5()
+			f5, err := paper.Figure5N(par)
 			if err != nil {
 				return err
 			}
 			fmt.Println(f5.Plot)
 		case 6:
-			f6, err := paper.Figure6()
+			f6, err := paper.Figure6N(par)
 			if err != nil {
 				return err
 			}
@@ -94,7 +98,7 @@ func run(tableN, figureN int, aicbic, extension, all bool) error {
 				return err
 			}
 		}
-		res, err := paper.AICBIC()
+		res, err := paper.AICBICN(par)
 		if err != nil {
 			return err
 		}
@@ -104,7 +108,7 @@ func run(tableN, figureN int, aicbic, extension, all bool) error {
 				return err
 			}
 		}
-		ext, err := paper.TimingAware()
+		ext, err := paper.TimingAwareN(par)
 		if err != nil {
 			return err
 		}
@@ -122,14 +126,14 @@ func run(tableN, figureN int, aicbic, extension, all bool) error {
 		}
 	}
 	if aicbic {
-		res, err := paper.AICBIC()
+		res, err := paper.AICBICN(par)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res)
 	}
 	if extension {
-		ext, err := paper.TimingAware()
+		ext, err := paper.TimingAwareN(par)
 		if err != nil {
 			return err
 		}

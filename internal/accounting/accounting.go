@@ -14,17 +14,106 @@
 // MeasureComponent can run with the procedure enabled (the paper's
 // recommended mode) or disabled (every instance, full parameters),
 // which is exactly the comparison Figure 6 of the paper draws.
+//
+// The parameter-minimization search memoizes elaborations across
+// candidate parameter points, keyed by the structural signature of
+// internal/synth's single-instance rule (module + resolved
+// parameters): a candidate that names a design point already probed —
+// which the fixpoint iteration does constantly — reuses the stored
+// verdict instead of re-elaborating, and the final measurement reuses
+// the winning candidate's elaboration instead of redoing it. Candidate
+// probes run on a bounded worker pool (measure.Options.Concurrency);
+// the search visits candidates lowest-first in batches, so the
+// minimized parameters are identical for every worker count.
 package accounting
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/elab"
 	"repro/internal/hdl"
 	"repro/internal/measure"
+	"repro/internal/parallel"
 	"repro/internal/synth"
 )
+
+// elabMemo caches the elaborations of one (design, module) pair across
+// the minimization search. Keys are synth.ParamSignature strings, so
+// two candidate maps that resolve to the same design point share one
+// entry. The elaborated instance trees are retained only for
+// compatible points (the ones the search can end on).
+type elabMemo struct {
+	design *hdl.Design
+	module string
+	ref    *elab.Report
+
+	mu      sync.Mutex
+	verdict map[string]bool
+	entries map[string]*memoEntry
+	hits    int
+	misses  int
+}
+
+type memoEntry struct {
+	inst   *elab.Instance
+	report *elab.Report
+}
+
+// compatible reports whether the candidate parameter point elaborates
+// to a structure compatible with the reference elaboration, memoized.
+// Elaboration failures count as incompatible, as in the paper's rule
+// (the smallest value must still elaborate).
+func (m *elabMemo) compatible(cand map[string]int64) bool {
+	sig := synth.ParamSignature(m.module, cand)
+	m.mu.Lock()
+	if v, ok := m.verdict[sig]; ok {
+		m.hits++
+		m.mu.Unlock()
+		return v
+	}
+	m.misses++
+	m.mu.Unlock()
+
+	inst, rep, err := elab.Elaborate(m.design, m.module, cand)
+	ok := false
+	if err == nil {
+		ok, _ = m.ref.CompatibleWith(rep)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, seen := m.verdict[sig]; seen {
+		// A concurrent probe of the same point won the race; both
+		// computed the same deterministic verdict.
+		return v
+	}
+	m.verdict[sig] = ok
+	if ok {
+		m.entries[sig] = &memoEntry{inst: inst, report: rep}
+	}
+	return ok
+}
+
+// lookup returns the cached elaboration of a parameter point, if the
+// search visited it.
+func (m *elabMemo) lookup(params map[string]int64) (*elab.Instance, *elab.Report, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[synth.ParamSignature(m.module, params)]
+	if !ok {
+		return nil, nil, false
+	}
+	return e.inst, e.report, true
+}
+
+// counters returns the memo's hit/miss tallies.
+func (m *elabMemo) counters() (hits, misses int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}
 
 // MinimizeParams returns, for each header parameter of the module, the
 // smallest value compatible with the module's reference elaboration
@@ -34,15 +123,28 @@ import (
 //
 // The search lowers one parameter at a time, holding the others at
 // their current values, and repeats until a fixpoint (parameters may
-// interact through derived expressions).
+// interact through derived expressions). Candidate probes run on a
+// GOMAXPROCS-bounded pool; use MinimizeParamsN to bound or serialize
+// it. The result is identical for every worker count.
 func MinimizeParams(design *hdl.Design, module string) (map[string]int64, error) {
+	return MinimizeParamsN(design, module, 0)
+}
+
+// MinimizeParamsN is MinimizeParams with a concurrency bound
+// (0 = GOMAXPROCS, 1 = exact sequential path).
+func MinimizeParamsN(design *hdl.Design, module string, concurrency int) (map[string]int64, error) {
+	params, _, err := minimizeParams(design, module, concurrency)
+	return params, err
+}
+
+func minimizeParams(design *hdl.Design, module string, concurrency int) (map[string]int64, *elabMemo, error) {
 	mod, err := design.Module(module)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	_, refReport, err := elab.Elaborate(design, module, nil)
+	refInst, refReport, err := elab.Elaborate(design, module, nil)
 	if err != nil {
-		return nil, fmt.Errorf("accounting: reference elaboration of %s: %w", module, err)
+		return nil, nil, fmt.Errorf("accounting: reference elaboration of %s: %w", module, err)
 	}
 	// Start from the declared defaults.
 	current := map[string]int64{}
@@ -50,11 +152,11 @@ func MinimizeParams(design *hdl.Design, module string) (map[string]int64, error)
 	for _, p := range mod.Params {
 		v, err := elab.Eval(p.Value, env)
 		if err != nil {
-			return nil, fmt.Errorf("accounting: default of %s.%s: %w", module, p.Name, err)
+			return nil, nil, fmt.Errorf("accounting: default of %s.%s: %w", module, p.Name, err)
 		}
 		current[p.Name] = v
 		if err := env.Define(p.Name, v); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	names := make([]string, 0, len(current))
@@ -63,39 +165,54 @@ func MinimizeParams(design *hdl.Design, module string) (map[string]int64, error)
 	}
 	sort.Strings(names)
 
-	compatible := func(cand map[string]int64) bool {
-		_, rep, err := elab.Elaborate(design, module, cand)
-		if err != nil {
-			return false
-		}
-		ok, _ := refReport.CompatibleWith(rep)
-		return ok
+	memo := &elabMemo{
+		design:  design,
+		module:  module,
+		ref:     refReport,
+		verdict: map[string]bool{},
+		entries: map[string]*memoEntry{},
 	}
+	// Seed with the reference point: the defaults are compatible with
+	// themselves, and if nothing minimizes, the final measurement
+	// reuses this elaboration.
+	refSig := synth.ParamSignature(module, current)
+	memo.verdict[refSig] = true
+	memo.entries[refSig] = &memoEntry{inst: refInst, report: refReport}
 
 	for round := 0; round < 5; round++ {
 		changed := false
 		for _, name := range names {
+			// Candidates strictly below the current value, ascending;
+			// the search keeps the lowest compatible one, exactly like
+			// a sequential first-fit scan.
+			var below []int64
 			for _, v := range candidateValues(current[name]) {
 				if v >= current[name] {
 					break
 				}
-				cand := map[string]int64{}
+				below = append(below, v)
+			}
+			idx, err := parallel.FirstMatch(concurrency, len(below), func(i int) (bool, error) {
+				cand := make(map[string]int64, len(current))
 				for k, cv := range current {
 					cand[k] = cv
 				}
-				cand[name] = v
-				if compatible(cand) {
-					current[name] = v
-					changed = true
-					break
-				}
+				cand[name] = below[i]
+				return memo.compatible(cand), nil
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			if idx >= 0 {
+				current[name] = below[idx]
+				changed = true
 			}
 		}
 		if !changed {
 			break
 		}
 	}
-	return current, nil
+	return current, memo, nil
 }
 
 // candidateValues returns ascending candidate values to try for a
@@ -132,6 +249,14 @@ type Result struct {
 	// DedupedInstances is how many duplicate instances the
 	// single-instance rule removed (accounting mode only).
 	DedupedInstances int
+	// Synth is the synthesis of the component at the measured
+	// parameter point. Downstream analyses (timing, power sweeps) can
+	// reuse it instead of re-running synthesis.
+	Synth *synth.Result
+	// ElabCacheHits and ElabCacheMisses count memoized versus fresh
+	// elaborations during the parameter-minimization search
+	// (accounting mode only).
+	ElabCacheHits, ElabCacheMisses int
 }
 
 // MeasureComponent measures one component (a module plus everything it
@@ -154,26 +279,33 @@ func MeasureComponent(design *hdl.Design, top string, useAccounting bool, opts m
 	}
 	res := &Result{UniqueModules: modules}
 
-	var params map[string]int64
+	var inst *elab.Instance
+	var report *elab.Report
 	if useAccounting {
-		params, err = MinimizeParams(design, top)
+		params, memo, err := minimizeParams(design, top, opts.Concurrency)
 		if err != nil {
 			return nil, err
 		}
 		res.MinimizedParams = params
+		res.ElabCacheHits, res.ElabCacheMisses = memo.counters()
+		// The winning point was elaborated during the search; reuse it.
+		inst, report, _ = memo.lookup(params)
 	}
-	inst, _, err := elab.Elaborate(design, top, params)
-	if err != nil {
-		return nil, err
+	if inst == nil {
+		inst, report, err = elab.Elaborate(design, top, res.MinimizedParams)
+		if err != nil {
+			return nil, err
+		}
 	}
 	res.InstanceCount = inst.CountInstances()
 
 	mopts := opts
 	mopts.DedupInstances = useAccounting
-	synres, err := synth.SynthesizeOpts(design, top, params, synth.LowerOptions{DedupInstances: useAccounting})
+	synres, err := synth.SynthesizeInstance(inst, report, synth.LowerOptions{DedupInstances: useAccounting})
 	if err != nil {
 		return nil, err
 	}
+	res.Synth = synres
 	res.DedupedInstances = synres.Deduped
 	m := measure.SynthMetricsOnly(synres, mopts)
 

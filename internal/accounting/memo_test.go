@@ -1,0 +1,90 @@
+package accounting
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/measure"
+)
+
+// memoDesign has two interacting parameters and a generate loop, so
+// the minimization search needs more than one fixpoint round and
+// revisits design points it has already probed.
+const memoDesign = `
+module m #(parameter N = 8, parameter W = 16) (input [W-1:0] a, output [W-1:0] y);
+  genvar i;
+  generate for (i = 1; i < N; i = i + 1) begin : g
+    assign y[i%W] = a[i%W] ^ a[(i-1)%W];
+  end endgenerate
+  assign y[0] = a[0];
+endmodule`
+
+func TestMinimizeParamsMemoizesRepeatedPoints(t *testing.T) {
+	d := design(t, memoDesign)
+	params, memo, err := minimizeParams(d, "m", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params["N"] != 2 {
+		t.Errorf("N = %d, want 2", params["N"])
+	}
+	hits, misses := memo.counters()
+	if hits == 0 {
+		t.Errorf("search elaborated every candidate from scratch (hits=0, misses=%d); the fixpoint rounds must hit the memo", misses)
+	}
+	// The final measurement point must be reusable from the cache.
+	if _, _, ok := memo.lookup(params); !ok {
+		t.Errorf("winning point %v not cached", params)
+	}
+}
+
+func TestMinimizeParamsParallelDeterminism(t *testing.T) {
+	d := design(t, memoDesign)
+	seq, err := MinimizeParamsN(d, "m", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MinimizeParamsN(d, "m", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel search minimized to %v, sequential to %v", par, seq)
+	}
+}
+
+func TestMeasureComponentCarriesSynthesis(t *testing.T) {
+	d := design(t, memoDesign)
+	for _, useAccounting := range []bool{true, false} {
+		res, err := MeasureComponent(d, "m", useAccounting, measure.Options{})
+		if err != nil {
+			t.Fatalf("accounting=%v: %v", useAccounting, err)
+		}
+		if res.Synth == nil || res.Synth.Optimized == nil {
+			t.Fatalf("accounting=%v: measurement did not carry its synthesis", useAccounting)
+		}
+		// At full parameters the xor chain must synthesize to real
+		// cells (the minimized point may legally optimize to wires).
+		if !useAccounting && len(res.Synth.Optimized.Cells) == 0 {
+			t.Error("accounting=false: carried synthesis is empty")
+		}
+	}
+}
+
+func TestMeasureComponentParallelDeterminism(t *testing.T) {
+	d := design(t, memoDesign)
+	seq, err := MeasureComponent(d, "m", true, measure.Options{Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MeasureComponent(d, "m", true, measure.Options{Concurrency: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Metrics, par.Metrics) {
+		t.Errorf("parallel metrics %+v, sequential %+v", par.Metrics, seq.Metrics)
+	}
+	if !reflect.DeepEqual(seq.MinimizedParams, par.MinimizedParams) {
+		t.Errorf("parallel params %v, sequential %v", par.MinimizedParams, seq.MinimizedParams)
+	}
+}

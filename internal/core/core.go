@@ -27,6 +27,7 @@ import (
 	"repro/internal/hdl"
 	"repro/internal/measure"
 	"repro/internal/nlme"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -90,6 +91,10 @@ type CalibrationOptions struct {
 	// ZeroFloor replaces zero metric values. Zero means 1, the value
 	// that reproduces the paper's FFs row exactly.
 	ZeroFloor float64
+	// Concurrency bounds the worker pool of the fit's multi-start
+	// restarts: 0 means GOMAXPROCS, 1 forces the exact sequential
+	// path. Calibration results are bit-identical for every value.
+	Concurrency int
 }
 
 // Calibrate fits Equation 1's weights (and, for the mixed model, the
@@ -130,10 +135,11 @@ func Calibrate(comps []dataset.Component, metrics []dataset.Metric, opts Calibra
 	}
 	var fit *nlme.Result
 	var err error
+	fitOpts := nlme.FitOptions{Concurrency: opts.Concurrency}
 	if opts.Mixed {
-		fit, err = nlme.Fit(d)
+		fit, err = nlme.FitOpts(d, fitOpts)
 	} else {
-		fit, err = nlme.FitFixed(d)
+		fit, err = nlme.FitFixedOpts(d, fitOpts)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: calibration failed: %w", err)
@@ -235,8 +241,19 @@ type EstimatorAccuracy struct {
 
 // EvaluateEstimators reproduces the Table 4 analysis on a database:
 // every single-metric estimator plus DEE1, each fitted with and
-// without the productivity adjustment, sorted by σε.
+// without the productivity adjustment, sorted by σε. The estimators
+// are fitted concurrently on every available core; use
+// EvaluateEstimatorsN to bound or serialize the pool.
 func EvaluateEstimators(comps []dataset.Component) ([]EstimatorAccuracy, error) {
+	return EvaluateEstimatorsN(comps, 0)
+}
+
+// EvaluateEstimatorsN is EvaluateEstimators with a concurrency bound
+// (0 = GOMAXPROCS, 1 = exact sequential path). Each estimator's mixed
+// and fixed calibrations form one work item; when the outer pool is
+// parallel the inner multi-start pool is serialized so the machine is
+// not oversubscribed. Results are bit-identical for every value.
+func EvaluateEstimatorsN(comps []dataset.Component, concurrency int) ([]EstimatorAccuracy, error) {
 	type spec struct {
 		name    string
 		metrics []dataset.Metric
@@ -245,17 +262,21 @@ func EvaluateEstimators(comps []dataset.Component) ([]EstimatorAccuracy, error) 
 	for _, m := range dataset.AllMetrics {
 		specs = append(specs, spec{string(m), []dataset.Metric{m}})
 	}
-	out := make([]EstimatorAccuracy, 0, len(specs))
-	for _, s := range specs {
-		mixed, err := Calibrate(comps, s.metrics, CalibrationOptions{Mixed: true})
+	inner := concurrency
+	if parallel.Workers(concurrency) > 1 {
+		inner = 1
+	}
+	out, err := parallel.Map(concurrency, len(specs), func(i int) (EstimatorAccuracy, error) {
+		s := specs[i]
+		mixed, err := Calibrate(comps, s.metrics, CalibrationOptions{Mixed: true, Concurrency: inner})
 		if err != nil {
-			return nil, fmt.Errorf("core: estimator %s: %w", s.name, err)
+			return EstimatorAccuracy{}, fmt.Errorf("core: estimator %s: %w", s.name, err)
 		}
-		fixed, err := Calibrate(comps, s.metrics, CalibrationOptions{Mixed: false})
+		fixed, err := Calibrate(comps, s.metrics, CalibrationOptions{Mixed: false, Concurrency: inner})
 		if err != nil {
-			return nil, fmt.Errorf("core: estimator %s (ρ=1): %w", s.name, err)
+			return EstimatorAccuracy{}, fmt.Errorf("core: estimator %s (ρ=1): %w", s.name, err)
 		}
-		out = append(out, EstimatorAccuracy{
+		return EstimatorAccuracy{
 			Name:         s.name,
 			Metrics:      s.metrics,
 			SigmaEps:     mixed.SigmaEps(),
@@ -263,9 +284,12 @@ func EvaluateEstimators(comps []dataset.Component) ([]EstimatorAccuracy, error) 
 			AIC:          mixed.Fit.AIC(),
 			BIC:          mixed.Fit.BIC(),
 			Calibration:  mixed,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].SigmaEps < out[j].SigmaEps })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].SigmaEps < out[j].SigmaEps })
 	return out, nil
 }
 

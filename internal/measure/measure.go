@@ -106,6 +106,11 @@ type Options struct {
 	// DedupInstances applies the single-instance rule during lowering
 	// (used by internal/accounting).
 	DedupInstances bool
+	// Concurrency bounds the worker pool of any parallelizable step in
+	// the measurement (the accounting procedure's candidate probes):
+	// 0 means GOMAXPROCS, 1 forces the exact sequential path. Measured
+	// metrics are identical for every value.
+	Concurrency int
 }
 
 func (o Options) library() *stdcell.Library {

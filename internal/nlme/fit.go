@@ -130,12 +130,29 @@ func (d *Data) profiledObjective(members [][]int, logEff []float64) func(theta [
 	}
 }
 
+// FitOptions configures Fit and FitFixed.
+type FitOptions struct {
+	// Concurrency bounds the worker pool the multi-start restarts run
+	// on: 0 means GOMAXPROCS, 1 forces the exact sequential path. The
+	// fitted result is bit-identical for every value (the restarts are
+	// independent and the reduction tie-breaks on start index), so the
+	// knob only trades wall-clock time.
+	Concurrency int
+}
+
 // Fit maximizes the marginal likelihood of the mixed-effects model and
 // returns the fitted weights, variance components, productivities, and
 // information criteria. It uses multi-start Nelder–Mead over
 // log-weights and the log variance ratio; starting points are seeded
-// from per-metric effort/metric scale ratios and an OLS fit.
+// from per-metric effort/metric scale ratios and an OLS fit. The
+// restarts run concurrently on every available core; use FitOpts to
+// bound or serialize them.
 func Fit(d *Data) (*Result, error) {
+	return FitOpts(d, FitOptions{})
+}
+
+// FitOpts is Fit with explicit options.
+func FitOpts(d *Data, opts FitOptions) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -152,7 +169,7 @@ func Fit(d *Data) (*Result, error) {
 
 	obj := d.profiledObjective(members, logEff)
 	starts := startingPoints(d, true)
-	best := stats.MinimizeMultistart(obj, starts, stats.NelderMeadOptions{MaxIter: 40000, TolF: 1e-12, TolX: 1e-9})
+	best := stats.MinimizeMultistartP(obj, starts, stats.NelderMeadOptions{MaxIter: 40000, TolF: 1e-12, TolX: 1e-9}, opts.Concurrency)
 	if math.IsInf(best.F, 1) {
 		return nil, fmt.Errorf("nlme: optimization found no feasible point")
 	}
@@ -213,6 +230,11 @@ func Fit(d *Data) (*Result, error) {
 // squares on the log scale, with σε² profiled at RSS/n (the ML
 // estimate). Productivities in the result are all exactly 1.
 func FitFixed(d *Data) (*Result, error) {
+	return FitFixedOpts(d, FitOptions{})
+}
+
+// FitFixedOpts is FitFixed with explicit options.
+func FitFixedOpts(d *Data, opts FitOptions) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -249,7 +271,7 @@ func FitFixed(d *Data) (*Result, error) {
 		return 0.5 * (nn*math.Log(2*math.Pi) + nn*math.Log(rss/nn) + nn)
 	}
 	starts := startingPoints(d, false)
-	best := stats.MinimizeMultistart(obj, starts, stats.NelderMeadOptions{MaxIter: 40000, TolF: 1e-12, TolX: 1e-9})
+	best := stats.MinimizeMultistartP(obj, starts, stats.NelderMeadOptions{MaxIter: 40000, TolF: 1e-12, TolX: 1e-9}, opts.Concurrency)
 	if math.IsInf(best.F, 1) {
 		return nil, fmt.Errorf("nlme: optimization found no feasible point")
 	}

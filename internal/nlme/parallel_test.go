@@ -1,0 +1,49 @@
+package nlme
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestFitParallelDeterminism asserts the determinism guarantee of the
+// concurrency knob: the parallel path must produce results that are
+// bit-identical to the exact sequential path, field for field,
+// including every productivity and the eval-count-independent
+// diagnostics.
+func TestFitParallelDeterminism(t *testing.T) {
+	for _, metrics := range [][]dataset.Metric{
+		{dataset.Stmts},
+		{dataset.Stmts, dataset.FanInLC},
+		{dataset.FFs},
+	} {
+		d := paperData(metrics...)
+		seq, err := FitOpts(d, FitOptions{Concurrency: 1})
+		if err != nil {
+			t.Fatalf("%v sequential: %v", metrics, err)
+		}
+		par, err := FitOpts(d, FitOptions{Concurrency: 8})
+		if err != nil {
+			t.Fatalf("%v parallel: %v", metrics, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%v: parallel Fit diverged from sequential:\nseq: %+v\npar: %+v", metrics, seq, par)
+		}
+	}
+}
+
+func TestFitFixedParallelDeterminism(t *testing.T) {
+	d := paperData(dataset.Stmts, dataset.FanInLC)
+	seq, err := FitFixedOpts(d, FitOptions{Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := FitFixedOpts(d, FitOptions{Concurrency: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel FitFixed diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

@@ -3,14 +3,13 @@ package paper
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"repro/internal/accounting"
 	"repro/internal/designs"
 	"repro/internal/measure"
 	"repro/internal/nlme"
+	"repro/internal/parallel"
 	"repro/internal/stdcell"
-	"repro/internal/synth"
 	"repro/internal/timing"
 )
 
@@ -29,8 +28,18 @@ type TimingAwareResult struct {
 	SigmaEps map[string]float64
 }
 
-// TimingAware runs the extension experiment on the synthetic corpus.
+// TimingAware runs the extension experiment on the synthetic corpus,
+// measuring components on a GOMAXPROCS-bounded pool. Use TimingAwareN
+// to bound or serialize it.
 func TimingAware() (*TimingAwareResult, error) {
+	return TimingAwareN(0)
+}
+
+// TimingAwareN is TimingAware with a concurrency bound (0 = GOMAXPROCS,
+// 1 = exact sequential path). Timing analysis reuses the synthesis the
+// accounting measurement already ran rather than synthesizing the
+// component a second time.
+func TimingAwareN(concurrency int) (*TimingAwareResult, error) {
 	comps := designs.All()
 	lib := stdcell.Default180nm()
 
@@ -42,45 +51,34 @@ func TimingAware() (*TimingAwareResult, error) {
 		criticalNs   float64
 		nearCritical float64
 	}
-	rows := make([]row, len(comps))
-	errs := make([]error, len(comps))
-	var wg sync.WaitGroup
-	for i, c := range comps {
-		wg.Add(1)
-		go func(i int, c designs.Component) {
-			defer wg.Done()
-			d, err := designs.Design(c)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			acc, err := accounting.MeasureComponent(d, c.Top, true, measure.Options{})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			// Timing runs on the accounting-scaled synthesis.
-			res, err := synth.SynthesizeOpts(d, c.Top, acc.MinimizedParams, synth.LowerOptions{DedupInstances: true})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			ta := timing.Analyze(res.Optimized, lib)
-			rows[i] = row{
-				project:      c.Project,
-				effort:       c.Effort,
-				stmts:        float64(acc.Metrics.Stmts),
-				fanInLC:      float64(acc.Metrics.FanInLC),
-				criticalNs:   ta.CriticalNs,
-				nearCritical: float64(ta.NearCritical),
-			}
-		}(i, c)
+	inner := concurrency
+	if parallel.Workers(concurrency) > 1 {
+		inner = 1
 	}
-	wg.Wait()
-	for _, err := range errs {
+	rows, err := parallel.Map(concurrency, len(comps), func(i int) (row, error) {
+		c := comps[i]
+		d, err := designs.Design(c)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
+		acc, err := accounting.MeasureComponent(d, c.Top, true, measure.Options{Concurrency: inner})
+		if err != nil {
+			return row{}, err
+		}
+		// Timing runs on the accounting-scaled synthesis, which the
+		// measurement carries with it.
+		ta := timing.Analyze(acc.Synth.Optimized, lib)
+		return row{
+			project:      c.Project,
+			effort:       c.Effort,
+			stmts:        float64(acc.Metrics.Stmts),
+			fanInLC:      float64(acc.Metrics.FanInLC),
+			criticalNs:   ta.CriticalNs,
+			nearCritical: float64(ta.NearCritical),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	fit := func(name string, cols func(r row) []float64, names []string) (float64, error) {
@@ -96,14 +94,13 @@ func TimingAware() (*TimingAwareResult, error) {
 			d.Efforts = append(d.Efforts, r.effort)
 			d.Metrics = append(d.Metrics, vals)
 		}
-		res, err := nlme.Fit(d)
+		res, err := nlme.FitOpts(d, nlme.FitOptions{Concurrency: inner})
 		if err != nil {
 			return 0, fmt.Errorf("paper: timing estimator %s: %w", name, err)
 		}
 		return res.SigmaEps, nil
 	}
 
-	out := &TimingAwareResult{SigmaEps: map[string]float64{}}
 	specs := []struct {
 		name  string
 		cols  func(r row) []float64
@@ -115,12 +112,15 @@ func TimingAware() (*TimingAwareResult, error) {
 		{"NearCritical", func(r row) []float64 { return []float64{r.nearCritical} }, []string{"NearCritical"}},
 		{"DEE1+Timing", func(r row) []float64 { return []float64{r.stmts, r.fanInLC, r.nearCritical} }, []string{"Stmts", "FanInLC", "NearCritical"}},
 	}
-	for _, s := range specs {
-		sigma, err := fit(s.name, s.cols, s.names)
-		if err != nil {
-			return nil, err
-		}
-		out.SigmaEps[s.name] = sigma
+	sigmas, err := parallel.Map(concurrency, len(specs), func(i int) (float64, error) {
+		return fit(specs[i].name, specs[i].cols, specs[i].names)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &TimingAwareResult{SigmaEps: map[string]float64{}}
+	for i, s := range specs {
+		out.SigmaEps[s.name] = sigmas[i]
 	}
 	return out, nil
 }

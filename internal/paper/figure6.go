@@ -3,54 +3,53 @@ package paper
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"repro/internal/accounting"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/designs"
 	"repro/internal/measure"
+	"repro/internal/parallel"
 )
 
 // MeasureCorpus measures all 18 synthetic components through the full
 // pipeline, with or without the accounting procedure, and returns them
 // as a fit-ready measurement database (efforts are the Table 2 values
-// their real counterparts reported). Components are measured in
-// parallel; the result order matches designs.All().
+// their real counterparts reported). Components are measured on a
+// GOMAXPROCS-bounded pool; the result order matches designs.All().
+// Use MeasureCorpusN to bound or serialize the pool.
 func MeasureCorpus(useAccounting bool) ([]dataset.Component, error) {
+	return MeasureCorpusN(useAccounting, 0)
+}
+
+// MeasureCorpusN is MeasureCorpus with a concurrency bound
+// (0 = GOMAXPROCS, 1 = exact sequential path). One component is one
+// work item; when the component pool is parallel the accounting
+// search's inner candidate pool is serialized so the machine is not
+// oversubscribed. The measured corpus is identical for every value.
+func MeasureCorpusN(useAccounting bool, concurrency int) ([]dataset.Component, error) {
 	comps := designs.All()
-	out := make([]dataset.Component, len(comps))
-	errs := make([]error, len(comps))
-	var wg sync.WaitGroup
-	for i, c := range comps {
-		wg.Add(1)
-		go func(i int, c designs.Component) {
-			defer wg.Done()
-			d, err := designs.Design(c)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			res, err := accounting.MeasureComponent(d, c.Top, useAccounting, measure.Options{})
-			if err != nil {
-				errs[i] = fmt.Errorf("%s: %w", c.Label(), err)
-				return
-			}
-			out[i] = dataset.Component{
-				Project: c.Project,
-				Name:    c.Name,
-				Effort:  c.Effort,
-				Metrics: res.Metrics.MetricMap(),
-			}
-		}(i, c)
+	inner := concurrency
+	if parallel.Workers(concurrency) > 1 {
+		inner = 1
 	}
-	wg.Wait()
-	for _, err := range errs {
+	return parallel.Map(concurrency, len(comps), func(i int) (dataset.Component, error) {
+		c := comps[i]
+		d, err := designs.Design(c)
 		if err != nil {
-			return nil, err
+			return dataset.Component{}, err
 		}
-	}
-	return out, nil
+		res, err := accounting.MeasureComponent(d, c.Top, useAccounting, measure.Options{Concurrency: inner})
+		if err != nil {
+			return dataset.Component{}, fmt.Errorf("%s: %w", c.Label(), err)
+		}
+		return dataset.Component{
+			Project: c.Project,
+			Name:    c.Name,
+			Effort:  c.Effort,
+			Metrics: res.Metrics.MetricMap(),
+		}, nil
+	})
 }
 
 // Figure6Result is the accounting-procedure experiment: per-estimator
@@ -72,11 +71,18 @@ type Figure6Result struct {
 // *shape*: synthesis-metric estimators lose accuracy without the
 // procedure, software-metric estimators do not change at all.
 func Figure6() (*Figure6Result, error) {
-	withComps, err := MeasureCorpus(true)
+	return Figure6N(0)
+}
+
+// Figure6N is Figure6 with a concurrency bound (0 = GOMAXPROCS,
+// 1 = exact sequential path). Both corpus measurements and both
+// estimator-evaluation batches run their items on the bounded pool.
+func Figure6N(concurrency int) (*Figure6Result, error) {
+	withComps, err := MeasureCorpusN(true, concurrency)
 	if err != nil {
 		return nil, err
 	}
-	withoutComps, err := MeasureCorpus(false)
+	withoutComps, err := MeasureCorpusN(false, concurrency)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +92,7 @@ func Figure6() (*Figure6Result, error) {
 		PaperWithout: dataset.PaperSigmaEpsNoAccounting(),
 	}
 	fit := func(comps []dataset.Component, into map[string]float64) error {
-		rows, err := core.EvaluateEstimators(comps)
+		rows, err := core.EvaluateEstimatorsN(comps, concurrency)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,56 @@
+package paper
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The concurrency knob's contract: every experiment produces
+// bit-identical results on the parallel path (Concurrency > 1) and the
+// exact sequential path (Concurrency = 1). These tests pin that for
+// the two pipelines the knob threads all the way through — the pure
+// fitting pipeline (Table 4) and the measure→fit pipeline
+// (MeasureCorpus), which exercises the accounting memoization under
+// both pool shapes.
+
+func TestTable4ParallelDeterminism(t *testing.T) {
+	seq, err := Table4N(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Table4N(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel Table4 diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func TestMeasureCorpusParallelDeterminism(t *testing.T) {
+	seq, err := MeasureCorpusN(true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MeasureCorpusN(true, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel MeasureCorpus diverged from sequential")
+	}
+}
+
+func TestAICBICParallelDeterminism(t *testing.T) {
+	seq, err := AICBICN(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AICBICN(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel AICBIC diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

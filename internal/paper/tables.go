@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -79,10 +80,19 @@ type Table4Component struct {
 
 // Table4 refits every estimator of Table 4 on the paper's dataset and
 // compares σε (both with productivity adjustment and with ρ=1) against
-// the published values.
+// the published values. The 12 estimators (both model variants) are
+// fitted concurrently on every available core; use Table4N to bound or
+// serialize the pool.
 func Table4() (*Table4Result, error) {
+	return Table4N(0)
+}
+
+// Table4N is Table4 with a concurrency bound (0 = GOMAXPROCS,
+// 1 = exact sequential path). The result is bit-identical for every
+// value.
+func Table4N(concurrency int) (*Table4Result, error) {
 	comps := dataset.Paper()
-	rows, err := core.EvaluateEstimators(comps)
+	rows, err := core.EvaluateEstimatorsN(comps, concurrency)
 	if err != nil {
 		return nil, err
 	}
@@ -107,10 +117,17 @@ func Table4() (*Table4Result, error) {
 			}
 		}
 	}
-	// DEE1 per-component column.
-	cal, err := core.CalibrateDEE1(comps)
-	if err != nil {
-		return nil, err
+	// DEE1 per-component column, reusing the calibration the estimator
+	// evaluation above already fitted instead of refitting it.
+	var cal *core.Calibration
+	for _, r := range rows {
+		if r.Name == "DEE1" {
+			cal = r.Calibration
+			break
+		}
+	}
+	if cal == nil {
+		return nil, fmt.Errorf("paper: estimator evaluation returned no DEE1 row")
 	}
 	paperDEE1 := dataset.PaperDEE1Column()
 	for _, c := range comps {
@@ -156,14 +173,27 @@ type AICBICResult struct {
 }
 
 // AICBIC reproduces the DEE1-vs-Stmts model comparison of Section
-// 5.1.1 (paper values: DEE1 34.8/38.4, Stmts 37.0/39.7).
+// 5.1.1 (paper values: DEE1 34.8/38.4, Stmts 37.0/39.7). The two fits
+// run concurrently; use AICBICN to serialize them.
 func AICBIC() (*AICBICResult, error) {
+	return AICBICN(0)
+}
+
+// AICBICN is AICBIC with a concurrency bound (0 = GOMAXPROCS,
+// 1 = exact sequential path).
+func AICBICN(concurrency int) (*AICBICResult, error) {
 	comps := dataset.Paper()
-	dee1, err := core.CalibrateDEE1(comps)
-	if err != nil {
-		return nil, err
-	}
-	stmts, err := core.Calibrate(comps, []dataset.Metric{dataset.Stmts}, core.CalibrationOptions{Mixed: true})
+	var dee1, stmts *core.Calibration
+	err := parallel.Group(concurrency,
+		func() (err error) {
+			dee1, err = core.Calibrate(comps, core.DEE1Metrics, core.CalibrationOptions{Mixed: true, Concurrency: concurrency})
+			return err
+		},
+		func() (err error) {
+			stmts, err = core.Calibrate(comps, []dataset.Metric{dataset.Stmts}, core.CalibrationOptions{Mixed: true, Concurrency: concurrency})
+			return err
+		},
+	)
 	if err != nil {
 		return nil, err
 	}

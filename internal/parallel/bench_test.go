@@ -1,0 +1,60 @@
+package parallel
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// spin burns a deterministic amount of CPU, standing in for one
+// synthesis or optimizer-restart work item.
+func spin(iters int) float64 {
+	s := 1.0
+	for i := 0; i < iters; i++ {
+		s += math.Sqrt(float64(i)) * 1e-9
+	}
+	return s
+}
+
+// BenchmarkPoolOverhead measures the fixed cost of dispatching trivial
+// items through the pool versus a bare loop — the price of bounding.
+func BenchmarkPoolOverhead(b *testing.B) {
+	b.Run("bare-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 256; j++ {
+				_ = j
+			}
+		}
+	})
+	b.Run("pool", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := ForEach(0, 256, func(j int) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPoolSpeedup runs CPU-bound items sequentially and through a
+// GOMAXPROCS pool, reporting the wall-clock speedup as a custom
+// metric. On a 1-core machine the metric is ~1.
+func BenchmarkPoolSpeedup(b *testing.B) {
+	const items, work = 64, 50000
+	seqStart := time.Now()
+	if err := ForEach(1, items, func(i int) error { spin(work); return nil }); err != nil {
+		b.Fatal(err)
+	}
+	seq := time.Since(seqStart)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ForEach(0, items, func(j int) error { spin(work); return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	par := b.Elapsed() / time.Duration(b.N)
+	if par > 0 {
+		b.ReportMetric(float64(seq)/float64(par), "speedup_vs_sequential")
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}

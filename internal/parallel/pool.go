@@ -1,0 +1,157 @@
+// Package parallel is the repository's bounded concurrency layer: a
+// stdlib-only worker pool with deterministic, ordered result
+// collection and first-error propagation.
+//
+// Every fan-out in the measure→fit pipeline (multi-start optimizer
+// restarts, per-estimator calibrations, per-component corpus
+// measurements, parameter-minimization probes) goes through this
+// package instead of spawning one goroutine per item. The pool is
+// bounded by a Concurrency knob with two fixed points:
+//
+//   - 0 (or negative) means runtime.GOMAXPROCS(0) workers — use the
+//     whole machine;
+//   - 1 means the exact sequential path — fn is called in the calling
+//     goroutine in index order with no channel or goroutine overhead,
+//     so tests can diff parallel results against a pure sequential
+//     run.
+//
+// Determinism contract: work functions must not communicate with each
+// other, and results are always collected into index order. Under that
+// contract every exported function returns bit-identical values for
+// any worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Concurrency knob to an effective worker count:
+// values below 1 mean GOMAXPROCS, anything else is returned as-is.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach calls fn(0) … fn(n-1) on at most Workers(workers) concurrent
+// goroutines and waits for completion.
+//
+// Error propagation is "first error by index": among the calls that
+// ran and failed, the error of the lowest index is returned. After any
+// failure, not-yet-started indices are skipped (already-running calls
+// finish). With workers == 1 this degenerates to a plain loop that
+// stops at the first error.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		errIdx = -1
+		first  error
+		wg     sync.WaitGroup
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if failed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if errIdx == -1 || i < errIdx {
+						errIdx, first = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// Map calls fn(0) … fn(n-1) on at most Workers(workers) concurrent
+// goroutines and returns the results in index order. On error the
+// partial results are discarded and the lowest-index error is returned
+// (see ForEach).
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Group runs a fixed set of heterogeneous tasks with the pool's error
+// semantics: Group(w, a, b, c) is ForEach over the three closures.
+func Group(workers int, fns ...func() error) error {
+	return ForEach(workers, len(fns), func(i int) error { return fns[i]() })
+}
+
+// FirstMatch finds the lowest index i in [0, n) for which pred(i)
+// reports true, evaluating candidates in batches of Workers(workers)
+// so that the scan can stop as soon as a batch contains a match. It
+// returns -1 if no index matches. The result is identical to a
+// sequential lowest-first scan; the only difference is that up to one
+// batch of extra candidates past the match may be evaluated.
+//
+// It is the parallel analogue of "try candidates in ascending order,
+// keep the first that fits" — the accounting procedure's parameter
+// search (Section 2.2 of the paper) is its main client.
+func FirstMatch(workers, n int, pred func(i int) (bool, error)) (int, error) {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	for lo := 0; lo < n; lo += w {
+		hi := lo + w
+		if hi > n {
+			hi = n
+		}
+		batch, err := Map(workers, hi-lo, func(i int) (bool, error) {
+			return pred(lo + i)
+		})
+		if err != nil {
+			return -1, err
+		}
+		for i, ok := range batch {
+			if ok {
+				return lo + i, nil
+			}
+		}
+	}
+	return -1, nil
+}

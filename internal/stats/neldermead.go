@@ -3,6 +3,8 @@ package stats
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
 )
 
 // NelderMeadOptions configures Minimize. The zero value selects sensible
@@ -204,16 +206,34 @@ func Minimize(f func([]float64) float64, x0 []float64, opt NelderMeadOptions) Mi
 // MinimizeMultistart runs Minimize from each starting point and returns
 // the best result. It panics if starts is empty.
 func MinimizeMultistart(f func([]float64) float64, starts [][]float64, opt NelderMeadOptions) MinimizeResult {
+	return MinimizeMultistartP(f, starts, opt, 1)
+}
+
+// MinimizeMultistartP is MinimizeMultistart with the independent
+// restarts run on up to workers concurrent goroutines (a Concurrency
+// knob: <= 0 means GOMAXPROCS, 1 the exact sequential path). f must be
+// safe for concurrent calls.
+//
+// The reduction is deterministic regardless of worker count: each
+// restart is an independent Minimize, results are collected in start
+// order, and the winner is the lowest objective value with ties broken
+// by the lowest start index — exactly the sequential selection rule —
+// so the returned optimum is bit-identical to the sequential path.
+func MinimizeMultistartP(f func([]float64) float64, starts [][]float64, opt NelderMeadOptions, workers int) MinimizeResult {
 	if len(starts) == 0 {
 		panic("stats: MinimizeMultistart: no starting points")
 	}
-	best := MinimizeResult{F: math.Inf(1)}
-	totalEvals := 0
 	for i, s := range starts {
 		if len(s) != len(starts[0]) {
 			panic(fmt.Sprintf("stats: MinimizeMultistart: start %d has dimension %d, want %d", i, len(s), len(starts[0])))
 		}
-		r := Minimize(f, s, opt)
+	}
+	results, _ := parallel.Map(workers, len(starts), func(i int) (MinimizeResult, error) {
+		return Minimize(f, starts[i], opt), nil
+	})
+	best := MinimizeResult{F: math.Inf(1)}
+	totalEvals := 0
+	for _, r := range results {
 		totalEvals += r.Evals
 		if r.F < best.F {
 			best = r

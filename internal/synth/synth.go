@@ -36,6 +36,14 @@ func SynthesizeOpts(design *hdl.Design, top string, overrides map[string]int64, 
 	if err != nil {
 		return nil, err
 	}
+	return SynthesizeInstance(inst, report, opts)
+}
+
+// SynthesizeInstance lowers an already-elaborated instance tree to an
+// optimized netlist. It lets callers that hold an elaboration (e.g.
+// the accounting procedure's memoized parameter search) synthesize
+// without paying for a second elaboration of the same design point.
+func SynthesizeInstance(inst *elab.Instance, report *elab.Report, opts LowerOptions) (*Result, error) {
 	raw, deduped, err := LowerOpts(inst, opts)
 	if err != nil {
 		return nil, err
@@ -210,16 +218,27 @@ func (s *synthesizer) instance(inst *elab.Instance) error {
 
 // childSignature keys instances by module and resolved parameters.
 func childSignature(i *elab.Instance) string {
-	sig := i.Module.Name
-	names := make([]string, 0, len(i.Params))
-	for k := range i.Params {
+	return ParamSignature(i.Module.Name, i.Params)
+}
+
+// ParamSignature is the structural signature of a module under one
+// resolved parameter assignment — the key the single-instance rule
+// uses to decide that two instances are the same design point. The
+// accounting procedure reuses it to memoize elaborations across its
+// parameter-minimization search: candidate points with equal
+// signatures elaborate to structurally identical instances.
+func ParamSignature(module string, params map[string]int64) string {
+	var b strings.Builder
+	b.WriteString(module)
+	names := make([]string, 0, len(params))
+	for k := range params {
 		names = append(names, k)
 	}
 	sort.Strings(names)
 	for _, k := range names {
-		sig += fmt.Sprintf(";%s=%d", k, i.Params[k])
+		fmt.Fprintf(&b, ";%s=%d", k, params[k])
 	}
-	return sig
+	return b.String()
 }
 
 // bindDuplicate wires a repeated instance's output bindings to the

@@ -1,0 +1,59 @@
+#!/bin/sh
+# scripts/bench.sh — run the root benchmark suite (plus the worker-pool
+# micro-benchmarks) and record the results as BENCH_<date>.json so the
+# performance trajectory is tracked across PRs.
+#
+# Usage:
+#   scripts/bench.sh                 # full suite, one iteration each
+#   scripts/bench.sh Table4          # only benchmarks matching a regex
+#   BENCHTIME=2s scripts/bench.sh    # override -benchtime
+#
+# The JSON is a flat list of benchmark records; every custom metric the
+# benchmarks report (sigma_eps, speedup_vs_sequential, ...) becomes a
+# key, so `jq`-style tooling can diff runs directly.
+set -eu
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+benchtime="${BENCHTIME:-1x}"
+out="BENCH_$(date +%Y-%m-%d).json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . ./internal/parallel | tee "$tmp"
+
+awk \
+	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v gover="$(go version | awk '{print $3}')" \
+	-v pattern="$pattern" \
+	-v benchtime="$benchtime" '
+BEGIN {
+	printf "{\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"go\": \"%s\",\n", gover
+	printf "  \"bench\": \"%s\",\n", pattern
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	n = 0
+}
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ && NF >= 4 {
+	if (n == 0) {
+		if (cpu != "") printf "  \"cpu\": \"%s\",\n", cpu
+		printf "  \"results\": ["
+	}
+	if (n++) printf ","
+	printf "\n    {\"name\": \"%s\", \"iters\": %s", $1, $2
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/"/, "", unit)
+		printf ", \"%s\": %s", unit, $i
+	}
+	printf "}"
+}
+END {
+	if (n == 0) printf "  \"results\": ["
+	printf "\n  ]\n}\n"
+}
+' "$tmp" > "$out"
+
+echo "wrote $out"
