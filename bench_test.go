@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/cones"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -227,6 +228,99 @@ func BenchmarkMeasureCorpusParallel(b *testing.B) {
 		b.ReportMetric(float64(seq)/float64(par), "speedup_vs_sequential")
 	}
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// ---------------------------------------------------------------
+// Persistent synthesis cache (warm-path variants)
+// ---------------------------------------------------------------
+
+// warmCache opens a cache in a fresh directory and populates it with
+// one cold measurement of the synthetic corpus (both accounting
+// variants, so every Figure 6 / Table 4 measurement path is covered).
+// The cold pass is not timed.
+func warmCache(b *testing.B) *cache.Cache {
+	b.Helper()
+	ch, err := cache.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, acct := range []bool{true, false} {
+		if _, err := paper.MeasureCorpusOpts(acct, paper.Opts{Cache: ch}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ch
+}
+
+// BenchmarkTable4WarmCache regenerates Table 4 with the synthetic
+// corpus re-measured through a warm cache first. Table 4 proper refits
+// the estimators on the paper's published dataset; the corpus
+// measurement is where elaboration and synthesis live, and on the warm
+// path every component must be served from the cache — the benchmark
+// fails if a single synthesis runs.
+func BenchmarkTable4WarmCache(b *testing.B) {
+	ch := warmCache(b)
+	before := ch.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := paper.MeasureCorpusOpts(true, paper.Opts{Cache: ch}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := paper.Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s := ch.Stats()
+	if s.Misses != before.Misses {
+		b.Fatalf("synthesis ran on the warm path: %d cache misses", s.Misses-before.Misses)
+	}
+	b.ReportMetric(float64(s.Hits-before.Hits)/float64(b.N), "cache_hits_per_op")
+	b.ReportMetric(0, "synth_runs_per_op")
+}
+
+// BenchmarkMeasureCorpusWarmCache isolates the warm measurement path:
+// all 18 components of the Figure 6 corpus served from the
+// content-addressed cache with zero elaborations or syntheses.
+func BenchmarkMeasureCorpusWarmCache(b *testing.B) {
+	ch := warmCache(b)
+	before := ch.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := paper.MeasureCorpusOpts(true, paper.Opts{Cache: ch}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s := ch.Stats()
+	if s.Misses != before.Misses {
+		b.Fatalf("synthesis ran on the warm path: %d cache misses", s.Misses-before.Misses)
+	}
+	b.ReportMetric(float64(s.Hits-before.Hits)/float64(b.N), "cache_hits_per_op")
+}
+
+// BenchmarkFigure6WarmCache runs the full accounting experiment with a
+// warm cache: both corpus measurements (accounting on and off) hit the
+// cache, leaving only the estimator refits as real work.
+func BenchmarkFigure6WarmCache(b *testing.B) {
+	ch := warmCache(b)
+	before := ch.Stats()
+	var res *paper.Figure6Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := paper.Figure6Opts(paper.Opts{Cache: ch})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.StopTimer()
+	s := ch.Stats()
+	if s.Misses != before.Misses {
+		b.Fatalf("synthesis ran on the warm path: %d cache misses", s.Misses-before.Misses)
+	}
+	b.ReportMetric(res.Without["FanInLC"]/res.With["FanInLC"], "faninlc_sigma_inflation")
+	b.ReportMetric(float64(s.Hits-before.Hits)/float64(b.N), "cache_hits_per_op")
 }
 
 // ---------------------------------------------------------------

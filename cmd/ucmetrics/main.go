@@ -11,6 +11,9 @@
 //
 //	-no-accounting   disable the Section 2.2 accounting procedure
 //	-csv             emit the measurement as a CSV database row
+//	-cache-dir DIR   cache measurements on disk (default
+//	                 $UCOMPLEXITY_CACHE; results are identical with
+//	                 and without the cache)
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"sort"
 
 	"repro/internal/accounting"
+	"repro/internal/cache"
 	"repro/internal/dataset"
 	"repro/internal/designs"
 	"repro/internal/hdl"
@@ -31,19 +35,28 @@ func main() {
 	builtin := flag.String("builtin", "", "bundled component label (e.g. IVM-Rename) or 'all'")
 	noAccounting := flag.Bool("no-accounting", false, "disable the accounting procedure")
 	asCSV := flag.Bool("csv", false, "emit CSV database rows")
+	cacheDir := flag.String("cache-dir", cache.DefaultDir(), "measurement cache directory (default $"+cache.EnvVar+"; empty = no cache)")
 	flag.Parse()
 
-	if err := run(*top, *builtin, !*noAccounting, *asCSV, flag.Args()); err != nil {
+	if err := run(*top, *builtin, !*noAccounting, *asCSV, *cacheDir, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "ucmetrics:", err)
 		os.Exit(1)
 	}
 }
 
-func run(top, builtin string, useAccounting, asCSV bool, files []string) error {
+func run(top, builtin string, useAccounting, asCSV bool, cacheDir string, files []string) error {
 	var rows []dataset.Component
 
+	opts := measure.Options{}
+	if cacheDir != "" {
+		c, err := cache.Open(cacheDir)
+		if err != nil {
+			return err
+		}
+		opts.Cache = c
+	}
 	measureOne := func(d *hdl.Design, project, topName string, effort float64) error {
-		res, err := accounting.MeasureComponent(d, topName, useAccounting, measure.Options{})
+		res, err := accounting.MeasureComponent(d, topName, useAccounting, opts)
 		if err != nil {
 			return err
 		}

@@ -11,16 +11,27 @@
 //	ucpaper -parallel N           bound the worker pools (0 = all
 //	                              cores, 1 = sequential; results are
 //	                              identical for every value)
+//	ucpaper -cache-dir DIR        cache synthesis measurements on disk
+//	                              (default $UCOMPLEXITY_CACHE; results
+//	                              are identical with and without it)
+//	ucpaper -cache-verify         recompute every cache hit and fail
+//	                              on any mismatch
+//	ucpaper -cpuprofile FILE      write a CPU profile of the run
+//	ucpaper -memprofile FILE      write a heap profile of the run
 //
 // Figure 6 measures the 18-component synthetic design corpus through
-// the full synthesis pipeline and takes a few seconds.
+// the full synthesis pipeline and takes a few seconds cold; with a
+// warm cache it skips elaboration and synthesis entirely.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
+	"repro/internal/cache"
 	"repro/internal/paper"
 )
 
@@ -31,18 +42,69 @@ func main() {
 	extension := flag.Bool("extension", false, "print the timing-aware estimator extension experiment")
 	all := flag.Bool("all", false, "print every table and figure")
 	par := flag.Int("parallel", 0, "worker pool bound: 0 = GOMAXPROCS, 1 = sequential (results are identical)")
+	cacheDir := flag.String("cache-dir", cache.DefaultDir(), "measurement cache directory (default $"+cache.EnvVar+"; empty = no cache)")
+	cacheVerify := flag.Bool("cache-verify", false, "recompute every cache hit and compare (consistency check)")
+	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memProfile := flag.String("memprofile", "", "write heap profile to file")
 	flag.Parse()
 
 	if !*aicbic && !*extension && *tableN == 0 && *figureN == 0 {
 		*all = true
 	}
-	if err := run(*tableN, *figureN, *aicbic, *extension, *all, *par); err != nil {
+	if err := realMain(*tableN, *figureN, *aicbic, *extension, *all, *par, *cacheDir, *cacheVerify, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "ucpaper:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tableN, figureN int, aicbic, extension, all bool, par int) error {
+func realMain(tableN, figureN int, aicbic, extension, all bool, par int, cacheDir string, cacheVerify bool, cpuProfile, memProfile string) error {
+	opts := paper.Opts{Concurrency: par}
+	if cacheDir != "" {
+		c, err := cache.Open(cacheDir)
+		if err != nil {
+			return err
+		}
+		c.SetVerify(cacheVerify)
+		opts.Cache = c
+		defer func() {
+			s := c.Stats()
+			fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d verified (%s)\n", s.Hits, s.Misses, s.VerifyChecks, cacheDir)
+		}()
+	} else if cacheVerify {
+		return fmt.Errorf("-cache-verify needs a cache (-cache-dir or $%s)", cache.EnvVar)
+	}
+
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ucpaper:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ucpaper:", err)
+			}
+		}()
+	}
+
+	return run(tableN, figureN, aicbic, extension, all, opts)
+}
+
+func run(tableN, figureN int, aicbic, extension, all bool, opts paper.Opts) error {
+	par := opts.Concurrency
 	table := func(n int) error {
 		switch n {
 		case 1:
@@ -81,7 +143,7 @@ func run(tableN, figureN int, aicbic, extension, all bool, par int) error {
 			}
 			fmt.Println(f5.Plot)
 		case 6:
-			f6, err := paper.Figure6N(par)
+			f6, err := paper.Figure6Opts(opts)
 			if err != nil {
 				return err
 			}
@@ -108,7 +170,7 @@ func run(tableN, figureN int, aicbic, extension, all bool, par int) error {
 				return err
 			}
 		}
-		ext, err := paper.TimingAwareN(par)
+		ext, err := paper.TimingAwareOpts(opts)
 		if err != nil {
 			return err
 		}
@@ -133,7 +195,7 @@ func run(tableN, figureN int, aicbic, extension, all bool, par int) error {
 		fmt.Println(res)
 	}
 	if extension {
-		ext, err := paper.TimingAwareN(par)
+		ext, err := paper.TimingAwareOpts(opts)
 		if err != nil {
 			return err
 		}

@@ -29,12 +29,15 @@ package accounting
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/elab"
 	"repro/internal/hdl"
 	"repro/internal/measure"
+	"repro/internal/netlist"
 	"repro/internal/parallel"
 	"repro/internal/synth"
 )
@@ -273,6 +276,89 @@ type Result struct {
 // once in both modes — the paper notes in Section 5.3 that the
 // accounting procedure does not affect them.
 func MeasureComponent(design *hdl.Design, top string, useAccounting bool, opts measure.Options) (*Result, error) {
+	if opts.Cache == nil {
+		return measureComponent(design, top, useAccounting, opts)
+	}
+	eff := opts
+	eff.DedupInstances = useAccounting
+	key := cache.Key(append([]string{
+		"accounting-component", design.Fingerprint(), top, fmt.Sprintf("acct=%t", useAccounting),
+	}, eff.CacheKeyParts()...)...)
+	rec, _, err := cache.DoEq(opts.Cache, key, func() (*componentRecord, error) {
+		res, err := measureComponent(design, top, useAccounting, opts)
+		if err != nil {
+			return nil, err
+		}
+		return recordOf(res), nil
+	}, compareRecords)
+	if err != nil {
+		return nil, err
+	}
+	return rec.toResult(), nil
+}
+
+// componentRecord is the cacheable projection of a Result: everything
+// downstream consumers read (metrics, accounting details, and the
+// optimized netlist that timing analysis reuses), without the live
+// elaboration trees a fresh synthesis also carries.
+type componentRecord struct {
+	Metrics          *measure.Metrics
+	UniqueModules    []string
+	MinimizedParams  map[string]int64
+	InstanceCount    int
+	DedupedInstances int
+	// ElabCacheHits/Misses describe the run that populated the entry
+	// (they depend on probe scheduling, not on the result).
+	ElabCacheHits, ElabCacheMisses int
+	Optimized                      *netlist.Netlist
+}
+
+func recordOf(res *Result) *componentRecord {
+	return &componentRecord{
+		Metrics:          res.Metrics,
+		UniqueModules:    res.UniqueModules,
+		MinimizedParams:  res.MinimizedParams,
+		InstanceCount:    res.InstanceCount,
+		DedupedInstances: res.DedupedInstances,
+		ElabCacheHits:    res.ElabCacheHits,
+		ElabCacheMisses:  res.ElabCacheMisses,
+		Optimized:        res.Synth.Optimized,
+	}
+}
+
+func (r *componentRecord) toResult() *Result {
+	return &Result{
+		Metrics:          r.Metrics,
+		UniqueModules:    r.UniqueModules,
+		MinimizedParams:  r.MinimizedParams,
+		InstanceCount:    r.InstanceCount,
+		DedupedInstances: r.DedupedInstances,
+		ElabCacheHits:    r.ElabCacheHits,
+		ElabCacheMisses:  r.ElabCacheMisses,
+		Synth:            &synth.Result{Optimized: r.Optimized},
+	}
+}
+
+// compareRecords is the cache's verify-mode comparator: every
+// paper-facing value must match bit-for-bit; the elaboration-memo
+// counters are scheduling-dependent and excluded.
+func compareRecords(cached, fresh *componentRecord) string {
+	switch {
+	case *cached.Metrics != *fresh.Metrics:
+		return fmt.Sprintf("metrics differ: cached %+v, fresh %+v", *cached.Metrics, *fresh.Metrics)
+	case !maps.Equal(cached.MinimizedParams, fresh.MinimizedParams):
+		return fmt.Sprintf("minimized parameters differ: cached %v, fresh %v", cached.MinimizedParams, fresh.MinimizedParams)
+	case cached.InstanceCount != fresh.InstanceCount:
+		return fmt.Sprintf("instance count differs: cached %d, fresh %d", cached.InstanceCount, fresh.InstanceCount)
+	case cached.DedupedInstances != fresh.DedupedInstances:
+		return fmt.Sprintf("deduped instances differ: cached %d, fresh %d", cached.DedupedInstances, fresh.DedupedInstances)
+	case cached.Optimized.Hash() != fresh.Optimized.Hash():
+		return "optimized netlist structure differs"
+	}
+	return ""
+}
+
+func measureComponent(design *hdl.Design, top string, useAccounting bool, opts measure.Options) (*Result, error) {
 	modules, err := design.TransitiveModules(top)
 	if err != nil {
 		return nil, err

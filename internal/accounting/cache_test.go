@@ -1,0 +1,126 @@
+package accounting
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/designs"
+	"repro/internal/measure"
+)
+
+// The cache contract: a component measured with the cache off, with a
+// cold cache, and from a warm cache yields bit-identical paper-facing
+// results, and a warm hit carries the optimized netlist so downstream
+// timing analysis sees the identical structure.
+
+func measureExec(t *testing.T, opts measure.Options) *Result {
+	t.Helper()
+	c, err := designs.ByLabel("IVM-Execute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := designs.Design(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureComponent(d, c.Top, true, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCacheOffColdWarmBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	ch, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	off := measureExec(t, measure.Options{})
+	cold := measureExec(t, measure.Options{Cache: ch})
+	warm := measureExec(t, measure.Options{Cache: ch})
+
+	for name, got := range map[string]*Result{"cold": cold, "warm": warm} {
+		if *got.Metrics != *off.Metrics {
+			t.Errorf("%s metrics diverged from uncached:\n%+v\n%+v", name, *got.Metrics, *off.Metrics)
+		}
+		if !reflect.DeepEqual(got.MinimizedParams, off.MinimizedParams) {
+			t.Errorf("%s minimized params diverged: %v vs %v", name, got.MinimizedParams, off.MinimizedParams)
+		}
+		if got.InstanceCount != off.InstanceCount || got.DedupedInstances != off.DedupedInstances {
+			t.Errorf("%s accounting counts diverged", name)
+		}
+		if got.Synth == nil || got.Synth.Optimized == nil {
+			t.Fatalf("%s result carries no optimized netlist", name)
+		}
+		if got.Synth.Optimized.Hash() != off.Synth.Optimized.Hash() {
+			t.Errorf("%s optimized netlist structure diverged from uncached", name)
+		}
+	}
+
+	s := ch.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want exactly 1 miss (cold) and 1 hit (warm)", s)
+	}
+
+	// A fresh handle on the same directory must also hit: the entry is
+	// content-addressed on disk, not process state.
+	ch2, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := measureExec(t, measure.Options{Cache: ch2})
+	if *again.Metrics != *off.Metrics {
+		t.Error("reopened cache served diverging metrics")
+	}
+	if s := ch2.Stats(); s.Hits != 1 || s.Misses != 0 {
+		t.Errorf("reopened cache stats = %+v, want pure hit", s)
+	}
+}
+
+func TestCacheVerifyModePassesOnConsistentEntry(t *testing.T) {
+	ch, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := measureExec(t, measure.Options{Cache: ch})
+	ch.SetVerify(true)
+	verified := measureExec(t, measure.Options{Cache: ch})
+	if *verified.Metrics != *first.Metrics {
+		t.Error("verify-mode hit diverged from original measurement")
+	}
+	s := ch.Stats()
+	if s.VerifyChecks != 1 || s.VerifyMismatches != 0 {
+		t.Errorf("stats = %+v, want 1 clean verify check", s)
+	}
+}
+
+func TestCacheCorruptedComponentEntryRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	ch, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := measureExec(t, measure.Options{Cache: ch})
+
+	entries, err := filepath.Glob(filepath.Join(dir, "*.gob"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries = %v (err %v), want exactly one", entries, err)
+	}
+	if err := os.WriteFile(entries[0], []byte("damaged"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	again := measureExec(t, measure.Options{Cache: ch})
+	if *again.Metrics != *first.Metrics {
+		t.Error("recomputed measurement diverged after corruption")
+	}
+	s := ch.Stats()
+	if s.DecodeErrors == 0 || s.Misses != 2 {
+		t.Errorf("stats = %+v, want the corrupt entry discarded and recomputed", s)
+	}
+}

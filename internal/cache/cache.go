@@ -1,0 +1,278 @@
+// Package cache implements a content-addressed, versioned, on-disk
+// cache for synthesis-derived results. Entries are gob-encoded files
+// named by a SHA-256 key the caller derives from the content that
+// determines the result — the structural fingerprint of the source
+// design, the synthesis parameter signature, and the measurement
+// options — plus the cache schema version, so a schema bump silently
+// invalidates every old entry instead of misreading it.
+//
+// The cache is safe for concurrent use. Lookups of the same key are
+// single-flighted: when several workers (e.g. an internal/parallel
+// pool measuring a corpus) miss on one key at the same time, exactly
+// one runs the computation and the rest wait for its result.
+// Corrupted or truncated entries are treated as misses — the entry is
+// deleted and recomputed — never as errors, so a damaged cache
+// directory degrades to cold-start performance rather than failure.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+)
+
+// SchemaVersion is the on-disk format version. It participates in both
+// the key derivation and the per-entry header, so bumping it orphans
+// every existing entry (they are never decoded, only ignored).
+const SchemaVersion = 1
+
+// EnvVar names the environment variable the commands consult for a
+// default cache directory when no -cache-dir flag is given.
+const EnvVar = "UCOMPLEXITY_CACHE"
+
+// DefaultDir returns the cache directory from the environment ("" when
+// unset, meaning caching is off).
+func DefaultDir() string { return os.Getenv(EnvVar) }
+
+// ErrVerifyMismatch reports that verify mode recomputed a cached entry
+// and the fresh result disagreed with the stored one.
+var ErrVerifyMismatch = errors.New("cache: verify mismatch between cached and recomputed result")
+
+// Stats counts cache activity since Open.
+type Stats struct {
+	Hits             int64 // entries served from disk
+	Misses           int64 // keys computed fresh (no usable entry)
+	Puts             int64 // entries written
+	DecodeErrors     int64 // corrupt/truncated/stale entries discarded
+	VerifyChecks     int64 // hits recomputed in verify mode
+	VerifyMismatches int64
+}
+
+// Cache is one on-disk cache directory.
+type Cache struct {
+	dir    string
+	verify atomic.Bool
+
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	hits, misses, puts, decodeErrs, verifyChecks, verifyMismatches atomic.Int64
+}
+
+type flight struct {
+	done chan struct{}
+	val  any
+	hit  bool
+	err  error
+}
+
+// Open creates (if needed) and opens a cache rooted at dir.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, errors.New("cache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Cache{dir: dir, flights: map[string]*flight{}}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// SetVerify switches verify mode: every hit is recomputed and compared
+// against the stored entry, turning the cache into a consistency
+// checker instead of an accelerator.
+func (c *Cache) SetVerify(v bool) { c.verify.Store(v) }
+
+// Verifying reports whether verify mode is on.
+func (c *Cache) Verifying() bool { return c.verify.Load() }
+
+// Stats returns a snapshot of the activity counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		Puts:             c.puts.Load(),
+		DecodeErrors:     c.decodeErrs.Load(),
+		VerifyChecks:     c.verifyChecks.Load(),
+		VerifyMismatches: c.verifyMismatches.Load(),
+	}
+}
+
+// Key derives a cache key from the parts that determine a result.
+// Parts are length-prefixed (so {"ab","c"} and {"a","bc"} differ) and
+// the schema version is mixed in. The key doubles as the entry's file
+// name.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(SchemaVersion))
+	h.Write(buf[:])
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(p)))
+		h.Write(buf[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// header is decoded before the payload; a mismatch in any field means
+// the entry belongs to a different format and is ignored.
+type header struct {
+	Magic  string
+	Schema int
+	Key    string
+}
+
+const magic = "ucx-cache"
+
+func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".gob") }
+
+// Get decodes the entry for key into out. It returns false on any
+// miss: no entry, a truncated or corrupt file, or a schema mismatch
+// (damaged entries are deleted so they are not re-read every time).
+func Get[T any](c *Cache, key string, out *T) bool {
+	f, err := os.Open(c.path(key))
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	var h header
+	if err := dec.Decode(&h); err != nil || h.Magic != magic || h.Schema != SchemaVersion || h.Key != key {
+		c.discard(key)
+		return false
+	}
+	if err := dec.Decode(out); err != nil {
+		c.discard(key)
+		return false
+	}
+	return true
+}
+
+func (c *Cache) discard(key string) {
+	c.decodeErrs.Add(1)
+	os.Remove(c.path(key))
+}
+
+// Put writes the entry for key atomically (temp file + rename), so a
+// concurrent reader or a crash never observes a partial entry.
+func Put[T any](c *Cache, key string, val T) error {
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	enc := gob.NewEncoder(tmp)
+	if err := enc.Encode(header{Magic: magic, Schema: SchemaVersion, Key: key}); err == nil {
+		err = enc.Encode(val)
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: encode %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	c.puts.Add(1)
+	return nil
+}
+
+// Do returns the entry for key, computing and storing it on a miss.
+// The boolean reports whether the result came from the cache.
+// Concurrent calls for the same key are single-flighted: one computes,
+// the rest receive its result. A nil cache just runs compute.
+//
+// In verify mode a hit recomputes anyway and compares the two results
+// with reflect.DeepEqual, returning ErrVerifyMismatch on disagreement;
+// use DoEq when the cached type needs a domain-specific comparison.
+func Do[T any](c *Cache, key string, compute func() (T, error)) (T, bool, error) {
+	return DoEq(c, key, compute, nil)
+}
+
+// DoEq is Do with an explicit verify-mode comparator: eq receives the
+// cached and the recomputed value and returns a description of the
+// first difference ("" when equal). A nil eq means reflect.DeepEqual.
+func DoEq[T any](c *Cache, key string, compute func() (T, error), eq func(cached, fresh T) string) (T, bool, error) {
+	var zero T
+	if c == nil {
+		v, err := compute()
+		return v, false, err
+	}
+
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return zero, false, f.err
+		}
+		v, ok := f.val.(T)
+		if !ok {
+			return zero, false, fmt.Errorf("cache: key %s used with mismatched types %T and %T", key, f.val, zero)
+		}
+		return v, f.hit, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+	defer func() {
+		close(f.done)
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+	}()
+
+	var cached T
+	if Get(c, key, &cached) {
+		c.hits.Add(1)
+		if c.Verifying() {
+			c.verifyChecks.Add(1)
+			fresh, err := compute()
+			if err != nil {
+				f.err = fmt.Errorf("cache: verify recompute of %s: %w", key, err)
+				return zero, false, f.err
+			}
+			diff := ""
+			if eq != nil {
+				diff = eq(cached, fresh)
+			} else if !reflect.DeepEqual(cached, fresh) {
+				diff = "values differ (DeepEqual)"
+			}
+			if diff != "" {
+				c.verifyMismatches.Add(1)
+				f.err = fmt.Errorf("%w: key %s: %s", ErrVerifyMismatch, key, diff)
+				return zero, false, f.err
+			}
+		}
+		f.val, f.hit = cached, true
+		return cached, true, nil
+	}
+
+	c.misses.Add(1)
+	v, err := compute()
+	if err != nil {
+		f.err = err
+		return zero, false, err
+	}
+	// A failed write is not fatal — the caller still has the value —
+	// but it is counted as a decode error so a read-only or full cache
+	// directory is visible in the stats.
+	if err := Put(c, key, v); err != nil {
+		c.decodeErrs.Add(1)
+	}
+	f.val = v
+	return v, false, nil
+}

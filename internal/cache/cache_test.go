@@ -1,0 +1,261 @@
+package cache
+
+import (
+	"encoding/gob"
+	"errors"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type payload struct {
+	Name   string
+	Values []int
+}
+
+func open(t *testing.T) *Cache {
+	t.Helper()
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestKeyDerivation(t *testing.T) {
+	if Key("a", "bc") == Key("ab", "c") {
+		t.Error("length prefixing failed: shifted part boundaries collide")
+	}
+	if Key("x") != Key("x") {
+		t.Error("key not deterministic")
+	}
+	if len(Key("x")) != 64 {
+		t.Errorf("key is %d chars, want 64 hex", len(Key("x")))
+	}
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	c := open(t)
+	key := Key("roundtrip")
+	want := payload{Name: "n", Values: []int{1, 2, 3}}
+	if err := Put(c, key, want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if !Get(c, key, &got) {
+		t.Fatal("miss after put")
+	}
+	if got.Name != want.Name || len(got.Values) != 3 || got.Values[2] != 3 {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+	if Get(c, Key("other"), &got) {
+		t.Error("hit on a key never put")
+	}
+}
+
+func TestDoComputesOnceThenHits(t *testing.T) {
+	c := open(t)
+	key := Key("do")
+	calls := 0
+	compute := func() (payload, error) {
+		calls++
+		return payload{Name: "v"}, nil
+	}
+	v, hit, err := Do(c, key, compute)
+	if err != nil || hit || v.Name != "v" {
+		t.Fatalf("first Do: v=%+v hit=%v err=%v", v, hit, err)
+	}
+	v, hit, err = Do(c, key, compute)
+	if err != nil || !hit || v.Name != "v" {
+		t.Fatalf("second Do: v=%+v hit=%v err=%v", v, hit, err)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 put", s)
+	}
+}
+
+func TestNilCacheJustComputes(t *testing.T) {
+	v, hit, err := Do(nil, Key("k"), func() (int, error) { return 7, nil })
+	if v != 7 || hit || err != nil {
+		t.Errorf("nil cache: v=%d hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestCorruptedEntryFallsBackToRecompute(t *testing.T) {
+	c := open(t)
+	key := Key("corrupt")
+	if err := Put(c, key, payload{Name: "good"}); err != nil {
+		t.Fatal(err)
+	}
+	corruptions := map[string]func(path string) error{
+		"garbage": func(p string) error { return os.WriteFile(p, []byte("not gob at all"), 0o644) },
+		"truncated": func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, data[:len(data)/2], 0o644)
+		},
+		"empty": func(p string) error { return os.WriteFile(p, nil, 0o644) },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			if err := Put(c, key, payload{Name: "good"}); err != nil {
+				t.Fatal(err)
+			}
+			if err := corrupt(c.path(key)); err != nil {
+				t.Fatal(err)
+			}
+			v, hit, err := Do(c, key, func() (payload, error) { return payload{Name: "recomputed"}, nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hit || v.Name != "recomputed" {
+				t.Errorf("corrupt entry served as hit: v=%+v hit=%v", v, hit)
+			}
+			// The recompute must repair the entry.
+			var got payload
+			if !Get(c, key, &got) || got.Name != "recomputed" {
+				t.Errorf("entry not repaired after recompute: %+v", got)
+			}
+		})
+	}
+	if s := c.Stats(); s.DecodeErrors == 0 {
+		t.Error("corrupt entries not counted")
+	}
+}
+
+func TestSchemaVersionBumpInvalidates(t *testing.T) {
+	c := open(t)
+	key := Key("schema")
+	// Hand-write an entry with a future schema version at today's key:
+	// the reader must ignore it (as it must ignore stale entries after
+	// a real bump, whose keys also change).
+	f, err := os.Create(c.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := gob.NewEncoder(f)
+	if err := enc.Encode(header{Magic: magic, Schema: SchemaVersion + 1, Key: key}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(payload{Name: "future"}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var got payload
+	if Get(c, key, &got) {
+		t.Fatalf("entry with schema %d decoded by reader at schema %d", SchemaVersion+1, SchemaVersion)
+	}
+	if _, err := os.Stat(c.path(key)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("stale-schema entry not deleted")
+	}
+}
+
+func TestSingleFlight(t *testing.T) {
+	c := open(t)
+	key := Key("flight")
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]payload, n)
+	hits := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, hit, err := Do(c, key, func() (payload, error) {
+				calls.Add(1)
+				<-gate // hold the flight open until everyone has joined
+				return payload{Name: "shared"}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], hits[i] = v, hit
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Errorf("compute ran %d times under concurrent Do, want 1", got)
+	}
+	for i := range results {
+		if results[i].Name != "shared" {
+			t.Errorf("goroutine %d got %+v", i, results[i])
+		}
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := open(t)
+	key := Key("err")
+	boom := errors.New("boom")
+	_, _, err := Do(c, key, func() (int, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, hit, err := Do(c, key, func() (int, error) { return 42, nil })
+	if err != nil || hit || v != 42 {
+		t.Errorf("after failed compute: v=%d hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestVerifyMode(t *testing.T) {
+	c := open(t)
+	c.SetVerify(true)
+	key := Key("verify")
+	if err := Put(c, key, payload{Name: "stored", Values: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	v, hit, err := Do(c, key, func() (payload, error) {
+		return payload{Name: "stored", Values: []int{1}}, nil
+	})
+	if err != nil || !hit || v.Name != "stored" {
+		t.Fatalf("matching verify: v=%+v hit=%v err=%v", v, hit, err)
+	}
+	_, _, err = Do(c, key, func() (payload, error) {
+		return payload{Name: "different", Values: []int{1}}, nil
+	})
+	if !errors.Is(err, ErrVerifyMismatch) {
+		t.Fatalf("mismatching verify returned %v, want ErrVerifyMismatch", err)
+	}
+	s := c.Stats()
+	if s.VerifyChecks != 2 || s.VerifyMismatches != 1 {
+		t.Errorf("stats = %+v, want 2 checks / 1 mismatch", s)
+	}
+}
+
+func TestDoEqComparator(t *testing.T) {
+	c := open(t)
+	c.SetVerify(true)
+	key := Key("doeq")
+	if err := Put(c, key, payload{Name: "x", Values: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Comparator that only inspects Name: a Values difference passes.
+	eq := func(cached, fresh payload) string {
+		if cached.Name != fresh.Name {
+			return "Name differs"
+		}
+		return ""
+	}
+	_, hit, err := DoEq(c, key, func() (payload, error) {
+		return payload{Name: "x", Values: []int{999}}, nil
+	}, eq)
+	if err != nil || !hit {
+		t.Fatalf("comparator verify: hit=%v err=%v", hit, err)
+	}
+	_, _, err = DoEq(c, key, func() (payload, error) {
+		return payload{Name: "y"}, nil
+	}, eq)
+	if !errors.Is(err, ErrVerifyMismatch) {
+		t.Fatalf("comparator mismatch returned %v", err)
+	}
+}

@@ -19,6 +19,15 @@
 // The paper approximates this metric from FPGA LUT input counts (see
 // internal/fpga); this package computes it exactly, and the two are
 // compared in the FanInLC ablation benchmark.
+//
+// Cones overlap heavily (a register output typically feeds many
+// endpoints), so the extraction is organized as a single forward sweep
+// rather than an independent graph walk per endpoint: net depths come
+// from one pass over the topological order, traversals use
+// epoch-stamped visited arrays and reusable scratch buffers instead of
+// per-endpoint maps, and every multi-fanout net memoizes its subcone's
+// distinct leaf and gate sets so reconvergent regions are expanded
+// once and then merged in O(set size) per reference.
 package cones
 
 import (
@@ -52,86 +61,47 @@ type Analysis struct {
 	MaxDepth int
 }
 
+// memo caches the distinct leaf and gate sets of one multi-fanout
+// net's subcone. Gates are identified by their output net (each
+// combinational cell drives exactly one net), so merging a memo into a
+// traversal needs only the net-visited epoch array.
+type memo struct {
+	leaves []netlist.NetID
+	gates  []netlist.NetID // output nets of the subcone's cells
+}
+
+// analyzer holds the sweep state: immutable per-net tables computed
+// once, plus epoch-stamped scratch reused across every traversal.
+type analyzer struct {
+	n       *netlist.Netlist
+	drivers []int
+	leaf    []bool
+	depth   []int32
+	memos   []memo
+	memoIdx []int32 // per-net memo index, -1 when not memoized
+
+	epoch    uint32
+	netEpoch []uint32
+	stack    []netlist.NetID
+	leaves   []netlist.NetID
+	gates    []netlist.NetID
+}
+
 // Analyze extracts every logic cone of the netlist.
 func Analyze(n *netlist.Netlist) *Analysis {
-	drivers := n.Drivers()
-
-	// Leaves: nets not driven by combinational cells. This covers
-	// primary inputs, sequential outputs, RAM read outputs, and
-	// dangling nets; constants are excluded explicitly.
-	isLeaf := func(id netlist.NetID) bool {
-		if id == n.Const0 || id == n.Const1 {
-			return false
-		}
-		d := drivers[id]
-		return d < 0 || n.Cells[d].Type.IsSequential()
-	}
-
-	// Per-net memoized cone info: set of leaves (as sorted slice key
-	// is too costly; use map-based merging with memoization of counts
-	// only when sharing is absent). Cones overlap, so we compute each
-	// endpoint's leaf set by DFS with a per-endpoint visited set; gate
-	// counts likewise. Netlists here are modest (≤ a few hundred
-	// thousand cells), and endpoints touch bounded regions.
-	depthMemo := make([]int, n.NumNets())
-	for i := range depthMemo {
-		depthMemo[i] = -1
-	}
-	var netDepth func(id netlist.NetID) int
-	netDepth = func(id netlist.NetID) int {
-		if isLeaf(id) || id == n.Const0 || id == n.Const1 {
-			return 0
-		}
-		if depthMemo[id] >= 0 {
-			return depthMemo[id]
-		}
-		d := drivers[id]
-		if d < 0 {
-			return 0
-		}
-		max := 0
-		for _, in := range n.Cells[d].Inputs() {
-			if dep := netDepth(in); dep > max {
-				max = dep
-			}
-		}
-		depthMemo[id] = max + 1
-		return max + 1
-	}
-
+	a := newAnalyzer(n)
 	analysis := &Analysis{}
+
 	cone := func(endpoint string, root netlist.NetID) {
 		if root == netlist.Nil {
 			return
 		}
-		leaves := map[netlist.NetID]bool{}
-		gates := map[int]bool{}
-		var visit func(id netlist.NetID)
-		visited := map[netlist.NetID]bool{}
-		visit = func(id netlist.NetID) {
-			if visited[id] || id == n.Const0 || id == n.Const1 {
-				return
-			}
-			visited[id] = true
-			if isLeaf(id) {
-				leaves[id] = true
-				return
-			}
-			d := drivers[id]
-			if d < 0 {
-				return
-			}
-			gates[d] = true
-			for _, in := range n.Cells[d].Inputs() {
-				visit(in)
-			}
-		}
-		visit(root)
+		leaves, gates := a.collect(root)
 		c := Cone{
 			Endpoint: endpoint,
-			Leaves:   len(leaves),
-			Gates:    len(gates),
-			Depth:    netDepth(root),
+			Leaves:   leaves,
+			Gates:    gates,
+			Depth:    int(a.depthOf(root)),
 		}
 		analysis.Cones = append(analysis.Cones, c)
 		analysis.FanInLC += c.Leaves
@@ -173,6 +143,177 @@ func Analyze(n *netlist.Netlist) *Analysis {
 		return analysis.Cones[i].Endpoint < analysis.Cones[j].Endpoint
 	})
 	return analysis
+}
+
+// newAnalyzer runs the one-time sweep: leaf classification, the depth
+// pass over the topological order, fanout counting, and memo
+// construction for every multi-fanout combinational net.
+func newAnalyzer(n *netlist.Netlist) *analyzer {
+	numNets := n.NumNets()
+	a := &analyzer{
+		n:        n,
+		drivers:  n.Drivers(),
+		leaf:     make([]bool, numNets),
+		depth:    make([]int32, numNets),
+		memoIdx:  make([]int32, numNets),
+		netEpoch: make([]uint32, numNets),
+	}
+	for id := 0; id < numNets; id++ {
+		a.memoIdx[id] = -1
+		if netlist.NetID(id) == n.Const0 || netlist.NetID(id) == n.Const1 {
+			continue
+		}
+		d := a.drivers[id]
+		a.leaf[id] = d < 0 || n.Cells[d].Type.IsSequential()
+	}
+
+	order, err := n.TopoOrder()
+	if err != nil {
+		// A cyclic netlist has no well-defined cone structure; synth
+		// validates against this. Leave depths zero and skip memos —
+		// collect still terminates because visits are epoch-deduped.
+		return a
+	}
+
+	// Depth pass: one forward sweep. depthOf(leaf|const) = 0;
+	// depth[out] = 1 + max over inputs.
+	for _, ci := range order {
+		c := &n.Cells[ci]
+		max := int32(0)
+		for _, in := range c.Inputs() {
+			if d := a.depthOf(in); d > max {
+				max = d
+			}
+		}
+		a.depth[c.Out] = max + 1
+	}
+
+	// Fanout: references to each net as a combinational-cell input or
+	// as a cone endpoint root. Nets referenced more than once are the
+	// reconvergence points worth memoizing.
+	fanout := make([]int32, numNets)
+	ref := func(id netlist.NetID) {
+		if id != netlist.Nil {
+			fanout[id]++
+		}
+	}
+	for ci := range n.Cells {
+		c := &n.Cells[ci]
+		if c.Type.IsSequential() {
+			ref(c.In[0])
+			if c.Type == netlist.Latch {
+				ref(c.In[1])
+			}
+			continue
+		}
+		for _, in := range c.Inputs() {
+			ref(in)
+		}
+	}
+	for _, p := range n.Outputs {
+		ref(p.Net)
+	}
+	for _, r := range n.RAMs {
+		for _, wp := range r.WritePorts {
+			ref(wp.En)
+			for _, b := range wp.Addr {
+				ref(b)
+			}
+			for _, b := range wp.Data {
+				ref(b)
+			}
+		}
+		for _, rp := range r.ReadPorts {
+			for _, b := range rp.Addr {
+				ref(b)
+			}
+		}
+	}
+
+	// Memo pass in topological order: each multi-fanout net expands
+	// its subcone once, short-circuiting through the memos of deeper
+	// shared nets already built.
+	for _, ci := range order {
+		out := n.Cells[ci].Out
+		if fanout[out] < 2 {
+			continue
+		}
+		leaves, gates := a.traverse(out)
+		a.memoIdx[out] = int32(len(a.memos))
+		a.memos = append(a.memos, memo{
+			leaves: append([]netlist.NetID(nil), leaves...),
+			gates:  append([]netlist.NetID(nil), gates...),
+		})
+	}
+	return a
+}
+
+func (a *analyzer) depthOf(id netlist.NetID) int32 {
+	if id == a.n.Const0 || id == a.n.Const1 || a.leaf[id] {
+		return 0
+	}
+	return a.depth[id]
+}
+
+// collect returns the distinct leaf and gate counts of the cone rooted
+// at root.
+func (a *analyzer) collect(root netlist.NetID) (leaves, gates int) {
+	l, g := a.traverse(root)
+	return len(l), len(g)
+}
+
+// traverse walks the cone rooted at root and returns its distinct
+// leaves and gate-output nets in scratch buffers (valid until the next
+// traversal). The root's own memo is never consulted, so the memo pass
+// can use traverse to build it.
+func (a *analyzer) traverse(root netlist.NetID) (leaves, gates []netlist.NetID) {
+	a.epoch++
+	epoch := a.epoch
+	n := a.n
+	stack := append(a.stack[:0], root)
+	a.leaves = a.leaves[:0]
+	a.gates = a.gates[:0]
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id == n.Const0 || id == n.Const1 || a.netEpoch[id] == epoch {
+			continue
+		}
+		if a.leaf[id] {
+			a.netEpoch[id] = epoch
+			a.leaves = append(a.leaves, id)
+			continue
+		}
+		if mi := a.memoIdx[id]; mi >= 0 && id != root {
+			// The memo's gate list contains id itself (every memo root
+			// is a gate output), so merging stamps and counts it too.
+			m := &a.memos[mi]
+			for _, l := range m.leaves {
+				if a.netEpoch[l] != epoch {
+					a.netEpoch[l] = epoch
+					a.leaves = append(a.leaves, l)
+				}
+			}
+			for _, g := range m.gates {
+				if a.netEpoch[g] != epoch {
+					a.netEpoch[g] = epoch
+					a.gates = append(a.gates, g)
+				}
+			}
+			continue
+		}
+		a.netEpoch[id] = epoch
+		d := a.drivers[id]
+		if d < 0 {
+			continue
+		}
+		a.gates = append(a.gates, id)
+		for _, in := range n.Cells[d].Inputs() {
+			stack = append(stack, in)
+		}
+	}
+	a.stack = stack[:0]
+	return a.leaves, a.gates
 }
 
 func key(kind string, cell int, pin string) string {

@@ -1,6 +1,8 @@
 package hdl
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 )
@@ -81,6 +83,21 @@ func (d *Design) ModuleNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Fingerprint returns a stable content hash of the design: every
+// module pretty-printed in name order and hashed with SHA-256. Two
+// designs with structurally identical module declarations fingerprint
+// identically regardless of file layout or declaration order. It is
+// the "source tree" part of the content-addressed cache keys in
+// internal/cache.
+func (d *Design) Fingerprint() string {
+	h := sha256.New()
+	for _, name := range d.ModuleNames() {
+		h.Write([]byte(Format(d.modules[name])))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Instantiated returns the set of module names instantiated (directly)

@@ -8,6 +8,7 @@ package measure
 import (
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/cones"
 	"repro/internal/dataset"
 	"repro/internal/fpga"
@@ -111,6 +112,12 @@ type Options struct {
 	// 0 means GOMAXPROCS, 1 forces the exact sequential path. Measured
 	// metrics are identical for every value.
 	Concurrency int
+	// Cache, when non-nil, stores measurement results on disk keyed by
+	// the design fingerprint, parameter signature, and measurement
+	// options, so repeated runs skip elaboration and synthesis
+	// entirely. Concurrency is deliberately excluded from the key:
+	// results are identical for every worker count.
+	Cache *cache.Cache
 }
 
 func (o Options) library() *stdcell.Library {
@@ -118,6 +125,19 @@ func (o Options) library() *stdcell.Library {
 		return stdcell.Default180nm()
 	}
 	return o.Library
+}
+
+// CacheKeyParts renders the result-determining options as stable key
+// components for internal/cache: the cell library's name and the FPGA
+// mapping parameters. Concurrency and the cache handle itself are
+// excluded (neither changes any measured value).
+func (o Options) CacheKeyParts() []string {
+	f := o.FPGA
+	return []string{
+		"lib=" + o.library().Name,
+		fmt.Sprintf("fpga=K%d;%g;%g;%g;%g;%g", f.K, f.ClkToQ, f.LUTDelay, f.RouteDelay, f.Setup, f.RAMAccess),
+		fmt.Sprintf("dedup=%t", o.DedupInstances),
+	}
 }
 
 // Module measures one module of the design, synthesized standalone
@@ -130,11 +150,21 @@ func Module(design *hdl.Design, top string, overrides map[string]int64, opts Opt
 	if err != nil {
 		return nil, err
 	}
-	res, err := synth.SynthesizeOpts(design, top, overrides, synth.LowerOptions{DedupInstances: opts.DedupInstances})
-	if err != nil {
-		return nil, fmt.Errorf("measure: synthesize %s: %w", top, err)
+	compute := func() (*Metrics, error) {
+		res, err := synth.SynthesizeOpts(design, top, overrides, synth.LowerOptions{DedupInstances: opts.DedupInstances})
+		if err != nil {
+			return nil, fmt.Errorf("measure: synthesize %s: %w", top, err)
+		}
+		return fromNetlist(res, mod, opts)
 	}
-	return fromNetlist(res, mod, opts)
+	if opts.Cache == nil {
+		return compute()
+	}
+	key := cache.Key(append([]string{
+		"measure-module", design.Fingerprint(), synth.ParamSignature(top, overrides),
+	}, opts.CacheKeyParts()...)...)
+	m, _, err := cache.Do(opts.Cache, key, compute)
+	return m, err
 }
 
 // SynthMetricsOnly measures only the synthesis-derived metrics of an

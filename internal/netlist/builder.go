@@ -278,41 +278,56 @@ func (b *Builder) Build() (*Netlist, error) {
 		b.outputs[i].Net = b.Find(b.outputs[i].Net)
 	}
 
-	// Detect multiple drivers and cells driving constants.
-	seen := map[NetID]string{}
+	// Detect multiple drivers and cells driving constants. Driver
+	// identities are recorded as compact references and only formatted
+	// into names when an error is actually reported — this loop runs
+	// once per cell on the success path.
+	type driverRef struct {
+		kind int8 // 0 = cell, 1 = RAM read port, 2 = input
+		a, b int32
+	}
+	describe := func(d driverRef) string {
+		switch d.kind {
+		case 0:
+			return fmt.Sprintf("cell %d (%s)", d.a, b.cells[d.a].Type)
+		case 1:
+			return fmt.Sprintf("RAM %s read port %d", b.rams[d.a].Name, d.b)
+		default:
+			return "input " + b.inputs[d.a].Name
+		}
+	}
+	seen := make(map[NetID]driverRef, len(b.cells))
 	c0, c1 := b.Find(b.const0), b.Find(b.const1)
-	driverName := func(i int) string { return fmt.Sprintf("cell %d (%s)", i, b.cells[i].Type) }
 	for i := range b.cells {
 		out := b.cells[i].Out
 		if out == c0 || out == c1 {
-			return nil, fmt.Errorf("netlist: %s drives a constant net", driverName(i))
+			return nil, fmt.Errorf("netlist: %s drives a constant net", describe(driverRef{0, int32(i), 0}))
 		}
 		if prev, dup := seen[out]; dup {
-			return nil, fmt.Errorf("netlist: net %q driven by both %s and %s", b.names[out], prev, driverName(i))
+			return nil, fmt.Errorf("netlist: net %q driven by both %s and %s", b.names[out], describe(prev), describe(driverRef{0, int32(i), 0}))
 		}
-		seen[out] = driverName(i)
+		seen[out] = driverRef{0, int32(i), 0}
 	}
-	for _, r := range b.rams {
+	for ri, r := range b.rams {
 		for pi, rp := range r.ReadPorts {
 			for _, o := range rp.Out {
-				name := fmt.Sprintf("RAM %s read port %d", r.Name, pi)
 				if prev, dup := seen[o]; dup {
-					return nil, fmt.Errorf("netlist: net %q driven by both %s and %s", b.names[o], prev, name)
+					return nil, fmt.Errorf("netlist: net %q driven by both %s and %s", b.names[o], describe(prev), describe(driverRef{1, int32(ri), int32(pi)}))
 				}
-				seen[o] = name
+				seen[o] = driverRef{1, int32(ri), int32(pi)}
 			}
 		}
 	}
-	for _, p := range b.inputs {
+	for pi, p := range b.inputs {
 		if prev, dup := seen[p.Net]; dup {
-			return nil, fmt.Errorf("netlist: input %s conflicts with %s", p.Name, prev)
+			return nil, fmt.Errorf("netlist: input %s conflicts with %s", p.Name, describe(prev))
 		}
-		seen[p.Net] = "input " + p.Name
+		seen[p.Net] = driverRef{2, int32(pi), 0}
 	}
 
 	// Compact: renumber only referenced representatives.
-	remap := make(map[NetID]NetID)
-	var names []string
+	remap := make(map[NetID]NetID, len(b.names))
+	names := make([]string, 0, len(b.names))
 	get := func(id NetID) NetID {
 		if id == Nil {
 			return Nil

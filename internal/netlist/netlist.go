@@ -13,7 +13,13 @@
 // (internal/cones, internal/fpga).
 package netlist
 
-import "fmt"
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
 
 // NetID identifies a single-bit net. The zero value is valid (net 0);
 // Nil marks absent optional pins.
@@ -139,6 +145,14 @@ type PortBit struct {
 }
 
 // Netlist is a flattened gate-level design.
+//
+// Once built (by Builder.Build or Optimize) a netlist is treated as
+// immutable; the derived structures below (driver table, topological
+// order, structural hash) are computed lazily on first use and cached,
+// so every downstream pass — cones, fpga, timing, power, optimize —
+// shares one copy instead of recomputing them. The cache is
+// mutex-guarded, making concurrent analyses of a shared netlist (e.g.
+// one synthesis result reused by parallel workers) race-free.
 type Netlist struct {
 	NetNames []string // per-net debug names ("" for anonymous)
 	Cells    []Cell
@@ -148,6 +162,15 @@ type Netlist struct {
 
 	Inputs  []PortBit
 	Outputs []PortBit
+
+	derived struct {
+		mu       sync.Mutex
+		drivers  []int
+		topo     []int
+		topoErr  error
+		topoDone bool
+		hash     string
+	}
 }
 
 // NumNets returns the number of nets (including constants).
@@ -182,24 +205,120 @@ func (n *Netlist) CountByType() map[CellType]int {
 }
 
 // Drivers returns, for every net, the index of the cell driving it
-// (-1 for undriven nets: primary inputs, constants, RAM outputs).
+// (-1 for undriven nets: primary inputs, constants, RAM outputs). The
+// table is computed once and shared: callers must treat it as
+// read-only.
 func (n *Netlist) Drivers() []int {
-	d := make([]int, n.NumNets())
-	for i := range d {
-		d[i] = -1
+	n.derived.mu.Lock()
+	defer n.derived.mu.Unlock()
+	return n.driversLocked()
+}
+
+func (n *Netlist) driversLocked() []int {
+	if n.derived.drivers == nil {
+		d := make([]int, n.NumNets())
+		for i := range d {
+			d[i] = -1
+		}
+		for i := range n.Cells {
+			d[n.Cells[i].Out] = i
+		}
+		n.derived.drivers = d
 	}
+	return n.derived.drivers
+}
+
+// Hash returns a stable structural hash of the netlist: cells (type
+// and pin wiring), RAM macros, constants, and port bindings, hashed
+// with SHA-256 and rendered as hex. Per-net debug names are excluded —
+// two netlists that differ only in naming hash identically. The hash
+// is computed once and cached; it keys content-addressed caches of
+// synthesis derivatives (see internal/cache).
+func (n *Netlist) Hash() string {
+	n.derived.mu.Lock()
+	defer n.derived.mu.Unlock()
+	if n.derived.hash != "" {
+		return n.derived.hash
+	}
+	h := sha256.New()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wStr := func(s string) {
+		wInt(int64(len(s)))
+		h.Write([]byte(s))
+	}
+	wIDs := func(ids []NetID) {
+		wInt(int64(len(ids)))
+		for _, id := range ids {
+			wInt(int64(id))
+		}
+	}
+	wStr("netlist-hash-v1")
+	wInt(int64(n.NumNets()))
+	wInt(int64(n.Const0))
+	wInt(int64(n.Const1))
+	wInt(int64(len(n.Cells)))
 	for i := range n.Cells {
-		d[n.Cells[i].Out] = i
+		c := &n.Cells[i]
+		wInt(int64(c.Type))
+		wInt(int64(c.In[0]))
+		wInt(int64(c.In[1]))
+		wInt(int64(c.In[2]))
+		wInt(int64(c.Clk))
+		wInt(int64(c.Out))
 	}
-	return d
+	wInt(int64(len(n.RAMs)))
+	for _, r := range n.RAMs {
+		wStr(r.Name)
+		wInt(int64(r.Width))
+		wInt(int64(r.Depth))
+		wInt(int64(r.Clk))
+		wInt(int64(len(r.WritePorts)))
+		for _, wp := range r.WritePorts {
+			wInt(int64(wp.En))
+			wIDs(wp.Addr)
+			wIDs(wp.Data)
+		}
+		wInt(int64(len(r.ReadPorts)))
+		for _, rp := range r.ReadPorts {
+			wIDs(rp.Addr)
+			wIDs(rp.Out)
+		}
+	}
+	wInt(int64(len(n.Inputs)))
+	for _, p := range n.Inputs {
+		wStr(p.Name)
+		wInt(int64(p.Net))
+	}
+	wInt(int64(len(n.Outputs)))
+	for _, p := range n.Outputs {
+		wStr(p.Name)
+		wInt(int64(p.Net))
+	}
+	n.derived.hash = hex.EncodeToString(h.Sum(nil))
+	return n.derived.hash
 }
 
 // TopoOrder returns the combinational cells in topological order
 // (inputs before outputs). Sequential cells are excluded (their outputs
 // are leaves). It returns an error if the combinational logic contains
-// a cycle.
+// a cycle. The order is computed once and shared: callers must treat
+// it as read-only.
 func (n *Netlist) TopoOrder() ([]int, error) {
-	drivers := n.Drivers()
+	n.derived.mu.Lock()
+	defer n.derived.mu.Unlock()
+	if !n.derived.topoDone {
+		n.derived.topo, n.derived.topoErr = n.topoOrderLocked()
+		n.derived.topoDone = true
+	}
+	return n.derived.topo, n.derived.topoErr
+}
+
+func (n *Netlist) topoOrderLocked() ([]int, error) {
+	drivers := n.driversLocked()
 	const (
 		white = 0
 		gray  = 1

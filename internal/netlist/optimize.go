@@ -94,12 +94,14 @@ func foldAndHash(n *Netlist) (*Netlist, int, int, error) {
 		return false, false
 	}
 
+	// The source netlist is never written: substitutions live only in
+	// sub and are applied when the output netlist is assembled, so n's
+	// cached derived structures (Drivers, TopoOrder, Hash) stay valid.
 	for _, ci := range order {
 		cell := &n.Cells[ci]
 		a := sub.get(cell.In[0])
 		b := sub.get(cell.In[1])
 		s := sub.get(cell.In[2])
-		cell.In[0], cell.In[1], cell.In[2] = a, b, s
 
 		simplifyTo := func(id NetID) {
 			sub.put(cell.Out, id)
@@ -216,12 +218,12 @@ func foldAndHash(n *Netlist) (*Netlist, int, int, error) {
 		hash[key] = cell.Out
 	}
 
-	// Rewrite remaining structure through the substitution map.
+	// Rewrite remaining structure through the substitution map. Cells
+	// and RAM macros are copied so the source netlist stays untouched.
 	out := &Netlist{
 		NetNames: n.NetNames,
 		Const0:   c0,
 		Const1:   c1,
-		RAMs:     n.RAMs,
 	}
 	for ci := range n.Cells {
 		if removed[ci] {
@@ -235,17 +237,26 @@ func foldAndHash(n *Netlist) (*Netlist, int, int, error) {
 		// Outputs are never substituted for kept cells.
 		out.Cells = append(out.Cells, c)
 	}
-	for _, r := range out.RAMs {
-		r.Clk = sub.get(r.Clk)
-		for i := range r.WritePorts {
-			r.WritePorts[i].En = sub.get(r.WritePorts[i].En)
-			substIDs(r.WritePorts[i].Addr, sub)
-			substIDs(r.WritePorts[i].Data, sub)
+	for _, r := range n.RAMs {
+		rc := *r
+		rc.Clk = sub.get(r.Clk)
+		rc.WritePorts = make([]RAMWritePort, len(r.WritePorts))
+		for i, wp := range r.WritePorts {
+			rc.WritePorts[i] = RAMWritePort{
+				En:   sub.get(wp.En),
+				Addr: substIDs(wp.Addr, sub),
+				Data: substIDs(wp.Data, sub),
+			}
 		}
-		for i := range r.ReadPorts {
-			substIDs(r.ReadPorts[i].Addr, sub)
+		rc.ReadPorts = make([]RAMReadPort, len(r.ReadPorts))
+		for i, rp := range r.ReadPorts {
 			// Read-port outputs are RAM-driven; no substitution.
+			rc.ReadPorts[i] = RAMReadPort{
+				Addr: substIDs(rp.Addr, sub),
+				Out:  append([]NetID(nil), rp.Out...),
+			}
 		}
+		out.RAMs = append(out.RAMs, &rc)
 	}
 	for _, p := range n.Inputs {
 		out.Inputs = append(out.Inputs, p)
@@ -256,10 +267,12 @@ func foldAndHash(n *Netlist) (*Netlist, int, int, error) {
 	return out, folded, merged, nil
 }
 
-func substIDs(ids []NetID, s *subst) {
+func substIDs(ids []NetID, s *subst) []NetID {
+	out := make([]NetID, len(ids))
 	for i, id := range ids {
-		ids[i] = s.get(id)
+		out[i] = s.get(id)
 	}
+	return out
 }
 
 func constNet(v bool, c0, c1 NetID) NetID {

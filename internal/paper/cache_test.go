@@ -1,0 +1,41 @@
+package paper
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// TestMeasureCorpusCacheDeterminism pins the cache contract at the
+// experiment level: the corpus measured with no cache, a cold cache,
+// and a warm cache — the last under a parallel pool, where the
+// single-flight path is exercised — is bit-identical.
+func TestMeasureCorpusCacheDeterminism(t *testing.T) {
+	ch, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := MeasureCorpusN(true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := MeasureCorpusOpts(true, Opts{Concurrency: 1, Cache: ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := MeasureCorpusOpts(true, Opts{Concurrency: 8, Cache: ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, cold) {
+		t.Error("cold-cache corpus diverged from uncached corpus")
+	}
+	if !reflect.DeepEqual(plain, warm) {
+		t.Error("warm-cache parallel corpus diverged from uncached corpus")
+	}
+	s := ch.Stats()
+	if int(s.Misses) != len(plain) || int(s.Hits) != len(plain) {
+		t.Errorf("stats = %+v, want %d misses then %d hits", s, len(plain), len(plain))
+	}
+}

@@ -40,6 +40,15 @@ func TimingAware() (*TimingAwareResult, error) {
 // accounting measurement already ran rather than synthesizing the
 // component a second time.
 func TimingAwareN(concurrency int) (*TimingAwareResult, error) {
+	return TimingAwareOpts(Opts{Concurrency: concurrency})
+}
+
+// TimingAwareOpts is TimingAware with full options (concurrency bound
+// and measurement cache). Cached measurements carry their optimized
+// netlist, so warm runs skip synthesis but still feed timing analysis
+// the identical structure.
+func TimingAwareOpts(o Opts) (*TimingAwareResult, error) {
+	concurrency := o.Concurrency
 	comps := designs.All()
 	lib := stdcell.Default180nm()
 
@@ -51,17 +60,14 @@ func TimingAwareN(concurrency int) (*TimingAwareResult, error) {
 		criticalNs   float64
 		nearCritical float64
 	}
-	inner := concurrency
-	if parallel.Workers(concurrency) > 1 {
-		inner = 1
-	}
+	inner := o.inner(parallel.Workers(concurrency) > 1)
 	rows, err := parallel.Map(concurrency, len(comps), func(i int) (row, error) {
 		c := comps[i]
 		d, err := designs.Design(c)
 		if err != nil {
 			return row{}, err
 		}
-		acc, err := accounting.MeasureComponent(d, c.Top, true, measure.Options{Concurrency: inner})
+		acc, err := accounting.MeasureComponent(d, c.Top, true, measure.Options{Concurrency: inner, Cache: o.Cache})
 		if err != nil {
 			return row{}, err
 		}

@@ -28,18 +28,22 @@ func MeasureCorpus(useAccounting bool) ([]dataset.Component, error) {
 // search's inner candidate pool is serialized so the machine is not
 // oversubscribed. The measured corpus is identical for every value.
 func MeasureCorpusN(useAccounting bool, concurrency int) ([]dataset.Component, error) {
+	return MeasureCorpusOpts(useAccounting, Opts{Concurrency: concurrency})
+}
+
+// MeasureCorpusOpts is MeasureCorpus with full options (concurrency
+// bound and measurement cache). The measured corpus is identical for
+// every concurrency value and for cache off / cold / warm.
+func MeasureCorpusOpts(useAccounting bool, o Opts) ([]dataset.Component, error) {
 	comps := designs.All()
-	inner := concurrency
-	if parallel.Workers(concurrency) > 1 {
-		inner = 1
-	}
-	return parallel.Map(concurrency, len(comps), func(i int) (dataset.Component, error) {
+	inner := o.inner(parallel.Workers(o.Concurrency) > 1)
+	return parallel.Map(o.Concurrency, len(comps), func(i int) (dataset.Component, error) {
 		c := comps[i]
 		d, err := designs.Design(c)
 		if err != nil {
 			return dataset.Component{}, err
 		}
-		res, err := accounting.MeasureComponent(d, c.Top, useAccounting, measure.Options{Concurrency: inner})
+		res, err := accounting.MeasureComponent(d, c.Top, useAccounting, measure.Options{Concurrency: inner, Cache: o.Cache})
 		if err != nil {
 			return dataset.Component{}, fmt.Errorf("%s: %w", c.Label(), err)
 		}
@@ -78,11 +82,18 @@ func Figure6() (*Figure6Result, error) {
 // 1 = exact sequential path). Both corpus measurements and both
 // estimator-evaluation batches run their items on the bounded pool.
 func Figure6N(concurrency int) (*Figure6Result, error) {
-	withComps, err := MeasureCorpusN(true, concurrency)
+	return Figure6Opts(Opts{Concurrency: concurrency})
+}
+
+// Figure6Opts is Figure6 with full options (concurrency bound and
+// measurement cache).
+func Figure6Opts(o Opts) (*Figure6Result, error) {
+	concurrency := o.Concurrency
+	withComps, err := MeasureCorpusOpts(true, o)
 	if err != nil {
 		return nil, err
 	}
-	withoutComps, err := MeasureCorpusN(false, concurrency)
+	withoutComps, err := MeasureCorpusOpts(false, o)
 	if err != nil {
 		return nil, err
 	}

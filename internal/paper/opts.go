@@ -1,0 +1,29 @@
+package paper
+
+import "repro/internal/cache"
+
+// Opts configures the experiments that measure the synthetic corpus
+// through the synthesis pipeline (MeasureCorpus, Figure 6, the timing
+// extension). The dataset-only reproductions (Tables, Figures 2-5,
+// AIC/BIC) refit the paper's published data and take no options beyond
+// concurrency.
+type Opts struct {
+	// Concurrency bounds the worker pools (0 = GOMAXPROCS,
+	// 1 = exact sequential path). Results are identical for every
+	// value.
+	Concurrency int
+	// Cache, when non-nil, is the on-disk measurement cache threaded
+	// into every component measurement. Results are bit-identical with
+	// and without it.
+	Cache *cache.Cache
+}
+
+// options lowers Opts to per-component measurement options, bounding
+// the accounting search's inner pool to keep the machine subscribed
+// once when the outer component pool is already parallel.
+func (o Opts) inner(outerParallel bool) int {
+	if outerParallel {
+		return 1
+	}
+	return o.Concurrency
+}

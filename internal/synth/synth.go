@@ -419,8 +419,24 @@ func (s *synthesizer) lvalueSlots(inst *elab.Instance, env *elab.Env, e hdl.Expr
 // finalizeRAMs converts accumulated memory read/write sites into RAM
 // macros.
 func (s *synthesizer) finalizeRAMs() error {
-	for inst, tbl := range s.rams {
-		for name, rb := range tbl {
+	// The accumulation tables are maps; emit macros in sorted
+	// (instance path, memory name) order so the netlist's RAM order —
+	// and with it every order-sensitive float accumulation downstream
+	// (areas, leakage, dynamic power) — is identical on every run.
+	insts := make([]*elab.Instance, 0, len(s.rams))
+	for inst := range s.rams {
+		insts = append(insts, inst)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i].Path < insts[j].Path })
+	for _, inst := range insts {
+		tbl := s.rams[inst]
+		names := make([]string, 0, len(tbl))
+		for name := range tbl {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rb := tbl[name]
 			if len(rb.writes) == 0 && len(rb.reads) == 0 {
 				continue
 			}

@@ -4,54 +4,85 @@
 # performance trajectory is tracked across PRs.
 #
 # Usage:
-#   scripts/bench.sh                 # full suite, one iteration each
-#   scripts/bench.sh Table4          # only benchmarks matching a regex
-#   BENCHTIME=2s scripts/bench.sh    # override -benchtime
+#   scripts/bench.sh                  # full suite, 5 runs per benchmark
+#   scripts/bench.sh Table4           # only benchmarks matching a regex
+#   BENCHTIME=2s scripts/bench.sh     # override -benchtime
+#   BENCHCOUNT=10 scripts/bench.sh    # override -count (repeated runs)
 #
-# The JSON is a flat list of benchmark records; every custom metric the
-# benchmarks report (sigma_eps, speedup_vs_sequential, ...) becomes a
-# key, so `jq`-style tooling can diff runs directly.
+# Each benchmark runs BENCHCOUNT (default 5) times with a count-based
+# -benchtime (default 1x); the JSON records both the minimum and the
+# median ns/op across the runs. The minimum is the noise-robust point
+# estimate ("ns/op" — what scripts/bench_compare.sh diffs); the median
+# shows the typical run. Custom metrics (sigma_eps,
+# speedup_vs_sequential, ...) are deterministic outputs, so the value
+# from the first run is recorded as-is.
 set -eu
 cd "$(dirname "$0")/.."
 
 pattern="${1:-.}"
 benchtime="${BENCHTIME:-1x}"
+count="${BENCHCOUNT:-5}"
 out="BENCH_$(date +%Y-%m-%d).json"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . ./internal/parallel | tee "$tmp"
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" . ./internal/parallel | tee "$tmp"
 
 awk \
 	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
 	-v gover="$(go version | awk '{print $3}')" \
 	-v pattern="$pattern" \
-	-v benchtime="$benchtime" '
+	-v benchtime="$benchtime" \
+	-v count="$count" '
 BEGIN {
 	printf "{\n"
 	printf "  \"date\": \"%s\",\n", date
 	printf "  \"go\": \"%s\",\n", gover
 	printf "  \"bench\": \"%s\",\n", pattern
 	printf "  \"benchtime\": \"%s\",\n", benchtime
-	n = 0
+	printf "  \"count\": %d,\n", count
+	nnames = 0
 }
 /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
 /^Benchmark/ && NF >= 4 {
-	if (n == 0) {
-		if (cpu != "") printf "  \"cpu\": \"%s\",\n", cpu
-		printf "  \"results\": ["
+	name = $1
+	if (!(name in runs)) {
+		order[nnames++] = name
+		runs[name] = 0
+		extras[name] = ""
+		iters[name] = $2
 	}
-	if (n++) printf ","
-	printf "\n    {\"name\": \"%s\", \"iters\": %s", $1, $2
-	for (i = 3; i + 1 <= NF; i += 2) {
-		unit = $(i + 1)
-		gsub(/"/, "", unit)
-		printf ", \"%s\": %s", unit, $i
+	runs[name]++
+	samples[name, runs[name]] = $3 + 0
+	if ($2 + 0 > iters[name] + 0) iters[name] = $2
+	if (extras[name] == "") {
+		for (i = 5; i + 1 <= NF; i += 2) {
+			unit = $(i + 1)
+			gsub(/"/, "", unit)
+			extras[name] = extras[name] sprintf(", \"%s\": %s", unit, $i)
+		}
 	}
-	printf "}"
 }
 END {
-	if (n == 0) printf "  \"results\": ["
+	if (cpu != "") printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"results\": ["
+	for (k = 0; k < nnames; k++) {
+		name = order[k]
+		n = runs[name]
+		# insertion-sort the ns/op samples (POSIX awk has no asort)
+		for (i = 1; i <= n; i++) v[i] = samples[name, i]
+		for (i = 2; i <= n; i++) {
+			x = v[i]
+			for (j = i - 1; j >= 1 && v[j] > x; j--) v[j + 1] = v[j]
+			v[j + 1] = x
+		}
+		min = v[1]
+		if (n % 2) median = v[(n + 1) / 2]
+		else median = (v[n / 2] + v[n / 2 + 1]) / 2
+		if (k) printf ","
+		printf "\n    {\"name\": \"%s\", \"iters\": %s, \"runs\": %d, \"ns/op\": %s, \"ns/op_median\": %s%s}", \
+			name, iters[name], n, min, median, extras[name]
+	}
 	printf "\n  ]\n}\n"
 }
 ' "$tmp" > "$out"

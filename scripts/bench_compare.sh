@@ -1,0 +1,82 @@
+#!/bin/sh
+# scripts/bench_compare.sh — diff two BENCH_*.json files produced by
+# scripts/bench.sh and fail on performance regressions.
+#
+# Usage:
+#   scripts/bench_compare.sh BENCH_old.json BENCH_new.json
+#
+# Exits non-zero if any benchmark present in both files regressed by
+# more than 10% in ns/op, or if any speedup_vs_sequential metric
+# dropped. Benchmarks present in only one file are reported but do not
+# fail the comparison.
+set -eu
+
+if [ "$#" -ne 2 ]; then
+	echo "usage: $0 OLD.json NEW.json" >&2
+	exit 2
+fi
+old="$1"
+new="$2"
+[ -r "$old" ] || { echo "bench_compare: cannot read $old" >&2; exit 2; }
+[ -r "$new" ] || { echo "bench_compare: cannot read $new" >&2; exit 2; }
+
+# Each result record is one line of the JSON; pull out the fields we
+# compare with awk so the script needs no jq.
+extract() {
+	awk '
+	/"name":/ {
+		name = ""; ns = ""; sp = ""
+		if (match($0, /"name": "[^"]*"/)) {
+			name = substr($0, RSTART + 9, RLENGTH - 10)
+		}
+		if (match($0, /"ns\/op": [0-9.eE+-]+/)) {
+			ns = substr($0, RSTART + 9, RLENGTH - 9)
+		}
+		if (match($0, /"speedup_vs_sequential": [0-9.eE+-]+/)) {
+			sp = substr($0, RSTART + 24, RLENGTH - 24)
+		}
+		if (name != "" && ns != "") printf "%s %s %s\n", name, ns, (sp == "" ? "-" : sp)
+	}
+	' "$1"
+}
+
+tmp_old="$(mktemp)"
+tmp_new="$(mktemp)"
+trap 'rm -f "$tmp_old" "$tmp_new"' EXIT
+extract "$old" > "$tmp_old"
+extract "$new" > "$tmp_new"
+
+awk -v oldfile="$old" -v newfile="$new" '
+NR == FNR { ns[$1] = $2; sp[$1] = $3; next }
+{
+	name = $1
+	if (!(name in ns)) {
+		printf "  new       %-50s %12.0f ns/op (not in %s)\n", name, $2, oldfile
+		next
+	}
+	seen[name] = 1
+	o = ns[name] + 0; n = $2 + 0
+	ratio = (o > 0) ? n / o : 1
+	flag = "ok"
+	if (ratio > 1.10) { flag = "REGRESSION"; bad++ }
+	else if (ratio < 0.90) flag = "improved"
+	printf "  %-9s %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n", flag, name, o, n, (ratio - 1) * 100
+	if (sp[name] != "-" && $3 != "-") {
+		os = sp[name] + 0; nsd = $3 + 0
+		if (nsd < os) {
+			printf "  REGRESSION %-49s speedup_vs_sequential %.4f -> %.4f\n", name, os, nsd
+			bad++
+		}
+	}
+}
+END {
+	for (name in ns) if (!(name in seen)) {
+		printf "  gone      %-50s (only in %s)\n", name, oldfile
+	}
+	if (bad) {
+		printf "bench_compare: %d regression(s) between %s and %s\n", bad, oldfile, newfile
+		exit 1
+	}
+	printf "bench_compare: no regressions (%s -> %s)\n", oldfile, newfile
+}
+' "$tmp_old" "$tmp_new"
