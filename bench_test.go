@@ -34,6 +34,7 @@ import (
 // ---------------------------------------------------------------
 
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if paper.Table1() == "" {
 			b.Fatal("empty table")
@@ -42,6 +43,7 @@ func BenchmarkTable1(b *testing.B) {
 }
 
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if paper.Table2() == "" {
 			b.Fatal("empty table")
@@ -50,6 +52,7 @@ func BenchmarkTable2(b *testing.B) {
 }
 
 func BenchmarkTable3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if paper.Table3() == "" {
 			b.Fatal("empty table")
@@ -60,6 +63,7 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkTable4 refits all 12 estimators (both model variants) on
 // the paper dataset — the headline reproduction.
 func BenchmarkTable4(b *testing.B) {
+	b.ReportAllocs()
 	var last *paper.Table4Result
 	for i := 0; i < b.N; i++ {
 		res, err := paper.Table4()
@@ -81,6 +85,7 @@ func BenchmarkTable4(b *testing.B) {
 // ---------------------------------------------------------------
 
 func BenchmarkFigure2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if paper.Figure2() == "" {
 			b.Fatal("empty figure")
@@ -89,6 +94,7 @@ func BenchmarkFigure2(b *testing.B) {
 }
 
 func BenchmarkFigure3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if paper.Figure3() == "" {
 			b.Fatal("empty figure")
@@ -97,6 +103,7 @@ func BenchmarkFigure3(b *testing.B) {
 }
 
 func BenchmarkFigure4(b *testing.B) {
+	b.ReportAllocs()
 	var pos float64
 	for i := 0; i < b.N; i++ {
 		res, err := paper.Figure4()
@@ -109,6 +116,7 @@ func BenchmarkFigure4(b *testing.B) {
 }
 
 func BenchmarkFigure5(b *testing.B) {
+	b.ReportAllocs()
 	var corr float64
 	for i := 0; i < b.N; i++ {
 		res, err := paper.Figure5()
@@ -124,6 +132,7 @@ func BenchmarkFigure5(b *testing.B) {
 // synthetic components measured through synthesis twice (accounting
 // on/off) and all estimators refitted on both corpora.
 func BenchmarkFigure6(b *testing.B) {
+	b.ReportAllocs()
 	var res *paper.Figure6Result
 	for i := 0; i < b.N; i++ {
 		r, err := paper.Figure6()
@@ -138,6 +147,7 @@ func BenchmarkFigure6(b *testing.B) {
 }
 
 func BenchmarkAICBIC(b *testing.B) {
+	b.ReportAllocs()
 	var res *paper.AICBICResult
 	for i := 0; i < b.N; i++ {
 		r, err := paper.AICBIC()
@@ -158,6 +168,7 @@ func BenchmarkAICBIC(b *testing.B) {
 // headline reproduction: every pool in the fit pipeline forced to the
 // exact sequential path.
 func BenchmarkTable4Sequential(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := paper.Table4N(1); err != nil {
 			b.Fatal(err)
@@ -170,6 +181,7 @@ func BenchmarkTable4Sequential(b *testing.B) {
 // sequential run as a custom metric. The results themselves are
 // bit-identical to the sequential path (see TestTable4ParallelDeterminism).
 func BenchmarkTable4Parallel(b *testing.B) {
+	b.ReportAllocs()
 	seqStart := time.Now()
 	if _, err := paper.Table4N(1); err != nil {
 		b.Fatal(err)
@@ -191,6 +203,7 @@ func BenchmarkTable4Parallel(b *testing.B) {
 // the multi-start restarts spread across cores, reporting the speedup
 // over the sequential restart loop.
 func BenchmarkFitDEE1Parallel(b *testing.B) {
+	b.ReportAllocs()
 	d := paperNLMEData(b, dataset.Stmts, dataset.FanInLC)
 	seqStart := time.Now()
 	if _, err := nlme.FitOpts(d, nlme.FitOptions{Concurrency: 1}); err != nil {
@@ -213,6 +226,7 @@ func BenchmarkFitDEE1Parallel(b *testing.B) {
 // Figure 6 hot path) on the bounded component pool, reporting the
 // speedup over a strictly sequential measurement.
 func BenchmarkMeasureCorpusParallel(b *testing.B) {
+	b.ReportAllocs()
 	seqStart := time.Now()
 	if _, err := paper.MeasureCorpusN(true, 1); err != nil {
 		b.Fatal(err)
@@ -259,6 +273,7 @@ func warmCache(b *testing.B) *cache.Cache {
 // path every component must be served from the cache — the benchmark
 // fails if a single synthesis runs.
 func BenchmarkTable4WarmCache(b *testing.B) {
+	b.ReportAllocs()
 	ch := warmCache(b)
 	before := ch.Stats()
 	b.ResetTimer()
@@ -283,6 +298,7 @@ func BenchmarkTable4WarmCache(b *testing.B) {
 // all 18 components of the Figure 6 corpus served from the
 // content-addressed cache with zero elaborations or syntheses.
 func BenchmarkMeasureCorpusWarmCache(b *testing.B) {
+	b.ReportAllocs()
 	ch := warmCache(b)
 	before := ch.Stats()
 	b.ResetTimer()
@@ -303,6 +319,7 @@ func BenchmarkMeasureCorpusWarmCache(b *testing.B) {
 // warm cache: both corpus measurements (accounting on and off) hit the
 // cache, leaving only the estimator refits as real work.
 func BenchmarkFigure6WarmCache(b *testing.B) {
+	b.ReportAllocs()
 	ch := warmCache(b)
 	before := ch.Stats()
 	var res *paper.Figure6Result
@@ -331,6 +348,7 @@ func BenchmarkFigure6WarmCache(b *testing.B) {
 // likelihood against adaptive Gauss–Hermite quadrature (the NLMIXED
 // approach): identical values, very different cost.
 func BenchmarkAblationQuadrature(b *testing.B) {
+	b.ReportAllocs()
 	d := paperNLMEData(b, dataset.Stmts, dataset.FanInLC)
 	w := []float64{0.004, 0.0001}
 	exact, err := nlme.LogLikelihood(d, w, 0.5, 0.3)
@@ -360,6 +378,7 @@ func BenchmarkAblationQuadrature(b *testing.B) {
 // BenchmarkAblationMultistart compares the multi-start Nelder–Mead
 // fit against a single scale-seeded start.
 func BenchmarkAblationMultistart(b *testing.B) {
+	b.ReportAllocs()
 	d := paperNLMEData(b, dataset.Stmts, dataset.FanInLC)
 	b.Run("multistart", func(b *testing.B) {
 		var sigma float64
@@ -378,6 +397,7 @@ func BenchmarkAblationMultistart(b *testing.B) {
 // optimization passes (constant folding + structural hashing + dead
 // removal) on a representative component.
 func BenchmarkAblationCSE(b *testing.B) {
+	b.ReportAllocs()
 	c, err := designs.ByLabel("PUMA-Execute")
 	if err != nil {
 		b.Fatal(err)
@@ -403,6 +423,7 @@ func BenchmarkAblationCSE(b *testing.B) {
 // BenchmarkAblationFanInLC compares the paper's LUT-input-sum
 // approximation of FanInLC against the exact logic-cone computation.
 func BenchmarkAblationFanInLC(b *testing.B) {
+	b.ReportAllocs()
 	c, err := designs.ByLabel("Leon3-Pipeline")
 	if err != nil {
 		b.Fatal(err)
@@ -438,6 +459,7 @@ func BenchmarkAblationFanInLC(b *testing.B) {
 // BenchmarkSynthesizeCorpus synthesizes every synthetic component once
 // per iteration — the cost floor of the Figure 6 experiment.
 func BenchmarkSynthesizeCorpus(b *testing.B) {
+	b.ReportAllocs()
 	type prepared struct {
 		c designs.Component
 		d *hdl.Design
@@ -467,6 +489,7 @@ func BenchmarkSynthesizeCorpus(b *testing.B) {
 
 // BenchmarkNLMEFit times a single mixed-effects calibration.
 func BenchmarkNLMEFit(b *testing.B) {
+	b.ReportAllocs()
 	comps := dataset.Paper()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.CalibrateDEE1(comps); err != nil {
@@ -477,6 +500,7 @@ func BenchmarkNLMEFit(b *testing.B) {
 
 // BenchmarkParse times the µHDL front end on the full corpus sources.
 func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := designs.FullDesign(); err != nil {
 			b.Fatal(err)
@@ -486,6 +510,7 @@ func BenchmarkParse(b *testing.B) {
 
 // BenchmarkOptimize times the netlist cleanup passes in isolation.
 func BenchmarkOptimize(b *testing.B) {
+	b.ReportAllocs()
 	c, err := designs.ByLabel("IVM-Memory")
 	if err != nil {
 		b.Fatal(err)
@@ -508,6 +533,7 @@ func BenchmarkOptimize(b *testing.B) {
 
 // BenchmarkConfidenceFactors times the Figure 3/4 interval math.
 func BenchmarkConfidenceFactors(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		stats.ConfidenceFactors(0.45, 0.90)
 	}

@@ -387,7 +387,10 @@ func measureComponent(design *hdl.Design, top string, useAccounting bool, opts m
 
 	mopts := opts
 	mopts.DedupInstances = useAccounting
-	synres, err := synth.SynthesizeInstance(inst, report, synth.LowerOptions{DedupInstances: useAccounting})
+	synres, err := synth.SynthesizeInstance(inst, report, synth.LowerOptions{
+		DedupInstances:   useAccounting,
+		DisableTemplates: opts.DisableTemplates,
+	})
 	if err != nil {
 		return nil, err
 	}

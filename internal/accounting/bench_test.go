@@ -17,6 +17,7 @@ func benchDesign(b *testing.B) *hdl.Design {
 }
 
 func BenchmarkMinimizeParams(b *testing.B) {
+	b.ReportAllocs()
 	d := benchDesign(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := MinimizeParams(d, "quad"); err != nil {
@@ -26,6 +27,7 @@ func BenchmarkMinimizeParams(b *testing.B) {
 }
 
 func BenchmarkMeasureComponentWithAccounting(b *testing.B) {
+	b.ReportAllocs()
 	d := benchDesign(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := MeasureComponent(d, "quad", true, measure.Options{}); err != nil {

@@ -8,6 +8,7 @@ import (
 )
 
 func BenchmarkAnalyzeAdder(b *testing.B) {
+	b.ReportAllocs()
 	d, err := hdl.ParseDesign(map[string]string{"b.v": `
 module add (input clk, input [31:0] a, x, output reg [31:0] s);
   always @(posedge clk) s <= a + x;

@@ -8,6 +8,7 @@ import (
 )
 
 func BenchmarkMapMultiplier(b *testing.B) {
+	b.ReportAllocs()
 	d, err := hdl.ParseDesign(map[string]string{"b.v": `
 module mul (input [15:0] a, x, output [15:0] p);
   assign p = a * x;

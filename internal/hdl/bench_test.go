@@ -3,6 +3,7 @@ package hdl
 import "testing"
 
 func BenchmarkParseCounter(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Parse("bench.v", counterSrc); err != nil {
 			b.Fatal(err)
@@ -11,6 +12,7 @@ func BenchmarkParseCounter(b *testing.B) {
 }
 
 func BenchmarkLexCounter(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := LexAll("bench.v", counterSrc); err != nil {
 			b.Fatal(err)

@@ -107,6 +107,11 @@ type Options struct {
 	// DedupInstances applies the single-instance rule during lowering
 	// (used by internal/accounting).
 	DedupInstances bool
+	// DisableTemplates turns off template-stamped lowering (see
+	// synth.LowerOptions.DisableTemplates). Stamping is bit-identical
+	// to direct lowering, so this is excluded from CacheKeyParts, like
+	// Concurrency: both modes share cache entries.
+	DisableTemplates bool
 	// Concurrency bounds the worker pool of any parallelizable step in
 	// the measurement (the accounting procedure's candidate probes):
 	// 0 means GOMAXPROCS, 1 forces the exact sequential path. Measured
@@ -151,7 +156,10 @@ func Module(design *hdl.Design, top string, overrides map[string]int64, opts Opt
 		return nil, err
 	}
 	compute := func() (*Metrics, error) {
-		res, err := synth.SynthesizeOpts(design, top, overrides, synth.LowerOptions{DedupInstances: opts.DedupInstances})
+		res, err := synth.SynthesizeOpts(design, top, overrides, synth.LowerOptions{
+			DedupInstances:   opts.DedupInstances,
+			DisableTemplates: opts.DisableTemplates,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("measure: synthesize %s: %w", top, err)
 		}

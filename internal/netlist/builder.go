@@ -17,6 +17,21 @@ type Builder struct {
 	outputs []PortBit
 
 	const0, const1 NetID
+
+	// Alias-op recording for template-stamped lowering (internal/synth):
+	// while logDepth > 0 every Alias call appends its raw arguments, so
+	// a recorded lowering can be replayed verbatim against a stamped
+	// copy's nets. Recordings nest (a template recorded while another is
+	// being recorded shares the log); the log is reclaimed when the
+	// outermost recording ends.
+	logDepth int
+	aliasLog []AliasPair
+}
+
+// AliasPair is one recorded Alias call: the raw, pre-resolution
+// arguments in call order.
+type AliasPair struct {
+	X, Y NetID
 }
 
 // NewBuilder returns an empty builder with the two constant nets
@@ -71,6 +86,9 @@ func (b *Builder) Find(n NetID) NetID {
 // representative selection; aliasing both constants together is an
 // error (it means the design shorted 0 to 1).
 func (b *Builder) Alias(x, y NetID) error {
+	if b.logDepth > 0 {
+		b.aliasLog = append(b.aliasLog, AliasPair{X: x, Y: y})
+	}
 	rx, ry := b.Find(x), b.Find(y)
 	if rx == ry {
 		return nil
@@ -114,6 +132,50 @@ func (b *Builder) AddOutput(name string, n NetID) {
 
 // AddRAM registers a RAM macro.
 func (b *Builder) AddRAM(r *RAM) { b.rams = append(b.rams, r) }
+
+// NetCount returns the number of nets allocated so far. Together with
+// CellCount and PushAliasLog it delimits a recording window for
+// template-stamped lowering.
+func (b *Builder) NetCount() int { return len(b.names) }
+
+// NetNameAt returns the debug name net id was allocated with.
+func (b *Builder) NetNameAt(id NetID) string { return b.names[id] }
+
+// CellCount returns the number of cells appended so far.
+func (b *Builder) CellCount() int { return len(b.cells) }
+
+// CellsFrom returns a read-only view of the cells appended since index
+// start. Pins are the raw (pre-resolution) values the cells were
+// created with.
+func (b *Builder) CellsFrom(start int) []Cell {
+	return b.cells[start:len(b.cells):len(b.cells)]
+}
+
+// StampCell appends a fully-formed cell without allocating its output
+// net: the caller provides every pin, typically renumbered from a
+// recorded template. Pins still resolve through the union-find at
+// Build time.
+func (b *Builder) StampCell(c Cell) { b.cells = append(b.cells, c) }
+
+// PushAliasLog starts (or nests) alias recording and returns the log
+// position the caller should later pass to PopAliasLog.
+func (b *Builder) PushAliasLog() int {
+	b.logDepth++
+	return len(b.aliasLog)
+}
+
+// PopAliasLog ends the innermost alias recording and returns the
+// entries appended since the matching PushAliasLog. The returned slice
+// aliases the builder's internal log: it is valid only until the next
+// Alias call, so callers must copy what they keep.
+func (b *Builder) PopAliasLog(start int) []AliasPair {
+	b.logDepth--
+	out := b.aliasLog[start:len(b.aliasLog):len(b.aliasLog)]
+	if b.logDepth == 0 {
+		b.aliasLog = b.aliasLog[:0]
+	}
+	return out
+}
 
 // rawCell appends a cell driving a fresh anonymous net and returns the
 // output net.
@@ -279,68 +341,89 @@ func (b *Builder) Build() (*Netlist, error) {
 	}
 
 	// Detect multiple drivers and cells driving constants. Driver
-	// identities are recorded as compact references and only formatted
-	// into names when an error is actually reported — this loop runs
-	// once per cell on the success path.
-	type driverRef struct {
-		kind int8 // 0 = cell, 1 = RAM read port, 2 = input
-		a, b int32
-	}
-	describe := func(d driverRef) string {
-		switch d.kind {
-		case 0:
-			return fmt.Sprintf("cell %d (%s)", d.a, b.cells[d.a].Type)
-		case 1:
-			return fmt.Sprintf("RAM %s read port %d", b.rams[d.a].Name, d.b)
+	// identities are packed into one int32 per net ((index<<2 | kind) + 1,
+	// 0 = undriven) and only decoded into names when an error is
+	// actually reported — this loop runs once per cell on the success
+	// path, with no map traffic.
+	const (
+		drvCell  = 0
+		drvRAM   = 1
+		drvInput = 2
+	)
+	pack := func(kind, idx int) int32 { return int32(idx<<2|kind) + 1 }
+	describe := func(code int32, net NetID) string {
+		code--
+		idx := int(code >> 2)
+		switch code & 3 {
+		case drvCell:
+			return fmt.Sprintf("cell %d (%s)", idx, b.cells[idx].Type)
+		case drvRAM:
+			r := b.rams[idx]
+			for pi, rp := range r.ReadPorts {
+				for _, o := range rp.Out {
+					if o == net {
+						return fmt.Sprintf("RAM %s read port %d", r.Name, pi)
+					}
+				}
+			}
+			return fmt.Sprintf("RAM %s read port", r.Name)
 		default:
-			return "input " + b.inputs[d.a].Name
+			return "input " + b.inputs[idx].Name
 		}
 	}
-	seen := make(map[NetID]driverRef, len(b.cells))
+	seen := make([]int32, len(b.names))
 	c0, c1 := b.Find(b.const0), b.Find(b.const1)
 	for i := range b.cells {
 		out := b.cells[i].Out
 		if out == c0 || out == c1 {
-			return nil, fmt.Errorf("netlist: %s drives a constant net", describe(driverRef{0, int32(i), 0}))
+			return nil, fmt.Errorf("netlist: %s drives a constant net", describe(pack(drvCell, i), out))
 		}
-		if prev, dup := seen[out]; dup {
-			return nil, fmt.Errorf("netlist: net %q driven by both %s and %s", b.names[out], describe(prev), describe(driverRef{0, int32(i), 0}))
+		if prev := seen[out]; prev != 0 {
+			return nil, fmt.Errorf("netlist: net %q driven by both %s and %s", b.names[out], describe(prev, out), describe(pack(drvCell, i), out))
 		}
-		seen[out] = driverRef{0, int32(i), 0}
+		seen[out] = pack(drvCell, i)
 	}
 	for ri, r := range b.rams {
-		for pi, rp := range r.ReadPorts {
+		for _, rp := range r.ReadPorts {
 			for _, o := range rp.Out {
-				if prev, dup := seen[o]; dup {
-					return nil, fmt.Errorf("netlist: net %q driven by both %s and %s", b.names[o], describe(prev), describe(driverRef{1, int32(ri), int32(pi)}))
+				if prev := seen[o]; prev != 0 {
+					return nil, fmt.Errorf("netlist: net %q driven by both %s and %s", b.names[o], describe(prev, o), describe(pack(drvRAM, ri), o))
 				}
-				seen[o] = driverRef{1, int32(ri), int32(pi)}
+				seen[o] = pack(drvRAM, ri)
 			}
 		}
 	}
 	for pi, p := range b.inputs {
-		if prev, dup := seen[p.Net]; dup {
-			return nil, fmt.Errorf("netlist: input %s conflicts with %s", p.Name, describe(prev))
+		if prev := seen[p.Net]; prev != 0 {
+			return nil, fmt.Errorf("netlist: input %s conflicts with %s", p.Name, describe(prev, p.Net))
 		}
-		seen[p.Net] = driverRef{2, int32(pi), 0}
+		seen[p.Net] = pack(drvInput, pi)
 	}
 
-	// Compact: renumber only referenced representatives.
-	remap := make(map[NetID]NetID, len(b.names))
+	// Compact: renumber only referenced representatives. The remap table
+	// is a dense slice (0 = unseen, else compacted id + 1): net ids are
+	// contiguous builder allocations, so a map would only add hashing
+	// overhead on this hot path.
+	remap := make([]NetID, len(b.names))
 	names := make([]string, 0, len(b.names))
 	get := func(id NetID) NetID {
 		if id == Nil {
 			return Nil
 		}
-		if nid, ok := remap[id]; ok {
-			return nid
+		if v := remap[id]; v != 0 {
+			return v - 1
 		}
 		nid := NetID(len(names))
 		names = append(names, b.names[id])
-		remap[id] = nid
+		remap[id] = nid + 1
 		return nid
 	}
-	nl := &Netlist{}
+	nl := &Netlist{
+		Cells:   make([]Cell, 0, len(b.cells)),
+		RAMs:    make([]*RAM, 0, len(b.rams)),
+		Inputs:  make([]PortBit, 0, len(b.inputs)),
+		Outputs: make([]PortBit, 0, len(b.outputs)),
+	}
 	nl.Const0 = get(c0)
 	nl.Const1 = get(c1)
 	for i := range b.cells {

@@ -7,106 +7,224 @@ type OptimizeResult struct {
 	ConstFolded int // cells simplified away by constant propagation
 	Merged      int // cells merged by structural hashing (CSE)
 	DeadRemoved int // cells removed as unreachable from any output
-	Iterations  int
+	// Iterations is the number of equivalent full sweeps the worklist
+	// performed: total cell visits divided by the number of
+	// combinational cells, rounded up. A netlist that settles in the
+	// initial topological sweep (the common case) reports 1.
+	Iterations int
+	// Converged reports that the worklist drained within the revisit
+	// budget. It is false only when Optimize also returns an error.
+	Converged bool
 }
 
-// Optimize runs the standard post-synthesis cleanup to fixpoint:
-// constant folding, structural hashing, buffer elision, and dead-logic
-// removal. The passes preserve the observable behaviour at primary
-// outputs and RAM/FF state. Optimize returns a new Netlist.
+// Optimize runs the standard post-synthesis cleanup: constant folding,
+// structural hashing, buffer elision, and dead-logic removal. The
+// passes preserve the observable behaviour at primary outputs and
+// RAM/FF state. Optimize returns a new Netlist; the input is not
+// modified.
 //
 // The accounting experiments (Figure 6) depend on this pass: the paper
 // defines minimal parameterization in terms of what "constant
 // propagation and dead code elimination" would remove, and this is
 // where those removals actually happen for synthesis metrics.
+//
+// Implementation: a single worklist-driven sweep instead of a
+// rebuild-the-world fixpoint. Net replacements live in a union-find
+// with path compression; structural hashing uses one persistent
+// open-addressed table; a dirty-cell worklist re-examines exactly the
+// cells whose resolved inputs changed after they were first processed.
+// Cells are seeded in topological order, so on a DAG every cell sees
+// its fully-substituted inputs the first time and the worklist drains
+// without revisits — O(cells + edges) total. The output is
+// bit-identical (same Hash()) to the old iterated fixpoint: processing
+// order, folding rules, CSE winner selection, and dead-removal roots
+// are all preserved, which internal/netlist's golden tests pin against
+// a reference implementation of the old pass.
 func Optimize(n *Netlist) (*Netlist, OptimizeResult, error) {
-	res := OptimizeResult{}
-	cur := n
-	for iter := 0; iter < 50; iter++ {
-		res.Iterations = iter + 1
-		next, folded, merged, err := foldAndHash(cur)
-		if err != nil {
-			return nil, res, err
-		}
-		next, dead := removeDead(next)
-		res.ConstFolded += folded
-		res.Merged += merged
-		res.DeadRemoved += dead
-		cur = next
-		if folded == 0 && merged == 0 && dead == 0 {
-			break
-		}
-	}
-	return cur, res, nil
-}
-
-// subst tracks net replacements (net → equivalent net).
-type subst struct {
-	m map[NetID]NetID
-}
-
-func (s *subst) get(id NetID) NetID {
-	if id == Nil {
-		return Nil
-	}
-	for {
-		nid, ok := s.m[id]
-		if !ok {
-			return id
-		}
-		id = nid
-	}
-}
-
-func (s *subst) put(from, to NetID) { s.m[from] = to }
-
-type hashKey struct {
-	t       CellType
-	a, b, c NetID
-	clk     NetID
-}
-
-// foldAndHash performs one sweep of constant folding, algebraic
-// simplification, buffer elision, and structural hashing over the
-// combinational cells (processed in topological order so substitutions
-// propagate forward in a single pass).
-func foldAndHash(n *Netlist) (*Netlist, int, int, error) {
+	res := OptimizeResult{Converged: true}
 	order, err := n.TopoOrder()
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, res, err
 	}
-	// Sequential cells are processed after combinational ones; their
-	// inputs get substituted but they are never folded away here (dead
-	// removal handles unused state).
-	sub := &subst{m: map[NetID]NetID{}}
-	hash := map[hashKey]NetID{}
-	removed := make([]bool, len(n.Cells))
-	folded, merged := 0, 0
+	numNets := n.NumNets()
+	nc := len(n.Cells)
 	c0, c1 := n.Const0, n.Const1
 
-	isConst := func(id NetID) (bool, bool) {
-		switch id {
-		case c0:
-			return false, true
-		case c1:
-			return true, true
+	// Union-find over nets. A removed cell's output is unioned into its
+	// replacement net; the replacement is always a class root at union
+	// time (constants, ports, RAM outputs, and kept-cell outputs are
+	// never unioned into anything), so find() resolves every pin to the
+	// same terminal net the old chain-chasing substitution map produced.
+	// ring links the members of each class in a circular list so a
+	// later union can find every raw net whose consumers must be
+	// revisited.
+	parent := make([]NetID, numNets)
+	ring := make([]int32, numNets)
+	for i := range parent {
+		parent[i] = NetID(i)
+		ring[i] = int32(i)
+	}
+	find := func(id NetID) NetID {
+		if id == Nil {
+			return Nil
 		}
-		return false, false
+		root := id
+		for parent[root] != root {
+			root = parent[root]
+		}
+		for parent[id] != root {
+			parent[id], id = root, parent[id]
+		}
+		return root
 	}
 
-	// The source netlist is never written: substitutions live only in
-	// sub and are applied when the output netlist is assembled, so n's
-	// cached derived structures (Drivers, TopoOrder, Hash) stay valid.
+	// Consumer adjacency (CSR) over combinational cells, keyed by raw
+	// pin ids. Sequential cells are never re-examined (they do not fold)
+	// so they carry no edges.
+	start := make([]int32, numNets+1)
 	for _, ci := range order {
+		c := &n.Cells[ci]
+		for _, in := range c.Inputs() {
+			if in != Nil {
+				start[in+1]++
+			}
+		}
+	}
+	for i := 0; i < numNets; i++ {
+		start[i+1] += start[i]
+	}
+	consumers := make([]int32, start[numNets])
+	fill := make([]int32, numNets)
+	for _, ci := range order {
+		c := &n.Cells[ci]
+		for _, in := range c.Inputs() {
+			if in != Nil {
+				consumers[int(start[in])+int(fill[in])] = int32(ci)
+				fill[in]++
+			}
+		}
+	}
+
+	// Persistent structural-hash table (open addressing, linear probe).
+	// Entries are never deleted: a stale entry's key contains a net that
+	// was a class root when the entry was written and has since been
+	// merged away, and find() never returns such a net again, so stale
+	// keys are unmatchable by construction.
+	size := 1
+	for size < 2*len(order)+8 {
+		size <<= 1
+	}
+	keys := make([]hashKey, size)
+	kfull := make([]bool, size)
+	kout := make([]NetID, size)
+	entries := 0
+	hashOf := func(k hashKey) uint32 {
+		h := uint64(k.t)
+		for _, v := range [4]NetID{k.a, k.b, k.c, k.clk} {
+			h ^= uint64(uint32(v)) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		}
+		return uint32(h ^ (h >> 32))
+	}
+	// lookup returns the slot holding k, or the insertion slot for it.
+	lookup := func(k hashKey) (slot int, found bool) {
+		mask := size - 1
+		i := int(hashOf(k)) & mask
+		for {
+			if !kfull[i] {
+				return i, false
+			}
+			if keys[i] == k {
+				return i, true
+			}
+			i = (i + 1) & mask
+		}
+	}
+	grow := func() {
+		oldKeys, oldFull, oldOut := keys, kfull, kout
+		size <<= 1
+		keys = make([]hashKey, size)
+		kfull = make([]bool, size)
+		kout = make([]NetID, size)
+		for i, full := range oldFull {
+			if !full {
+				continue
+			}
+			slot, _ := lookup(oldKeys[i])
+			keys[slot] = oldKeys[i]
+			kfull[slot] = true
+			kout[slot] = oldOut[i]
+		}
+	}
+
+	// Worklist, seeded with every combinational cell in topological
+	// order so the initial sweep reproduces the old pass exactly.
+	queue := make([]int32, len(order), len(order)+16)
+	inQueue := make([]bool, nc)
+	for i, ci := range order {
+		queue[i] = int32(ci)
+		inQueue[ci] = true
+	}
+	processed := make([]bool, nc)
+	removed := make([]bool, nc)
+
+	union := func(from, to NetID) {
+		rf, rt := find(from), find(to)
+		if rf == rt {
+			return
+		}
+		// The resolved inputs of every already-processed consumer of
+		// from's class just changed: put them back on the worklist.
+		m := rf
+		for {
+			for j := start[m]; j < start[m+1]; j++ {
+				ci := consumers[j]
+				if processed[ci] && !removed[ci] && !inQueue[ci] {
+					inQueue[ci] = true
+					queue = append(queue, ci)
+				}
+			}
+			m = NetID(ring[m])
+			if m == rf {
+				break
+			}
+		}
+		parent[rf] = rt
+		ring[rf], ring[rt] = ring[rt], ring[rf]
+	}
+
+	pops := 0
+	maxPops := 50 * (len(order) + 1)
+	for head := 0; head < len(queue); head++ {
+		ci := int(queue[head])
+		inQueue[ci] = false
+		if removed[ci] {
+			continue
+		}
+		pops++
+		if pops > maxPops {
+			res.Converged = false
+			res.Iterations = maxPops / (len(order) + 1)
+			return nil, res, fmt.Errorf("netlist: optimize did not converge after %d cell visits (%d cells)", pops, len(order))
+		}
+		processed[ci] = true
 		cell := &n.Cells[ci]
-		a := sub.get(cell.In[0])
-		b := sub.get(cell.In[1])
-		s := sub.get(cell.In[2])
+		a := find(cell.In[0])
+		b := find(cell.In[1])
+		s := find(cell.In[2])
 
 		simplifyTo := func(id NetID) {
-			sub.put(cell.Out, id)
+			union(cell.Out, id)
 			removed[ci] = true
-			folded++
+			res.ConstFolded++
+		}
+		isConst := func(id NetID) (bool, bool) {
+			switch id {
+			case c0:
+				return false, true
+			case c1:
+				return true, true
+			}
+			return false, false
 		}
 
 		av, aok := isConst(a)
@@ -208,71 +326,155 @@ func foldAndHash(n *Netlist) (*Netlist, int, int, error) {
 		if commutative(cell.Type) && ka > kb {
 			ka, kb = kb, ka
 		}
-		key := hashKey{t: cell.Type, a: ka, b: kb, c: s, clk: sub.get(cell.Clk)}
-		if prev, ok := hash[key]; ok {
-			sub.put(cell.Out, prev)
-			removed[ci] = true
-			merged++
+		key := hashKey{t: cell.Type, a: ka, b: kb, c: s, clk: find(cell.Clk)}
+		slot, found := lookup(key)
+		if found {
+			if prev := kout[slot]; prev != cell.Out {
+				union(cell.Out, prev)
+				removed[ci] = true
+				res.Merged++
+			}
 			continue
 		}
-		hash[key] = cell.Out
+		keys[slot] = key
+		kfull[slot] = true
+		kout[slot] = cell.Out
+		if entries++; 2*entries >= size {
+			grow()
+		}
+	}
+	if len(order) > 0 {
+		res.Iterations = (pops + len(order) - 1) / len(order)
+	} else {
+		res.Iterations = 1
 	}
 
-	// Rewrite remaining structure through the substitution map. Cells
-	// and RAM macros are copied so the source netlist stays untouched.
+	// Dead-logic removal over the folded structure: cells are live only
+	// if they reach a primary output or a RAM pin (read-port outputs are
+	// RAM-driven and are not roots). A kept cell's output was never
+	// unioned into anything, so the driver table indexes by the raw
+	// output net.
+	driver := make([]int32, numNets)
+	for i := range driver {
+		driver[i] = -1
+	}
+	for ci := range n.Cells {
+		if !removed[ci] {
+			driver[n.Cells[ci].Out] = int32(ci)
+		}
+	}
+	live := make([]bool, nc)
+	seenNet := make([]bool, numNets)
+	stack := make([]NetID, 0, 64)
+	push := func(id NetID) {
+		if id == Nil {
+			return
+		}
+		id = find(id)
+		if !seenNet[id] {
+			seenNet[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, p := range n.Outputs {
+		push(p.Net)
+	}
+	for _, r := range n.RAMs {
+		push(r.Clk)
+		for _, wp := range r.WritePorts {
+			push(wp.En)
+			for _, bb := range wp.Addr {
+				push(bb)
+			}
+			for _, bb := range wp.Data {
+				push(bb)
+			}
+		}
+		for _, rp := range r.ReadPorts {
+			for _, bb := range rp.Addr {
+				push(bb)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		d := driver[id]
+		if d < 0 || live[d] {
+			continue
+		}
+		live[d] = true
+		c := &n.Cells[d]
+		for _, in := range c.Inputs() {
+			push(in)
+		}
+		push(c.Clk)
+	}
+
+	// Assemble the output in one pass: surviving cells in original
+	// order with inputs resolved through the union-find (outputs of
+	// kept cells are never substituted), RAM macros and ports rewritten
+	// the same way. The source netlist is never written, so its cached
+	// derived structures stay valid.
+	nLive := 0
+	for ci := range n.Cells {
+		if live[ci] {
+			nLive++
+		} else if !removed[ci] {
+			res.DeadRemoved++
+		}
+	}
 	out := &Netlist{
 		NetNames: n.NetNames,
 		Const0:   c0,
 		Const1:   c1,
 	}
+	out.Cells = make([]Cell, 0, nLive)
 	for ci := range n.Cells {
-		if removed[ci] {
+		if !live[ci] {
 			continue
 		}
 		c := n.Cells[ci]
 		for j := range c.In {
-			c.In[j] = sub.get(c.In[j])
+			c.In[j] = find(c.In[j])
 		}
-		c.Clk = sub.get(c.Clk)
-		// Outputs are never substituted for kept cells.
+		c.Clk = find(c.Clk)
 		out.Cells = append(out.Cells, c)
 	}
+	out.RAMs = make([]*RAM, 0, len(n.RAMs))
 	for _, r := range n.RAMs {
 		rc := *r
-		rc.Clk = sub.get(r.Clk)
+		rc.Clk = find(r.Clk)
 		rc.WritePorts = make([]RAMWritePort, len(r.WritePorts))
 		for i, wp := range r.WritePorts {
 			rc.WritePorts[i] = RAMWritePort{
-				En:   sub.get(wp.En),
-				Addr: substIDs(wp.Addr, sub),
-				Data: substIDs(wp.Data, sub),
+				En:   find(wp.En),
+				Addr: mapIDs(wp.Addr, find),
+				Data: mapIDs(wp.Data, find),
 			}
 		}
 		rc.ReadPorts = make([]RAMReadPort, len(r.ReadPorts))
 		for i, rp := range r.ReadPorts {
 			// Read-port outputs are RAM-driven; no substitution.
 			rc.ReadPorts[i] = RAMReadPort{
-				Addr: substIDs(rp.Addr, sub),
+				Addr: mapIDs(rp.Addr, find),
 				Out:  append([]NetID(nil), rp.Out...),
 			}
 		}
 		out.RAMs = append(out.RAMs, &rc)
 	}
-	for _, p := range n.Inputs {
-		out.Inputs = append(out.Inputs, p)
+	out.Inputs = append([]PortBit(nil), n.Inputs...)
+	out.Outputs = make([]PortBit, len(n.Outputs))
+	for i, p := range n.Outputs {
+		out.Outputs[i] = PortBit{Name: p.Name, Net: find(p.Net)}
 	}
-	for _, p := range n.Outputs {
-		out.Outputs = append(out.Outputs, PortBit{Name: p.Name, Net: sub.get(p.Net)})
-	}
-	return out, folded, merged, nil
+	return out, res, nil
 }
 
-func substIDs(ids []NetID, s *subst) []NetID {
-	out := make([]NetID, len(ids))
-	for i, id := range ids {
-		out[i] = s.get(id)
-	}
-	return out
+type hashKey struct {
+	t       CellType
+	a, b, c NetID
+	clk     NetID
 }
 
 func constNet(v bool, c0, c1 NetID) NetID {
@@ -290,83 +492,12 @@ func commutative(t CellType) bool {
 	return false
 }
 
-// removeDead removes cells whose outputs cannot reach a primary output
-// or a RAM pin. FFs and latches are kept only if observable; unread
-// state is deleted just as a synthesis tool would.
-func removeDead(n *Netlist) (*Netlist, int) {
-	drivers := n.Drivers()
-	live := make([]bool, len(n.Cells))
-	var stack []NetID
-	push := func(id NetID) {
-		if id != Nil {
-			stack = append(stack, id)
-		}
-	}
-	for _, p := range n.Outputs {
-		push(p.Net)
-	}
-	for _, r := range n.RAMs {
-		push(r.Clk)
-		for _, wp := range r.WritePorts {
-			push(wp.En)
-			for _, b := range wp.Addr {
-				push(b)
-			}
-			for _, b := range wp.Data {
-				push(b)
-			}
-		}
-		for _, rp := range r.ReadPorts {
-			for _, b := range rp.Addr {
-				push(b)
-			}
-		}
-	}
-	seenNet := make([]bool, n.NumNets())
-	for len(stack) > 0 {
-		id := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if seenNet[id] {
-			continue
-		}
-		seenNet[id] = true
-		d := drivers[id]
-		if d < 0 || live[d] {
-			continue
-		}
-		live[d] = true
-		c := &n.Cells[d]
-		for _, in := range c.Inputs() {
-			push(in)
-		}
-		push(c.Clk)
-	}
-
-	dead := 0
-	out := &Netlist{
-		NetNames: n.NetNames,
-		Const0:   n.Const0,
-		Const1:   n.Const1,
-		RAMs:     n.RAMs,
-		Inputs:   n.Inputs,
-		Outputs:  n.Outputs,
-	}
-	for ci := range n.Cells {
-		if live[ci] {
-			out.Cells = append(out.Cells, n.Cells[ci])
-		} else {
-			dead++
-		}
-	}
-	return out, dead
-}
-
 // Validate checks structural invariants: every pin within range, no
 // multiple drivers, no combinational cycles. It is used by tests and
 // by the synthesizer's own self-checks.
 func Validate(n *Netlist) error {
 	inRange := func(id NetID) bool { return id == Nil || (id >= 0 && int(id) < n.NumNets()) }
-	driven := map[NetID]int{}
+	driven := make([]bool, n.NumNets())
 	for i := range n.Cells {
 		c := &n.Cells[i]
 		for _, in := range c.Inputs() {
@@ -377,10 +508,10 @@ func Validate(n *Netlist) error {
 		if !inRange(c.Clk) || !inRange(c.Out) || c.Out == Nil {
 			return fmt.Errorf("netlist: cell %d pins invalid", i)
 		}
-		driven[c.Out]++
-		if driven[c.Out] > 1 {
+		if driven[c.Out] {
 			return fmt.Errorf("netlist: net %d multiply driven", c.Out)
 		}
+		driven[c.Out] = true
 	}
 	if _, err := n.TopoOrder(); err != nil {
 		return err

@@ -7,6 +7,7 @@ import (
 )
 
 func BenchmarkFitDEE1(b *testing.B) {
+	b.ReportAllocs()
 	d := paperData(dataset.Stmts, dataset.FanInLC)
 	for i := 0; i < b.N; i++ {
 		if _, err := Fit(d); err != nil {
@@ -16,6 +17,7 @@ func BenchmarkFitDEE1(b *testing.B) {
 }
 
 func BenchmarkFitFixedSingle(b *testing.B) {
+	b.ReportAllocs()
 	d := paperData(dataset.Stmts)
 	for i := 0; i < b.N; i++ {
 		if _, err := FitFixed(d); err != nil {
@@ -25,6 +27,7 @@ func BenchmarkFitFixedSingle(b *testing.B) {
 }
 
 func BenchmarkLogLikelihoodClosedForm(b *testing.B) {
+	b.ReportAllocs()
 	d := paperData(dataset.Stmts, dataset.FanInLC)
 	w := []float64{0.004, 0.0001}
 	for i := 0; i < b.N; i++ {

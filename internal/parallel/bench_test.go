@@ -20,6 +20,7 @@ func spin(iters int) float64 {
 // BenchmarkPoolOverhead measures the fixed cost of dispatching trivial
 // items through the pool versus a bare loop — the price of bounding.
 func BenchmarkPoolOverhead(b *testing.B) {
+	b.ReportAllocs()
 	b.Run("bare-loop", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for j := 0; j < 256; j++ {
@@ -40,6 +41,7 @@ func BenchmarkPoolOverhead(b *testing.B) {
 // GOMAXPROCS pool, reporting the wall-clock speedup as a custom
 // metric. On a 1-core machine the metric is ~1.
 func BenchmarkPoolSpeedup(b *testing.B) {
+	b.ReportAllocs()
 	const items, work = 64, 50000
 	seqStart := time.Now()
 	if err := ForEach(1, items, func(i int) error { spin(work); return nil }); err != nil {

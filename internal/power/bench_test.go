@@ -9,6 +9,7 @@ import (
 )
 
 func BenchmarkAnalyzeDatapath(b *testing.B) {
+	b.ReportAllocs()
 	d, err := hdl.ParseDesign(map[string]string{"b.v": `
 module dp (input clk, input [15:0] a, x, output reg [15:0] y);
   always @(posedge clk) y <= (a * x) + (a ^ x);

@@ -34,6 +34,7 @@ func benchDesign(b *testing.B) *hdl.Design {
 }
 
 func BenchmarkRTLSimStep(b *testing.B) {
+	b.ReportAllocs()
 	d := benchDesign(b)
 	inst, _, err := elab.Elaborate(d, "bench", nil)
 	if err != nil {
@@ -53,6 +54,7 @@ func BenchmarkRTLSimStep(b *testing.B) {
 }
 
 func BenchmarkGateSimStep(b *testing.B) {
+	b.ReportAllocs()
 	d := benchDesign(b)
 	res, err := synth.Synthesize(d, "bench", nil)
 	if err != nil {

@@ -3,6 +3,7 @@ package stats
 import "testing"
 
 func BenchmarkNelderMeadRosenbrock(b *testing.B) {
+	b.ReportAllocs()
 	f := func(x []float64) float64 {
 		a := 1 - x[0]
 		c := x[1] - x[0]*x[0]
@@ -14,12 +15,14 @@ func BenchmarkNelderMeadRosenbrock(b *testing.B) {
 }
 
 func BenchmarkGaussHermiteConstruction(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		NewGaussHermite(30)
 	}
 }
 
 func BenchmarkLognormalQuantile(b *testing.B) {
+	b.ReportAllocs()
 	l := NewLognormal(0, 0.46)
 	for i := 0; i < b.N; i++ {
 		l.Quantile(0.95)
@@ -27,6 +30,7 @@ func BenchmarkLognormalQuantile(b *testing.B) {
 }
 
 func BenchmarkOLS(b *testing.B) {
+	b.ReportAllocs()
 	n, p := 100, 4
 	x := NewMatrix(n, p)
 	y := make([]float64, n)

@@ -22,6 +22,7 @@ module bench #(parameter W = 16) (input clk, input [W-1:0] a, b, input [2:0] op,
 endmodule`
 
 func BenchmarkSynthesizeDatapath(b *testing.B) {
+	b.ReportAllocs()
 	d, err := hdl.ParseDesign(map[string]string{"b.v": benchSrc})
 	if err != nil {
 		b.Fatal(err)

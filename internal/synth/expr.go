@@ -2,6 +2,7 @@ package synth
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/elab"
 	"repro/internal/hdl"
@@ -293,11 +294,21 @@ func (s *synthesizer) indexRead(inst *elab.Instance, env *elab.Env, st *procStat
 		if m.MinIdx != 0 {
 			addr = s.subConst(addr, m.MinIdx)
 		}
+		rb := s.ramFor(inst.Path, m)
 		out := make([]netlist.NetID, m.Width)
+		buf := make([]byte, 0, len(inst.Path)+len(m.Name)+12)
+		buf = append(buf, inst.Path...)
+		buf = append(buf, '.')
+		buf = append(buf, m.Name...)
+		buf = append(buf, ".rd"...)
+		buf = strconv.AppendInt(buf, int64(len(rb.reads)), 10)
+		stem := len(buf)
 		for i := range out {
-			out[i] = s.b.NewNet(fmt.Sprintf("%s.%s.rd%d[%d]", inst.Path, m.Name, len(s.ramFor(inst, m).reads), i))
+			buf = append(buf[:stem], '[')
+			buf = strconv.AppendInt(buf, int64(i), 10)
+			buf = append(buf, ']')
+			out[i] = s.b.NewNet(string(buf))
 		}
-		rb := s.ramFor(inst, m)
 		rb.reads = append(rb.reads, netlist.RAMReadPort{Addr: addr, Out: out})
 		return out, nil
 	}

@@ -222,7 +222,7 @@ func (s *synthesizer) finishClocked(inst *elab.Instance, ab *elab.ElabAlways, st
 	// program order.
 	for _, site := range st.memc.sites {
 		site.write.clk = clk
-		rb := s.ramFor(inst, site.mem)
+		rb := s.ramFor(inst.Path, site.mem)
 		rb.writes = append(rb.writes, site.write)
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/elab"
@@ -22,6 +23,10 @@ type Result struct {
 	// Deduped counts instances removed by the single-instance rule
 	// (only non-zero when LowerOptions.DedupInstances was set).
 	Deduped int
+	// Stamped counts instances whose lowering was replayed from a
+	// recorded template instead of being re-lowered expression by
+	// expression (see LowerOptions.DisableTemplates).
+	Stamped int
 }
 
 // Synthesize elaborates module top of the design with the given
@@ -44,7 +49,7 @@ func SynthesizeOpts(design *hdl.Design, top string, overrides map[string]int64, 
 // the accounting procedure's memoized parameter search) synthesize
 // without paying for a second elaboration of the same design point.
 func SynthesizeInstance(inst *elab.Instance, report *elab.Report, opts LowerOptions) (*Result, error) {
-	raw, deduped, err := LowerOpts(inst, opts)
+	raw, ls, err := LowerOpts(inst, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -55,7 +60,7 @@ func SynthesizeInstance(inst *elab.Instance, report *elab.Report, opts LowerOpti
 	if err := netlist.Validate(opt); err != nil {
 		return nil, fmt.Errorf("synth: optimized netlist invalid: %w", err)
 	}
-	return &Result{Raw: raw, Optimized: opt, OptStats: stats, Top: inst, Report: report, Deduped: deduped}, nil
+	return &Result{Raw: raw, Optimized: opt, OptStats: stats, Top: inst, Report: report, Deduped: ls.Deduped, Stamped: ls.Stamped}, nil
 }
 
 // LowerOptions tunes the lowering.
@@ -67,6 +72,22 @@ type LowerOptions struct {
 	// repeats alias to the representative's outputs and their
 	// input-side glue logic is dropped.
 	DedupInstances bool
+	// DisableTemplates turns off template-stamped lowering: by default
+	// the first instance of each (module, parameters, port-binding
+	// pattern) is recorded while it lowers and every further instance
+	// is stamped from the recording with renumbered nets (see
+	// template.go). Stamping is bit-identical to direct lowering — the
+	// switch exists for the golden tests that prove it and for
+	// debugging.
+	DisableTemplates bool
+}
+
+// LowerStats reports what the lowering did beyond the netlist itself.
+type LowerStats struct {
+	// Deduped counts instances removed by the single-instance rule.
+	Deduped int
+	// Stamped counts instances replayed from a lowering template.
+	Stamped int
 }
 
 // Lower converts an elaborated instance tree to a flattened raw
@@ -77,13 +98,16 @@ func Lower(top *elab.Instance) (*netlist.Netlist, error) {
 }
 
 // LowerOpts is Lower with options; it also reports how many duplicate
-// instances the single-instance rule removed.
-func LowerOpts(top *elab.Instance, opts LowerOptions) (*netlist.Netlist, int, error) {
+// instances the single-instance rule removed and how many were stamped
+// from templates.
+func LowerOpts(top *elab.Instance, opts LowerOptions) (*netlist.Netlist, LowerStats, error) {
 	s := &synthesizer{
-		b:     netlist.NewBuilder(),
-		sigs:  map[*elab.Instance]map[string][]netlist.NetID{},
-		rams:  map[*elab.Instance]map[string]*ramBuild{},
-		dedup: opts.DedupInstances,
+		b:      netlist.NewBuilder(),
+		sigs:   map[*elab.Instance]map[string][]netlist.NetID{},
+		rams:   map[ramKey]*ramBuild{},
+		tmpl:   map[string]*template{},
+		dedup:  opts.DedupInstances,
+		noTmpl: opts.DisableTemplates,
 	}
 	// Allocate and register top-level ports.
 	for _, p := range top.PortNets() {
@@ -99,25 +123,33 @@ func LowerOpts(top *elab.Instance, opts LowerOptions) (*netlist.Netlist, int, er
 			case hdl.Output:
 				s.b.AddOutput(bitName, nid)
 			default:
-				return nil, 0, fmt.Errorf("synth: inout port %s.%s is not supported", top.Path, p.Name)
+				return nil, LowerStats{}, fmt.Errorf("synth: inout port %s.%s is not supported", top.Path, p.Name)
 			}
 		}
 	}
 	if err := s.instance(top); err != nil {
-		return nil, 0, err
+		return nil, LowerStats{}, err
 	}
 	if err := s.finalizeRAMs(); err != nil {
-		return nil, 0, err
+		return nil, LowerStats{}, err
 	}
 	nl, err := s.b.Build()
-	return nl, s.deduped, err
+	return nl, LowerStats{Deduped: s.deduped, Stamped: s.stamped}, err
+}
+
+// ramKey identifies one memory by the instance path that owns it.
+// Keying by path (instead of by *elab.Instance) lets template stamping
+// register RAM sites for instances that were never directly lowered.
+type ramKey struct {
+	path string
+	mem  string
 }
 
 // ramBuild accumulates the read/write sites of one memory during
 // lowering.
 type ramBuild struct {
-	mem    *elab.Mem
-	inst   *elab.Instance
+	width  int
+	depth  int64
 	writes []ramWrite
 	reads  []netlist.RAMReadPort
 }
@@ -132,9 +164,12 @@ type ramWrite struct {
 type synthesizer struct {
 	b       *netlist.Builder
 	sigs    map[*elab.Instance]map[string][]netlist.NetID
-	rams    map[*elab.Instance]map[string]*ramBuild
+	rams    map[ramKey]*ramBuild
+	tmpl    map[string]*template
 	dedup   bool
+	noTmpl  bool
 	deduped int
+	stamped int
 }
 
 // netBits returns (allocating on first use) the bit nets of a declared
@@ -152,26 +187,36 @@ func (s *synthesizer) netBits(inst *elab.Instance, name string) []netlist.NetID 
 	if n == nil {
 		panic(fmt.Sprintf("synth: internal: unknown net %s in %s", name, inst.Path))
 	}
+	// Hand-rolled name formatting: this runs once per bit of every
+	// signal in the design and fmt.Sprintf dominated lowering time.
 	bits := make([]netlist.NetID, n.Width)
+	buf := make([]byte, 0, len(inst.Path)+len(name)+8)
+	buf = append(buf, inst.Path...)
+	buf = append(buf, '.')
+	buf = append(buf, name...)
+	stem := len(buf)
 	for i := range bits {
-		bits[i] = s.b.NewNet(fmt.Sprintf("%s.%s[%d]", inst.Path, name, int64(i)+n.LSB))
+		buf = append(buf[:stem], '[')
+		buf = strconv.AppendInt(buf, int64(i)+n.LSB, 10)
+		buf = append(buf, ']')
+		bits[i] = s.b.NewNet(string(buf))
 	}
 	tbl[name] = bits
 	return bits
 }
 
 // ramFor returns (allocating on first use) the RAM build record of a
-// memory.
-func (s *synthesizer) ramFor(inst *elab.Instance, mem *elab.Mem) *ramBuild {
-	tbl, ok := s.rams[inst]
+// memory of the instance at path.
+func (s *synthesizer) ramFor(path string, mem *elab.Mem) *ramBuild {
+	return s.ramAt(path, mem.Name, mem.Width, mem.Depth)
+}
+
+func (s *synthesizer) ramAt(path, name string, width int, depth int64) *ramBuild {
+	k := ramKey{path: path, mem: name}
+	rb, ok := s.rams[k]
 	if !ok {
-		tbl = map[string]*ramBuild{}
-		s.rams[inst] = tbl
-	}
-	rb, ok := tbl[mem.Name]
-	if !ok {
-		rb = &ramBuild{mem: mem, inst: inst}
-		tbl[mem.Name] = rb
+		rb = &ramBuild{width: width, depth: depth}
+		s.rams[k] = rb
 	}
 	return rb
 }
@@ -192,11 +237,19 @@ func (s *synthesizer) instance(inst *elab.Instance) error {
 	}
 	// Children: bind ports, recurse. Under the single-instance rule,
 	// repeated (module, parameters) children reuse the representative's
-	// synthesized logic.
-	reps := map[string]*elab.Child{}
+	// synthesized logic. Otherwise the first child of each (signature,
+	// port-binding pattern) is recorded as it lowers and later ones are
+	// stamped from the recording (see template.go).
+	var reps map[string]*elab.Child
+	if s.dedup {
+		reps = map[string]*elab.Child{}
+	}
 	for _, child := range inst.Children {
+		var sig string
+		if s.dedup || !s.noTmpl {
+			sig = childSignature(child.Inst)
+		}
 		if s.dedup {
-			sig := childSignature(child.Inst)
 			if rep, seen := reps[sig]; seen {
 				s.deduped++
 				if err := s.bindDuplicate(inst, child, rep); err != nil {
@@ -208,6 +261,26 @@ func (s *synthesizer) instance(inst *elab.Instance) error {
 		}
 		if err := s.bindChild(inst, child); err != nil {
 			return err
+		}
+		if !s.noTmpl {
+			key := sig + "\x00" + s.portPattern(child.Inst)
+			if t, seen := s.tmpl[key]; seen {
+				if t != nil {
+					if err := s.stampChild(child, t); err != nil {
+						return err
+					}
+					continue
+				}
+				// Known-unstampable shape: lower directly below.
+			} else {
+				f := s.beginRecord(child.Inst)
+				err := s.instance(child.Inst)
+				s.endRecord(f, key, err == nil)
+				if err != nil {
+					return err
+				}
+				continue
+			}
 		}
 		if err := s.instance(child.Inst); err != nil {
 			return err
@@ -423,42 +496,39 @@ func (s *synthesizer) finalizeRAMs() error {
 	// (instance path, memory name) order so the netlist's RAM order —
 	// and with it every order-sensitive float accumulation downstream
 	// (areas, leakage, dynamic power) — is identical on every run.
-	insts := make([]*elab.Instance, 0, len(s.rams))
-	for inst := range s.rams {
-		insts = append(insts, inst)
+	keys := make([]ramKey, 0, len(s.rams))
+	for k := range s.rams {
+		keys = append(keys, k)
 	}
-	sort.Slice(insts, func(i, j int) bool { return insts[i].Path < insts[j].Path })
-	for _, inst := range insts {
-		tbl := s.rams[inst]
-		names := make([]string, 0, len(tbl))
-		for name := range tbl {
-			names = append(names, name)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].path != keys[j].path {
+			return keys[i].path < keys[j].path
 		}
-		sort.Strings(names)
-		for _, name := range names {
-			rb := tbl[name]
-			if len(rb.writes) == 0 && len(rb.reads) == 0 {
-				continue
-			}
-			r := &netlist.RAM{
-				Name:  inst.Path + "." + name,
-				Width: rb.mem.Width,
-				Depth: int(rb.mem.Depth),
-				Clk:   netlist.Nil,
-			}
-			// One write port per write site, in program order; all
-			// ports of one memory must share a clock.
-			for _, w := range rb.writes {
-				if r.Clk == netlist.Nil {
-					r.Clk = w.clk
-				} else if r.Clk != w.clk {
-					return fmt.Errorf("synth: memory %s.%s written from two clock domains", inst.Path, name)
-				}
-				r.WritePorts = append(r.WritePorts, netlist.RAMWritePort{En: w.en, Addr: w.addr, Data: w.data})
-			}
-			r.ReadPorts = rb.reads
-			s.b.AddRAM(r)
+		return keys[i].mem < keys[j].mem
+	})
+	for _, k := range keys {
+		rb := s.rams[k]
+		if len(rb.writes) == 0 && len(rb.reads) == 0 {
+			continue
 		}
+		r := &netlist.RAM{
+			Name:  k.path + "." + k.mem,
+			Width: rb.width,
+			Depth: int(rb.depth),
+			Clk:   netlist.Nil,
+		}
+		// One write port per write site, in program order; all
+		// ports of one memory must share a clock.
+		for _, w := range rb.writes {
+			if r.Clk == netlist.Nil {
+				r.Clk = w.clk
+			} else if r.Clk != w.clk {
+				return fmt.Errorf("synth: memory %s.%s written from two clock domains", k.path, k.mem)
+			}
+			r.WritePorts = append(r.WritePorts, netlist.RAMWritePort{En: w.en, Addr: w.addr, Data: w.data})
+		}
+		r.ReadPorts = rb.reads
+		s.b.AddRAM(r)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 )
 
 func BenchmarkAnalyzeAdder(b *testing.B) {
+	b.ReportAllocs()
 	nl := netlistOf(b, `
 module add #(parameter W = 32) (input clk, input [W-1:0] a, x, output reg [W-1:0] s);
   always @(posedge clk) s <= a + x;

@@ -8,6 +8,8 @@
 #   scripts/bench.sh Table4           # only benchmarks matching a regex
 #   BENCHTIME=2s scripts/bench.sh     # override -benchtime
 #   BENCHCOUNT=10 scripts/bench.sh    # override -count (repeated runs)
+#   BENCHOUT=x.json scripts/bench.sh  # override the output path
+#                                     # (used by scripts/ci.sh)
 #
 # Each benchmark runs BENCHCOUNT (default 5) times with a count-based
 # -benchtime (default 1x); the JSON records both the minimum and the
@@ -15,18 +17,19 @@
 # estimate ("ns/op" — what scripts/bench_compare.sh diffs); the median
 # shows the typical run. Custom metrics (sigma_eps,
 # speedup_vs_sequential, ...) are deterministic outputs, so the value
-# from the first run is recorded as-is.
+# from the first run is recorded as-is. -benchmem adds allocation
+# figures, recorded as "bytes/op" and "allocs/op".
 set -eu
 cd "$(dirname "$0")/.."
 
 pattern="${1:-.}"
 benchtime="${BENCHTIME:-1x}"
 count="${BENCHCOUNT:-5}"
-out="BENCH_$(date +%Y-%m-%d).json"
+out="${BENCHOUT:-BENCH_$(date +%Y-%m-%d).json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" . ./internal/parallel | tee "$tmp"
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" -benchmem . ./internal/parallel | tee "$tmp"
 
 awk \
 	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
@@ -59,6 +62,7 @@ BEGIN {
 		for (i = 5; i + 1 <= NF; i += 2) {
 			unit = $(i + 1)
 			gsub(/"/, "", unit)
+			if (unit == "B/op") unit = "bytes/op"
 			extras[name] = extras[name] sprintf(", \"%s\": %s", unit, $i)
 		}
 	}

@@ -1,0 +1,79 @@
+#!/bin/sh
+# scripts/ci.sh — the full pre-merge gate: the tier-1 verify line
+# followed by a benchmark run diffed against the newest checked-in
+# BENCH_*.json baseline (scripts/bench_compare.sh fails on >10% ns/op
+# regressions; parallel-speedup gates are skipped on single-core
+# runners).
+#
+# The bench gate compares with TOLERANCE 40 (not bench_compare's
+# default 10): on a shared single-core runner the min-of-N of a
+# count-based -benchtime swings up to ±35% run to run under ambient
+# load, so a tight gate fails on noise. 40% still reliably catches the
+# failure modes the gate exists for — a broken optimizer fixpoint, a
+# dead memo/cache, an accidental quadratic — which all cost 2× or
+# more. And because -count runs one benchmark's repetitions
+# back-to-back, a single multi-second stall (CPU frequency dip, noisy
+# neighbour) can poison every sample of whichever benchmark it lands
+# on; a first-pass failure therefore re-measures just the flagged
+# benchmarks in isolation and only fails if the regression reproduces.
+# For deliberate A/B measurements, run bench.sh twice on a quiet
+# machine with a higher BENCHCOUNT and compare at the strict default.
+#
+# Usage:
+#   scripts/ci.sh                      # tier-1 + bench gate
+#   SKIP_BENCH=1 scripts/ci.sh         # tier-1 only (no baseline diff)
+#   BENCHCOUNT=10 scripts/ci.sh        # more bench repetitions (default 5)
+#   BENCH_TOLERANCE=10 scripts/ci.sh   # stricter regression gate
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build =="
+go build ./...
+echo "== tier-1: vet =="
+go vet ./...
+echo "== tier-1: test =="
+go test ./...
+echo "== tier-1: race =="
+go test -race ./internal/parallel ./internal/nlme ./internal/paper
+
+if [ "${SKIP_BENCH:-0}" = "1" ]; then
+	echo "ci: tier-1 passed (bench gate skipped)"
+	exit 0
+fi
+
+baseline="$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)"
+if [ -z "$baseline" ]; then
+	echo "ci: tier-1 passed; no BENCH_*.json baseline checked in, skipping bench gate"
+	exit 0
+fi
+
+echo "== bench gate (baseline: $baseline) =="
+new="$(mktemp)"
+cmp_out="$(mktemp)"
+retry="$(mktemp)"
+trap 'rm -f "$new" "$cmp_out" "$retry"' EXIT
+tol="${BENCH_TOLERANCE:-40}"
+BENCHOUT="$new" BENCHCOUNT="${BENCHCOUNT:-5}" BENCHTIME="${BENCHTIME:-3x}" scripts/bench.sh >/dev/null
+
+# No pipe here: a POSIX-sh pipeline's exit status is the LAST command's,
+# so `bench_compare | tee` would mask a failed compare. Capture to a file.
+if TOLERANCE="$tol" scripts/bench_compare.sh "$baseline" "$new" >"$cmp_out" 2>&1; then
+	cat "$cmp_out"
+	echo "ci: all gates passed"
+	exit 0
+fi
+cat "$cmp_out"
+
+# First pass flagged regressions: re-measure only those benchmarks in
+# isolation and re-compare (bench_compare ignores baseline entries
+# missing from the retry file).
+pattern="$(awk '/^  REGRESSION/ { sub(/\/.*/, "", $2); if (!seen[$2]++) names = names (names == "" ? "" : "|") $2 }
+	END { if (names != "") printf "^(%s)$", names }' "$cmp_out")"
+if [ -z "$pattern" ]; then
+	echo "ci: bench gate failed (non-regression error)" >&2
+	exit 1
+fi
+echo "== bench gate retry (isolated re-measure: $pattern) =="
+BENCHOUT="$retry" BENCHCOUNT="${BENCHCOUNT:-5}" BENCHTIME="${BENCHTIME:-3x}" scripts/bench.sh "$pattern" >/dev/null
+TOLERANCE="$tol" scripts/bench_compare.sh "$baseline" "$retry"
+echo "ci: all gates passed (after retry)"
