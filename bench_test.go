@@ -15,11 +15,13 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/accounting"
 	"repro/internal/cache"
 	"repro/internal/cones"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/designs"
+	"repro/internal/elab"
 	"repro/internal/fpga"
 	"repro/internal/hdl"
 	"repro/internal/netlist"
@@ -485,6 +487,90 @@ func BenchmarkSynthesizeCorpus(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(cells), "total_cells")
+}
+
+// BenchmarkElaborateCorpus times elaboration of every corpus
+// component at default parameters, comparing the uncached path
+// against a warm session cache (the subtree-reuse fast path the
+// accounting search's final builds ride on).
+func BenchmarkElaborateCorpus(b *testing.B) {
+	type prepared struct {
+		c designs.Component
+		d *hdl.Design
+	}
+	var preps []prepared
+	for _, c := range designs.All() {
+		d, err := designs.Design(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		preps = append(preps, prepared{c, d})
+	}
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range preps {
+				if _, _, err := elab.Elaborate(p.d, p.c.Top, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("session-cache", func(b *testing.B) {
+		b.ReportAllocs()
+		caches := make([]*elab.Cache, len(preps))
+		for i, p := range preps {
+			caches[i] = elab.NewCache()
+			if _, _, err := elab.ElaborateOpts(p.d, p.c.Top, nil, elab.Options{Cache: caches[i]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, p := range preps {
+				if _, _, err := elab.ElaborateOpts(p.d, p.c.Top, nil, elab.Options{Cache: caches[j]}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("report-only", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range preps {
+				if _, _, err := elab.ElaborateOpts(p.d, p.c.Top, nil, elab.Options{ReportOnly: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkMinimizeParamsCorpus times the scaling-rule search over
+// every corpus component — the probe-heavy path the session
+// elaboration cache exists for.
+func BenchmarkMinimizeParamsCorpus(b *testing.B) {
+	b.ReportAllocs()
+	type prepared struct {
+		c designs.Component
+		d *hdl.Design
+	}
+	var preps []prepared
+	for _, c := range designs.All() {
+		d, err := designs.Design(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		preps = append(preps, prepared{c, d})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range preps {
+			if _, err := accounting.MinimizeParamsN(p.d, p.c.Top, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 // BenchmarkNLMEFit times a single mixed-effects calibration.

@@ -132,6 +132,10 @@ func printResult(project, top string, res *accounting.Result) {
 		m.FreqMHz, m.AreaL, m.AreaS, m.PowerD, m.PowerS)
 	fmt.Printf("  accounting: %d unique modules, %d instances, %d deduplicated\n",
 		len(res.UniqueModules), res.InstanceCount, res.DedupedInstances)
+	if s := res.ElabStats; s.Hits+s.Misses > 0 {
+		fmt.Printf("  elab cache: %d subtree hits, %d misses, %d instances reused; %d probe hits, %d probe misses\n",
+			s.Hits, s.Misses, s.InstancesReused, res.ElabCacheHits, res.ElabCacheMisses)
+	}
 	if len(res.MinimizedParams) > 0 {
 		names := make([]string, 0, len(res.MinimizedParams))
 		for n := range res.MinimizedParams {

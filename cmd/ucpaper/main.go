@@ -16,6 +16,9 @@
 //	                              are identical with and without it)
 //	ucpaper -cache-verify         recompute every cache hit and fail
 //	                              on any mismatch
+//	ucpaper -elab-stats           report the session elaboration
+//	                              cache's subtree hit/miss/reuse
+//	                              counters on stderr
 //	ucpaper -cpuprofile FILE      write a CPU profile of the run
 //	ucpaper -memprofile FILE      write a heap profile of the run
 //
@@ -32,6 +35,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/cache"
+	"repro/internal/elab"
 	"repro/internal/paper"
 )
 
@@ -44,6 +48,7 @@ func main() {
 	par := flag.Int("parallel", 0, "worker pool bound: 0 = GOMAXPROCS, 1 = sequential (results are identical)")
 	cacheDir := flag.String("cache-dir", cache.DefaultDir(), "measurement cache directory (default $"+cache.EnvVar+"; empty = no cache)")
 	cacheVerify := flag.Bool("cache-verify", false, "recompute every cache hit and compare (consistency check)")
+	elabStats := flag.Bool("elab-stats", false, "report session elaboration-cache counters on stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write heap profile to file")
 	flag.Parse()
@@ -51,13 +56,13 @@ func main() {
 	if !*aicbic && !*extension && *tableN == 0 && *figureN == 0 {
 		*all = true
 	}
-	if err := realMain(*tableN, *figureN, *aicbic, *extension, *all, *par, *cacheDir, *cacheVerify, *cpuProfile, *memProfile); err != nil {
+	if err := realMain(*tableN, *figureN, *aicbic, *extension, *all, *par, *cacheDir, *cacheVerify, *elabStats, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "ucpaper:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(tableN, figureN int, aicbic, extension, all bool, par int, cacheDir string, cacheVerify bool, cpuProfile, memProfile string) error {
+func realMain(tableN, figureN int, aicbic, extension, all bool, par int, cacheDir string, cacheVerify, elabStats bool, cpuProfile, memProfile string) error {
 	opts := paper.Opts{Concurrency: par}
 	if cacheDir != "" {
 		c, err := cache.Open(cacheDir)
@@ -72,6 +77,15 @@ func realMain(tableN, figureN int, aicbic, extension, all bool, par int, cacheDi
 		}()
 	} else if cacheVerify {
 		return fmt.Errorf("-cache-verify needs a cache (-cache-dir or $%s)", cache.EnvVar)
+	}
+	if elabStats {
+		rec := &elab.StatsRecorder{}
+		opts.ElabStats = rec
+		defer func() {
+			s, probeHits, probeMisses := rec.Snapshot()
+			fmt.Fprintf(os.Stderr, "elab: %d subtree hits, %d misses, %d instances reused; %d probe hits, %d probe misses\n",
+				s.Hits, s.Misses, s.InstancesReused, probeHits, probeMisses)
+		}()
 	}
 
 	if cpuProfile != "" {

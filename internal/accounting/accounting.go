@@ -15,16 +15,21 @@
 // recommended mode) or disabled (every instance, full parameters),
 // which is exactly the comparison Figure 6 of the paper draws.
 //
-// The parameter-minimization search memoizes elaborations across
-// candidate parameter points, keyed by the structural signature of
-// internal/synth's single-instance rule (module + resolved
-// parameters): a candidate that names a design point already probed —
-// which the fixpoint iteration does constantly — reuses the stored
-// verdict instead of re-elaborating, and the final measurement reuses
-// the winning candidate's elaboration instead of redoing it. Candidate
-// probes run on a bounded worker pool (measure.Options.Concurrency);
-// the search visits candidates lowest-first in batches, so the
-// minimized parameters are identical for every worker count.
+// The parameter-minimization search memoizes at two levels, both
+// keyed by the structural signature of internal/synth's
+// single-instance rule (module + resolved parameters). Point verdicts:
+// a candidate that names a design point already probed — which the
+// fixpoint iteration does constantly — reuses the stored verdict
+// instead of re-elaborating. Subtrees: probes run in elab's
+// report-only mode against a session-scoped elaboration cache, so a
+// probe skips every submodule subtree whose resolved parameter binding
+// was already elaborated and walks only what the candidate's changed
+// parameter actually reaches; full instance trees are built once, for
+// the point the search ends on, reusing the reference elaboration's
+// unchanged subtrees. Candidate probes run on a bounded worker pool
+// (measure.Options.Concurrency); the search visits candidates
+// lowest-first in batches, so the minimized parameters are identical
+// for every worker count.
 package accounting
 
 import (
@@ -42,32 +47,34 @@ import (
 	"repro/internal/synth"
 )
 
-// elabMemo caches the elaborations of one (design, module) pair across
-// the minimization search. Keys are synth.ParamSignature strings, so
-// two candidate maps that resolve to the same design point share one
-// entry. The elaborated instance trees are retained only for
-// compatible points (the ones the search can end on).
+// elabMemo caches the point verdicts of one (design, module) pair
+// across the minimization search. Keys are synth.ParamSignature
+// strings, so two candidate maps that resolve to the same design point
+// share one entry. No per-point instance trees are retained: probes
+// run in report-only mode against a session-scoped subtree cache
+// (sess), which also lets the final measurement's full elaboration
+// reuse every subtree the winning parameters left unchanged from the
+// reference.
 type elabMemo struct {
 	design *hdl.Design
 	module string
 	ref    *elab.Report
+	sess   *elab.Cache
 
 	mu      sync.Mutex
 	verdict map[string]bool
-	entries map[string]*memoEntry
 	hits    int
 	misses  int
-}
-
-type memoEntry struct {
-	inst   *elab.Instance
-	report *elab.Report
 }
 
 // compatible reports whether the candidate parameter point elaborates
 // to a structure compatible with the reference elaboration, memoized.
 // Elaboration failures count as incompatible, as in the paper's rule
-// (the smallest value must still elaborate).
+// (the smallest value must still elaborate). Probes are report-only:
+// only the construct Report is computed, and subtrees whose resolved
+// parameter bindings were already elaborated this session are skipped
+// entirely, so a probe costs proportional to what the candidate's
+// changed parameter actually reaches.
 func (m *elabMemo) compatible(cand map[string]int64) bool {
 	sig := synth.ParamSignature(m.module, cand)
 	m.mu.Lock()
@@ -79,7 +86,10 @@ func (m *elabMemo) compatible(cand map[string]int64) bool {
 	m.misses++
 	m.mu.Unlock()
 
-	inst, rep, err := elab.Elaborate(m.design, m.module, cand)
+	_, rep, err := elab.ElaborateOpts(m.design, m.module, cand, elab.Options{
+		Cache:      m.sess,
+		ReportOnly: true,
+	})
 	ok := false
 	if err == nil {
 		ok, _ = m.ref.CompatibleWith(rep)
@@ -93,22 +103,7 @@ func (m *elabMemo) compatible(cand map[string]int64) bool {
 		return v
 	}
 	m.verdict[sig] = ok
-	if ok {
-		m.entries[sig] = &memoEntry{inst: inst, report: rep}
-	}
 	return ok
-}
-
-// lookup returns the cached elaboration of a parameter point, if the
-// search visited it.
-func (m *elabMemo) lookup(params map[string]int64) (*elab.Instance, *elab.Report, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e, ok := m.entries[synth.ParamSignature(m.module, params)]
-	if !ok {
-		return nil, nil, false
-	}
-	return e.inst, e.report, true
 }
 
 // counters returns the memo's hit/miss tallies.
@@ -145,7 +140,13 @@ func minimizeParams(design *hdl.Design, module string, concurrency int) (map[str
 	if err != nil {
 		return nil, nil, err
 	}
-	refInst, refReport, err := elab.Elaborate(design, module, nil)
+	// The session cache memoizes every subtree elaborated during this
+	// search, keyed by resolved parameter binding. The reference
+	// elaboration populates it, report-only probes draw on it, and the
+	// final full elaboration of the winning point reuses each subtree
+	// the minimized parameters did not touch.
+	sess := elab.NewCache()
+	_, refReport, err := elab.ElaborateOpts(design, module, nil, elab.Options{Cache: sess})
 	if err != nil {
 		return nil, nil, fmt.Errorf("accounting: reference elaboration of %s: %w", module, err)
 	}
@@ -172,15 +173,13 @@ func minimizeParams(design *hdl.Design, module string, concurrency int) (map[str
 		design:  design,
 		module:  module,
 		ref:     refReport,
+		sess:    sess,
 		verdict: map[string]bool{},
-		entries: map[string]*memoEntry{},
 	}
 	// Seed with the reference point: the defaults are compatible with
-	// themselves, and if nothing minimizes, the final measurement
-	// reuses this elaboration.
-	refSig := synth.ParamSignature(module, current)
-	memo.verdict[refSig] = true
-	memo.entries[refSig] = &memoEntry{inst: refInst, report: refReport}
+	// themselves, and if nothing minimizes, the final measurement's
+	// elaboration is answered whole from the session cache.
+	memo.verdict[synth.ParamSignature(module, current)] = true
 
 	for round := 0; round < 5; round++ {
 		changed := false
@@ -257,9 +256,13 @@ type Result struct {
 	// reuse it instead of re-running synthesis.
 	Synth *synth.Result
 	// ElabCacheHits and ElabCacheMisses count memoized versus fresh
-	// elaborations during the parameter-minimization search
+	// point verdicts during the parameter-minimization search
 	// (accounting mode only).
 	ElabCacheHits, ElabCacheMisses int
+	// ElabStats counts the session elaboration cache's subtree-level
+	// activity — fragments and trees reused versus elaborated fresh,
+	// and how many instances the reuse skipped (accounting mode only).
+	ElabStats elab.CacheStats
 }
 
 // MeasureComponent measures one component (a module plus everything it
@@ -307,9 +310,11 @@ type componentRecord struct {
 	MinimizedParams  map[string]int64
 	InstanceCount    int
 	DedupedInstances int
-	// ElabCacheHits/Misses describe the run that populated the entry
-	// (they depend on probe scheduling, not on the result).
+	// ElabCacheHits/Misses and ElabStats describe the run that
+	// populated the entry (they depend on probe scheduling, not on the
+	// result).
 	ElabCacheHits, ElabCacheMisses int
+	ElabStats                      elab.CacheStats
 	Optimized                      *netlist.Netlist
 }
 
@@ -322,6 +327,7 @@ func recordOf(res *Result) *componentRecord {
 		DedupedInstances: res.DedupedInstances,
 		ElabCacheHits:    res.ElabCacheHits,
 		ElabCacheMisses:  res.ElabCacheMisses,
+		ElabStats:        res.ElabStats,
 		Optimized:        res.Synth.Optimized,
 	}
 }
@@ -335,6 +341,7 @@ func (r *componentRecord) toResult() *Result {
 		DedupedInstances: r.DedupedInstances,
 		ElabCacheHits:    r.ElabCacheHits,
 		ElabCacheMisses:  r.ElabCacheMisses,
+		ElabStats:        r.ElabStats,
 		Synth:            &synth.Result{Optimized: r.Optimized},
 	}
 }
@@ -373,12 +380,21 @@ func measureComponent(design *hdl.Design, top string, useAccounting bool, opts m
 			return nil, err
 		}
 		res.MinimizedParams = params
+		// The search probed candidates in report-only mode; the full
+		// instance tree is materialized only here, for the point the
+		// search ended on, reusing every subtree the minimized
+		// parameters left unchanged from the reference elaboration.
+		inst, report, err = elab.ElaborateOpts(design, top, params, elab.Options{Cache: memo.sess})
+		if err != nil {
+			return nil, err
+		}
 		res.ElabCacheHits, res.ElabCacheMisses = memo.counters()
-		// The winning point was elaborated during the search; reuse it.
-		inst, report, _ = memo.lookup(params)
-	}
-	if inst == nil {
-		inst, report, err = elab.Elaborate(design, top, res.MinimizedParams)
+		res.ElabStats = memo.sess.Stats()
+		if opts.ElabStats != nil {
+			opts.ElabStats.Add(res.ElabStats, res.ElabCacheHits, res.ElabCacheMisses)
+		}
+	} else {
+		inst, report, err = elab.Elaborate(design, top, nil)
 		if err != nil {
 			return nil, err
 		}

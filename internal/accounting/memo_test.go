@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/elab"
 	"repro/internal/measure"
 )
 
@@ -32,9 +33,25 @@ func TestMinimizeParamsMemoizesRepeatedPoints(t *testing.T) {
 	if hits == 0 {
 		t.Errorf("search elaborated every candidate from scratch (hits=0, misses=%d); the fixpoint rounds must hit the memo", misses)
 	}
-	// The final measurement point must be reusable from the cache.
-	if _, _, ok := memo.lookup(params); !ok {
-		t.Errorf("winning point %v not cached", params)
+	// The winning point's verdict must be memoized, and the final full
+	// elaboration must come out of the session cache bit-identical to
+	// an uncached one.
+	if v, ok := memo.verdict[elab.ParamSignature("m", params)]; !ok || !v {
+		t.Errorf("winning point %v not memoized as compatible", params)
+	}
+	cached, cachedRep, err := elab.ElaborateOpts(d, "m", params, elab.Options{Cache: memo.sess})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, plainRep, err := elab.Elaborate(d, "m", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cachedRep.String() != plainRep.String() {
+		t.Errorf("cached report differs from uncached:\n%s\nvs\n%s", cachedRep, plainRep)
+	}
+	if got, want := cached.CountInstances(), plain.CountInstances(); got != want {
+		t.Errorf("cached tree has %d instances, uncached %d", got, want)
 	}
 }
 

@@ -6,13 +6,32 @@ import (
 	"repro/internal/hdl"
 )
 
-// Options tunes elaboration limits.
+// Options tunes elaboration limits and modes.
 type Options struct {
 	// MaxGenIterations caps a single generate/procedural for loop.
 	// Zero means 4096.
 	MaxGenIterations int
 	// MaxInstances caps the total instance count. Zero means 100000.
 	MaxInstances int
+	// Cache, when non-nil, memoizes elaborated subtrees across calls
+	// within one measurement session: a submodule whose resolved
+	// parameter binding (and, for full trees, hierarchical path) was
+	// already elaborated is reused instead of rebuilt, so elaborating a
+	// nearby parameter point costs proportional to what the changed
+	// parameter actually touches. Results are bit-identical to uncached
+	// elaboration. The cache must not be shared across designs or
+	// across differing limit options.
+	Cache *Cache
+	// ReportOnly computes just the construct Report (generate-loop trip
+	// counts, branch polarities, memory shapes, behavioral signatures)
+	// without retaining instance trees: Elaborate returns a nil
+	// *Instance. Success/failure and the Report are bit-identical to a
+	// full elaboration — every declaration, range check, and constant
+	// evaluation still runs — but subtrees are discarded as soon as
+	// their fragment is extracted (and, with a Cache, skipped entirely
+	// on repeat signatures). This is the probe mode of the accounting
+	// search's scaling rule.
+	ReportOnly bool
 }
 
 func (o Options) maxIter() int {
@@ -30,11 +49,20 @@ func (o Options) maxInst() int {
 }
 
 type elaborator struct {
-	design    *hdl.Design
-	opts      Options
+	design *hdl.Design
+	opts   Options
+	// report is the fragment of the subtree currently being elaborated;
+	// elaborateSubtree swaps in a fresh one per module instance so the
+	// fragment can be memoized, then merges it into the enclosing one.
 	report    *Report
 	instCount int
 	stack     []string // module names being elaborated, for cycle detection
+	cache     *Cache
+	// usedPaths guards full-tree reuse: a hierarchical path may only be
+	// served from (or stored into) the cache once per elaboration, so a
+	// design that repeats an instance name still gets distinct Instance
+	// objects, exactly as uncached elaboration builds them.
+	usedPaths map[string]bool
 }
 
 // Elaborate builds the elaborated instance tree of module top with the
@@ -44,13 +72,14 @@ func Elaborate(design *hdl.Design, top string, overrides map[string]int64) (*Ins
 	return ElaborateOpts(design, top, overrides, Options{})
 }
 
-// ElaborateOpts is Elaborate with explicit limits.
+// ElaborateOpts is Elaborate with explicit limits and modes. In
+// report-only mode (Options.ReportOnly) the returned Instance is nil.
 func ElaborateOpts(design *hdl.Design, top string, overrides map[string]int64, opts Options) (*Instance, *Report, error) {
 	m, err := design.Module(top)
 	if err != nil {
 		return nil, nil, err
 	}
-	el := &elaborator{design: design, opts: opts, report: NewReport()}
+	el := &elaborator{design: design, opts: opts, report: NewReport(), cache: opts.Cache}
 	params := map[string]int64{}
 	// Resolve header parameters left to right: defaults may reference
 	// earlier parameters; overrides replace defaults.
@@ -75,11 +104,73 @@ func ElaborateOpts(design *hdl.Design, top string, overrides map[string]int64, o
 			return nil, nil, fmt.Errorf("elab: module %s has no parameter %q", top, name)
 		}
 	}
-	inst, err := el.elaborateModule(m, top, params)
+	var sig string
+	if el.cache != nil {
+		sig = ParamSignature(top, params)
+		if opts.ReportOnly {
+			if e, ok := el.cache.lookupReport(sig); ok {
+				return nil, e.frag, nil
+			}
+		} else {
+			if e, ok := el.cache.lookupTree(top, sig); ok {
+				return e.inst, e.frag, nil
+			}
+			el.usedPaths = map[string]bool{top: true}
+		}
+	}
+	inst, frag, count, err := el.elaborateSubtree(m, top, params)
 	if err != nil {
 		return nil, nil, err
 	}
-	return inst, el.report, nil
+	if el.cache != nil {
+		if opts.ReportOnly {
+			el.cache.storeReport(sig, frag, count)
+		} else {
+			el.cache.storeTree(top, sig, inst, frag, count)
+		}
+	}
+	if opts.ReportOnly {
+		inst = nil
+	}
+	return inst, frag, nil
+}
+
+// elaborateSubtree elaborates module m at path into a fresh report
+// fragment, merges the fragment into the enclosing report, and returns
+// it together with the subtree's instance count so both can be
+// memoized by the session cache. Without a cache there is nothing to
+// memoize, so the subtree records straight into the enclosing report
+// — the uncached path pays no fragment bookkeeping.
+func (el *elaborator) elaborateSubtree(m *hdl.Module, path string, params map[string]int64) (*Instance, *Report, int, error) {
+	if el.cache == nil {
+		count0 := el.instCount
+		inst, err := el.elaborateModule(m, path, params)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return inst, el.report, el.instCount - count0, nil
+	}
+	outer := el.report
+	frag := NewReport()
+	el.report = frag
+	count0 := el.instCount
+	inst, err := el.elaborateModule(m, path, params)
+	el.report = outer
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	outer.mergeFrom(frag)
+	return inst, frag, el.instCount - count0, nil
+}
+
+// reuseInstances accounts for the instances of a memoized subtree
+// against the global limit, exactly as elaborating it fresh would.
+func (el *elaborator) reuseInstances(count int, path string) error {
+	el.instCount += count
+	if el.instCount > el.opts.maxInst() {
+		return fmt.Errorf("elab: instance limit %d exceeded at %s", el.opts.maxInst(), path)
+	}
+	return nil
 }
 
 func (el *elaborator) elaborateModule(m *hdl.Module, path string, params map[string]int64) (*Instance, error) {
@@ -310,9 +401,75 @@ func (el *elaborator) elaborateInstance(parent *Instance, v *hdl.Instance, env *
 		}
 	}
 	name := env.Prefix() + v.Name
-	childInst, err := el.elaborateModule(child, parent.Path+"."+name, params)
-	if err != nil {
-		return err
+	childPath := parent.Path + "." + name
+	// Session-cache reuse. Bypassed when the child module is already on
+	// the elaboration stack: a memoized fragment from a non-recursive
+	// context must not mask the recursive-instantiation error a fresh
+	// elaboration would raise here.
+	var sig string
+	cacheable := el.cache != nil
+	if cacheable {
+		for _, mod := range el.stack {
+			if mod == child.Name {
+				cacheable = false
+				break
+			}
+		}
+	}
+	if cacheable {
+		sig = ParamSignature(child.Name, params)
+		if el.opts.ReportOnly {
+			if e, ok := el.cache.lookupReport(sig); ok {
+				el.report.mergeFrom(e.frag)
+				if err := el.reuseInstances(e.count, childPath); err != nil {
+					return err
+				}
+				parent.Children = append(parent.Children, &Child{Name: name, Ports: v.Ports, Env: env, Pos: v.Pos})
+				return nil
+			}
+		} else if el.usedPaths[childPath] {
+			// A repeated hierarchical path must stay a distinct tree.
+			cacheable = false
+		} else {
+			el.usedPaths[childPath] = true
+			if e, ok := el.cache.lookupTree(childPath, sig); ok {
+				el.report.mergeFrom(e.frag)
+				if err := el.reuseInstances(e.count, childPath); err != nil {
+					return err
+				}
+				parent.Children = append(parent.Children, &Child{Name: name, Ports: v.Ports, Env: env, Inst: e.inst, Pos: v.Pos})
+				return nil
+			}
+		}
+	}
+	var childInst *Instance
+	var err2 error
+	if !cacheable {
+		// Nothing will be stored (no cache, a recursion-stack bypass, or
+		// a repeated path), so skip the fragment bookkeeping and record
+		// straight into the enclosing report.
+		childInst, err2 = el.elaborateModule(child, childPath, params)
+		if err2 != nil {
+			return err2
+		}
+	} else {
+		var frag *Report
+		var count int
+		childInst, frag, count, err2 = el.elaborateSubtree(child, childPath, params)
+		if err2 != nil {
+			return err2
+		}
+		if el.opts.ReportOnly {
+			el.cache.storeReport(sig, frag, count)
+		} else {
+			el.cache.storeTree(childPath, sig, childInst, frag, count)
+		}
+	}
+	if el.opts.ReportOnly {
+		// Probe mode: the subtree's fragment is what mattered; drop the
+		// tree. The Child entry stays so the parent's range validation
+		// still checks every port expression.
+		childInst = nil
 	}
 	parent.Children = append(parent.Children, &Child{
 		Name:  name,

@@ -7,9 +7,10 @@ import "fmt"
 // by labeled generate scopes (so a wire declared inside
 // "begin : g" of iteration 2 lives under "g[2].").
 type Env struct {
-	parent *Env
-	prefix string // full accumulated prefix, e.g. "g[2]."
-	consts map[string]int64
+	parent   *Env
+	prefix   string // full accumulated prefix, e.g. "g[2]."
+	consts   map[string]int64
+	prefixes []string // prefix chain, innermost first (see Prefixes)
 }
 
 // NewEnv returns a root environment with the given constants.
@@ -18,8 +19,10 @@ func NewEnv(consts map[string]int64) *Env {
 	for k, v := range consts {
 		c[k] = v
 	}
-	return &Env{consts: c}
+	return &Env{consts: c, prefixes: rootPrefixes}
 }
+
+var rootPrefixes = []string{""}
 
 // Child returns a nested scope. extraPrefix ("g[2]." or "") extends the
 // net-name prefix; consts (may be nil) adds scope-local constants such
@@ -29,7 +32,18 @@ func (e *Env) Child(extraPrefix string, consts map[string]int64) *Env {
 	for k, v := range consts {
 		c[k] = v
 	}
-	return &Env{parent: e, prefix: e.prefix + extraPrefix, consts: c}
+	child := &Env{parent: e, prefix: e.prefix + extraPrefix, consts: c}
+	if extraPrefix == "" {
+		// Same prefix as the parent: the resolution chain is unchanged
+		// and can be shared (Prefixes results are read-only).
+		child.prefixes = e.prefixes
+	} else {
+		chain := make([]string, 0, len(e.prefixes)+1)
+		chain = append(chain, child.prefix)
+		chain = append(chain, e.prefixes...)
+		child.prefixes = chain
+	}
+	return child
 }
 
 // Define adds a constant to the innermost scope, rejecting redefinition
@@ -57,18 +71,9 @@ func (e *Env) Prefix() string { return e.prefix }
 
 // Prefixes returns the prefix chain from innermost to outermost
 // (always ending with ""), used to resolve signal names against an
-// instance's net table.
+// instance's net table. The chain is precomputed at scope creation
+// and shared between scopes with equal prefixes; callers must not
+// mutate it.
 func (e *Env) Prefixes() []string {
-	var out []string
-	last := ""
-	for s := e; s != nil; s = s.parent {
-		if len(out) == 0 || s.prefix != last {
-			out = append(out, s.prefix)
-			last = s.prefix
-		}
-	}
-	if len(out) == 0 || out[len(out)-1] != "" {
-		out = append(out, "")
-	}
-	return out
+	return e.prefixes
 }

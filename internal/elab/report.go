@@ -18,7 +18,8 @@ type Construct struct {
 	Alive bool
 	// Branches is the set of arms taken by a constant conditional
 	// ("then"/"else" for ifs, "arm<N>"/"default" for cases) across all
-	// elaborations.
+	// elaborations. Allocated lazily — nil until the first arm is
+	// recorded (loop and memory constructs never record arms).
 	Branches map[string]bool
 	// NonConst is true when the condition/subject was signal-dependent
 	// in at least one elaboration (no branch constraint applies).
@@ -40,7 +41,7 @@ func (r *Report) construct(kind, pos string) *Construct {
 	key := kind + "@" + pos
 	c, ok := r.Constructs[key]
 	if !ok {
-		c = &Construct{Kind: kind, Branches: map[string]bool{}}
+		c = &Construct{Kind: kind}
 		r.Constructs[key] = c
 	}
 	return c
@@ -58,6 +59,9 @@ func (r *Report) recordLoop(kind, pos string, trips int64) {
 func (r *Report) recordBranch(kind, pos, arm string) {
 	c := r.construct(kind, pos)
 	c.Alive = true
+	if c.Branches == nil {
+		c.Branches = map[string]bool{}
+	}
 	c.Branches[arm] = true
 }
 
@@ -66,6 +70,33 @@ func (r *Report) recordNonConst(kind, pos string) {
 	c := r.construct(kind, pos)
 	c.Alive = true
 	c.NonConst = true
+}
+
+// mergeFrom folds another report's constructs into r. Every record is
+// a monotone union (Alive/NonConst flags, branch-arm sets), so merging
+// a subtree's fragment is exactly equivalent to replaying its record
+// calls, in any order. Constructs are always copied on first insert —
+// never aliased — so fragments held by a session Cache stay immutable.
+func (r *Report) mergeFrom(o *Report) {
+	for key, oc := range o.Constructs {
+		c, ok := r.Constructs[key]
+		if !ok {
+			c = &Construct{Kind: oc.Kind}
+			r.Constructs[key] = c
+		}
+		if oc.Alive {
+			c.Alive = true
+		}
+		if oc.NonConst {
+			c.NonConst = true
+		}
+		if len(oc.Branches) > 0 && c.Branches == nil {
+			c.Branches = make(map[string]bool, len(oc.Branches))
+		}
+		for arm := range oc.Branches {
+			c.Branches[arm] = true
+		}
+	}
 }
 
 // recordMem records a memory elaboration with the given depth.

@@ -99,13 +99,17 @@ func Map(n *netlist.Netlist, opts Options) *Mapping {
 	var realize func(id netlist.NetID)
 
 	// cutOf returns the support set of a net's logic (the net itself
-	// for leaves and constants-free).
+	// for leaves and constants-free). Leaf singletons are interned in
+	// the info table so repeated fan-out does not reallocate them.
 	cutOf := func(id netlist.NetID) []netlist.NetID {
 		if id == n.Const0 || id == n.Const1 {
 			return nil
 		}
 		if isLeaf(id) {
-			return []netlist.NetID{id}
+			if info[id].cut == nil {
+				info[id].cut = []netlist.NetID{id}
+			}
+			return info[id].cut
 		}
 		return info[id].cut
 	}
@@ -144,39 +148,65 @@ func Map(n *netlist.Netlist, opts Options) *Mapping {
 		// (Validate in synth prevents this in practice).
 		return m
 	}
+	// Input cuts are kept sorted and duplicate-free, so the merged
+	// support of a cell is a k-way sorted merge. Two reusable scratch
+	// buffers avoid the per-cell map and sort this loop used to pay —
+	// it runs once per cell and dominates the mapping's cost.
+	cur := make([]netlist.NetID, 0, 16)
+	next := make([]netlist.NetID, 0, 16)
 	for _, ci := range order {
 		c := &n.Cells[ci]
-		// Merge the supports of the inputs.
-		merged := map[netlist.NetID]bool{}
+		cur = cur[:0]
 		for _, in := range c.Inputs() {
-			for _, l := range cutOf(in) {
-				merged[l] = true
+			cut := cutOf(in)
+			if len(cut) == 0 {
+				continue
 			}
+			if len(cur) == 0 {
+				cur = append(cur, cut...)
+				continue
+			}
+			next = next[:0]
+			i, j := 0, 0
+			for i < len(cur) && j < len(cut) {
+				switch {
+				case cur[i] < cut[j]:
+					next = append(next, cur[i])
+					i++
+				case cut[j] < cur[i]:
+					next = append(next, cut[j])
+					j++
+				default:
+					next = append(next, cur[i])
+					i++
+					j++
+				}
+			}
+			next = append(next, cur[i:]...)
+			next = append(next, cut[j:]...)
+			cur, next = next, cur
 		}
-		if len(merged) <= o.K {
-			cut := make([]netlist.NetID, 0, len(merged))
-			for l := range merged {
-				cut = append(cut, l)
-			}
-			sort.Slice(cut, func(i, j int) bool { return cut[i] < cut[j] })
-			info[c.Out].cut = cut
+		if len(cur) <= o.K {
+			info[c.Out].cut = append([]netlist.NetID(nil), cur...)
 			continue
 		}
 		// Too wide: realize the inputs as LUT roots and cascade.
-		cut := map[netlist.NetID]bool{}
+		ins := make([]netlist.NetID, 0, len(c.Inputs()))
 		for _, in := range c.Inputs() {
 			if in == n.Const0 || in == n.Const1 {
 				continue
 			}
 			realize(in)
-			cut[in] = true
+			ins = append(ins, in)
 		}
-		cutS := make([]netlist.NetID, 0, len(cut))
-		for l := range cut {
-			cutS = append(cutS, l)
+		sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
+		dedup := ins[:0]
+		for k, id := range ins {
+			if k == 0 || id != ins[k-1] {
+				dedup = append(dedup, id)
+			}
 		}
-		sort.Slice(cutS, func(i, j int) bool { return cutS[i] < cutS[j] })
-		info[c.Out].cut = cutS
+		info[c.Out].cut = dedup
 	}
 
 	// Realize every endpoint.

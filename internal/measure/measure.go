@@ -11,6 +11,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cones"
 	"repro/internal/dataset"
+	"repro/internal/elab"
 	"repro/internal/fpga"
 	"repro/internal/hdl"
 	"repro/internal/power"
@@ -123,6 +124,12 @@ type Options struct {
 	// entirely. Concurrency is deliberately excluded from the key:
 	// results are identical for every worker count.
 	Cache *cache.Cache
+	// ElabStats, when non-nil, accumulates the session elaboration
+	// cache counters of every accounting search this measurement runs
+	// (subtree hits/misses/instances reused, point-probe memo
+	// hits/misses). Purely observational: excluded from CacheKeyParts
+	// and never affects a measured value.
+	ElabStats *elab.StatsRecorder
 }
 
 func (o Options) library() *stdcell.Library {

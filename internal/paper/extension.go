@@ -67,7 +67,7 @@ func TimingAwareOpts(o Opts) (*TimingAwareResult, error) {
 		if err != nil {
 			return row{}, err
 		}
-		acc, err := accounting.MeasureComponent(d, c.Top, true, measure.Options{Concurrency: inner, Cache: o.Cache})
+		acc, err := accounting.MeasureComponent(d, c.Top, true, measure.Options{Concurrency: inner, Cache: o.Cache, ElabStats: o.ElabStats})
 		if err != nil {
 			return row{}, err
 		}

@@ -43,7 +43,7 @@ func MeasureCorpusOpts(useAccounting bool, o Opts) ([]dataset.Component, error) 
 		if err != nil {
 			return dataset.Component{}, err
 		}
-		res, err := accounting.MeasureComponent(d, c.Top, useAccounting, measure.Options{Concurrency: inner, Cache: o.Cache})
+		res, err := accounting.MeasureComponent(d, c.Top, useAccounting, measure.Options{Concurrency: inner, Cache: o.Cache, ElabStats: o.ElabStats})
 		if err != nil {
 			return dataset.Component{}, fmt.Errorf("%s: %w", c.Label(), err)
 		}

@@ -1,6 +1,9 @@
 package paper
 
-import "repro/internal/cache"
+import (
+	"repro/internal/cache"
+	"repro/internal/elab"
+)
 
 // Opts configures the experiments that measure the synthetic corpus
 // through the synthesis pipeline (MeasureCorpus, Figure 6, the timing
@@ -16,6 +19,10 @@ type Opts struct {
 	// into every component measurement. Results are bit-identical with
 	// and without it.
 	Cache *cache.Cache
+	// ElabStats, when non-nil, aggregates the session elaboration-cache
+	// counters of every accounting search across the corpus (purely
+	// observational; results are unchanged).
+	ElabStats *elab.StatsRecorder
 }
 
 // options lowers Opts to per-component measurement options, bounding

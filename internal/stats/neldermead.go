@@ -110,13 +110,17 @@ func Minimize(f func([]float64) float64, x0 []float64, opt NelderMeadOptions) Mi
 	}
 
 	centroid := make([]float64, dim)
-	point := func(base []float64, coef float64, dir []float64) []float64 {
-		p := make([]float64, dim)
-		for i := range p {
-			p[i] = base[i] + coef*(base[i]-dir[i])
+	point := func(dst, base []float64, coef float64, dir []float64) {
+		for i := range dst {
+			dst[i] = base[i] + coef*(base[i]-dir[i])
 		}
-		return p
 	}
+	// Two scratch vertices, reused every iteration: when a candidate is
+	// adopted into the simplex it swaps buffers with the vertex it
+	// evicts, so the loop allocates nothing. The objective must not
+	// retain its argument (ours evaluate and return).
+	xr := make([]float64, dim)
+	xc := make([]float64, dim)
 
 	res := MinimizeResult{}
 	for iter := 0; iter < opt.MaxIter; iter++ {
@@ -154,32 +158,35 @@ func Minimize(f func([]float64) float64, x0 []float64, opt NelderMeadOptions) Mi
 		}
 
 		// Reflection.
-		xr := point(centroid, alpha, verts[dim])
+		point(xr, centroid, alpha, verts[dim])
 		fr := eval(xr)
 		switch {
 		case fr < vals[0]:
 			// Expansion.
-			xe := point(centroid, gamma, verts[dim])
-			fe := eval(xe)
+			point(xc, centroid, gamma, verts[dim])
+			fe := eval(xc)
 			if fe < fr {
-				verts[dim], vals[dim] = xe, fe
+				verts[dim], xc = xc, verts[dim]
+				vals[dim] = fe
 			} else {
-				verts[dim], vals[dim] = xr, fr
+				verts[dim], xr = xr, verts[dim]
+				vals[dim] = fr
 			}
 		case fr < vals[dim-1]:
-			verts[dim], vals[dim] = xr, fr
+			verts[dim], xr = xr, verts[dim]
+			vals[dim] = fr
 		default:
 			// Contraction (outside if the reflected point improved on
 			// the worst, inside otherwise).
-			var xc []float64
 			if fr < vals[dim] {
-				xc = point(centroid, alpha*rho, verts[dim])
+				point(xc, centroid, alpha*rho, verts[dim])
 			} else {
-				xc = point(centroid, -rho, verts[dim])
+				point(xc, centroid, -rho, verts[dim])
 			}
 			fc := eval(xc)
 			if fc < math.Min(fr, vals[dim]) {
-				verts[dim], vals[dim] = xc, fc
+				verts[dim], xc = xc, verts[dim]
+				vals[dim] = fc
 			} else {
 				// Shrink toward the best vertex.
 				for i := 1; i <= dim; i++ {

@@ -298,20 +298,11 @@ func childSignature(i *elab.Instance) string {
 // resolved parameter assignment — the key the single-instance rule
 // uses to decide that two instances are the same design point. The
 // accounting procedure reuses it to memoize elaborations across its
-// parameter-minimization search: candidate points with equal
-// signatures elaborate to structurally identical instances.
+// parameter-minimization search, and internal/elab's session cache
+// keys subtree memoization by it; the canonical implementation lives
+// there as elab.ParamSignature.
 func ParamSignature(module string, params map[string]int64) string {
-	var b strings.Builder
-	b.WriteString(module)
-	names := make([]string, 0, len(params))
-	for k := range params {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	for _, k := range names {
-		fmt.Fprintf(&b, ";%s=%d", k, params[k])
-	}
-	return b.String()
+	return elab.ParamSignature(module, params)
 }
 
 // bindDuplicate wires a repeated instance's output bindings to the

@@ -34,7 +34,7 @@ go vet ./...
 echo "== tier-1: test =="
 go test ./...
 echo "== tier-1: race =="
-go test -race ./internal/parallel ./internal/nlme ./internal/paper
+go test -race ./internal/parallel ./internal/nlme ./internal/paper ./internal/elab ./internal/accounting
 
 if [ "${SKIP_BENCH:-0}" = "1" ]; then
 	echo "ci: tier-1 passed (bench gate skipped)"
