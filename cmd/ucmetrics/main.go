@@ -14,6 +14,12 @@
 //	-cache-dir DIR   cache measurements on disk (default
 //	                 $UCOMPLEXITY_CACHE; results are identical with
 //	                 and without the cache)
+//
+// All measurements run through one measure.Session: with -builtin all
+// the whole corpus is parsed once and each distinct (module,
+// parameters) signature is synthesized exactly once across the 18
+// components. A session summary (components measured, signatures
+// planned / synthesized / shared) is reported on stderr.
 package main
 
 import (
@@ -22,7 +28,6 @@ import (
 	"os"
 	"sort"
 
-	"repro/internal/accounting"
 	"repro/internal/cache"
 	"repro/internal/dataset"
 	"repro/internal/designs"
@@ -44,9 +49,14 @@ func main() {
 	}
 }
 
-func run(top, builtin string, useAccounting, asCSV bool, cacheDir string, files []string) error {
-	var rows []dataset.Component
+// target names one component to measure within the session's design.
+type target struct {
+	project string
+	top     string
+	effort  float64
+}
 
+func run(top, builtin string, useAccounting, asCSV bool, cacheDir string, files []string) error {
 	opts := measure.Options{}
 	if cacheDir != "" {
 		c, err := cache.Open(cacheDir)
@@ -55,46 +65,29 @@ func run(top, builtin string, useAccounting, asCSV bool, cacheDir string, files 
 		}
 		opts.Cache = c
 	}
-	measureOne := func(d *hdl.Design, project, topName string, effort float64) error {
-		res, err := accounting.MeasureComponent(d, topName, useAccounting, opts)
+
+	var d *hdl.Design
+	var targets []target
+	switch {
+	case builtin == "all":
+		full, err := designs.FullDesign()
 		if err != nil {
 			return err
 		}
-		rows = append(rows, dataset.Component{
-			Project: project,
-			Name:    topName,
-			Effort:  effort,
-			Metrics: res.Metrics.MetricMap(),
-		})
-		if !asCSV {
-			printResult(project, topName, res)
-		}
-		return nil
-	}
-
-	switch {
-	case builtin == "all":
+		d = full
 		for _, c := range designs.All() {
-			d, err := designs.Design(c)
-			if err != nil {
-				return err
-			}
-			if err := measureOne(d, c.Project, c.Top, c.Effort); err != nil {
-				return fmt.Errorf("%s: %w", c.Label(), err)
-			}
+			targets = append(targets, target{c.Project, c.Top, c.Effort})
 		}
 	case builtin != "":
 		c, err := designs.ByLabel(builtin)
 		if err != nil {
 			return err
 		}
-		d, err := designs.Design(c)
+		d, err = designs.Design(c)
 		if err != nil {
 			return err
 		}
-		if err := measureOne(d, c.Project, c.Top, c.Effort); err != nil {
-			return err
-		}
+		targets = []target{{c.Project, c.Top, c.Effort}}
 	default:
 		if top == "" || len(files) == 0 {
 			return fmt.Errorf("need -top and at least one source file (or -builtin)")
@@ -107,14 +100,41 @@ func run(top, builtin string, useAccounting, asCSV bool, cacheDir string, files 
 			}
 			sources[f] = string(data)
 		}
-		d, err := hdl.ParseDesign(sources)
+		var err error
+		d, err = hdl.ParseDesign(sources)
 		if err != nil {
 			return err
 		}
-		if err := measureOne(d, "user", top, 0); err != nil {
-			return err
+		targets = []target{{"user", top, 0}}
+	}
+
+	sess := measure.NewSession(d)
+	units := make([]measure.Unit, len(targets))
+	for i, t := range targets {
+		units[i] = measure.Unit{Top: t.top, UseAccounting: useAccounting}
+	}
+	results, err := sess.MeasureAll(units, opts)
+	if err != nil {
+		return err
+	}
+
+	rows := make([]dataset.Component, len(targets))
+	for i, t := range targets {
+		rows[i] = dataset.Component{
+			Project: t.project,
+			Name:    t.top,
+			Effort:  t.effort,
+			Metrics: results[i].Metrics.MetricMap(),
+		}
+		if !asCSV {
+			printResult(t.project, t.top, results[i])
 		}
 	}
+
+	s := sess.Stats()
+	e := sess.ElabStats()
+	fmt.Fprintf(os.Stderr, "session: %d components measured, %d signatures planned, %d synthesized, %d shared; elab cache %d hits, %d misses\n",
+		s.Components, s.Planned, s.Synthesized, s.Shared, e.Hits, e.Misses)
 
 	if asCSV {
 		return dataset.WriteCSV(os.Stdout, rows)
@@ -122,7 +142,7 @@ func run(top, builtin string, useAccounting, asCSV bool, cacheDir string, files 
 	return nil
 }
 
-func printResult(project, top string, res *accounting.Result) {
+func printResult(project, top string, res *measure.ComponentResult) {
 	m := res.Metrics
 	fmt.Printf("%s-%s:\n", project, top)
 	fmt.Printf("  Stmts=%d LoC=%d\n", m.Stmts, m.LoC)
@@ -132,9 +152,9 @@ func printResult(project, top string, res *accounting.Result) {
 		m.FreqMHz, m.AreaL, m.AreaS, m.PowerD, m.PowerS)
 	fmt.Printf("  accounting: %d unique modules, %d instances, %d deduplicated\n",
 		len(res.UniqueModules), res.InstanceCount, res.DedupedInstances)
-	if s := res.ElabStats; s.Hits+s.Misses > 0 {
-		fmt.Printf("  elab cache: %d subtree hits, %d misses, %d instances reused; %d probe hits, %d probe misses\n",
-			s.Hits, s.Misses, s.InstancesReused, res.ElabCacheHits, res.ElabCacheMisses)
+	if res.ElabCacheHits+res.ElabCacheMisses > 0 {
+		fmt.Printf("  search memo: %d probe hits, %d probe misses\n",
+			res.ElabCacheHits, res.ElabCacheMisses)
 	}
 	if len(res.MinimizedParams) > 0 {
 		names := make([]string, 0, len(res.MinimizedParams))

@@ -19,12 +19,17 @@
 //	ucpaper -elab-stats           report the session elaboration
 //	                              cache's subtree hit/miss/reuse
 //	                              counters on stderr
+//	ucpaper -session-stats        report the measurement session's
+//	                              signature sharing (planned /
+//	                              synthesized / shared) on stderr
 //	ucpaper -cpuprofile FILE      write a CPU profile of the run
 //	ucpaper -memprofile FILE      write a heap profile of the run
 //
-// Figure 6 measures the 18-component synthetic design corpus through
-// the full synthesis pipeline and takes a few seconds cold; with a
-// warm cache it skips elaboration and synthesis entirely.
+// The corpus experiments (Figure 6 and the timing extension) run
+// through one shared measurement session: the corpus is parsed once
+// and each distinct (module, parameters) signature is synthesized
+// exactly once across everything the invocation prints. With a warm
+// cache they skip elaboration and synthesis entirely.
 package main
 
 import (
@@ -49,6 +54,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", cache.DefaultDir(), "measurement cache directory (default $"+cache.EnvVar+"; empty = no cache)")
 	cacheVerify := flag.Bool("cache-verify", false, "recompute every cache hit and compare (consistency check)")
 	elabStats := flag.Bool("elab-stats", false, "report session elaboration-cache counters on stderr")
+	sessionStats := flag.Bool("session-stats", false, "report measurement-session signature sharing on stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write heap profile to file")
 	flag.Parse()
@@ -56,14 +62,32 @@ func main() {
 	if !*aicbic && !*extension && *tableN == 0 && *figureN == 0 {
 		*all = true
 	}
-	if err := realMain(*tableN, *figureN, *aicbic, *extension, *all, *par, *cacheDir, *cacheVerify, *elabStats, *cpuProfile, *memProfile); err != nil {
+	if err := realMain(*tableN, *figureN, *aicbic, *extension, *all, *par, *cacheDir, *cacheVerify, *elabStats, *sessionStats, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "ucpaper:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(tableN, figureN int, aicbic, extension, all bool, par int, cacheDir string, cacheVerify, elabStats bool, cpuProfile, memProfile string) error {
+func realMain(tableN, figureN int, aicbic, extension, all bool, par int, cacheDir string, cacheVerify, elabStats, sessionStats bool, cpuProfile, memProfile string) error {
 	opts := paper.Opts{Concurrency: par}
+	// The corpus-measuring experiments share one session so a run that
+	// prints several of them parses the corpus once and synthesizes
+	// each distinct signature once across all of them.
+	if all || figureN == 6 || extension || sessionStats {
+		sess, err := paper.NewSession()
+		if err != nil {
+			return err
+		}
+		opts.Session = sess
+		if sessionStats {
+			defer func() {
+				s := sess.Stats()
+				e := sess.ElabStats()
+				fmt.Fprintf(os.Stderr, "session: %d components measured, %d signatures planned, %d synthesized, %d shared; elab cache %d hits, %d misses\n",
+					s.Components, s.Planned, s.Synthesized, s.Shared, e.Hits, e.Misses)
+			}()
+		}
+	}
 	if cacheDir != "" {
 		c, err := cache.Open(cacheDir)
 		if err != nil {

@@ -15,102 +15,56 @@
 // recommended mode) or disabled (every instance, full parameters),
 // which is exactly the comparison Figure 6 of the paper draws.
 //
-// The parameter-minimization search memoizes at two levels, both
-// keyed by the structural signature of internal/synth's
-// single-instance rule (module + resolved parameters). Point verdicts:
-// a candidate that names a design point already probed — which the
-// fixpoint iteration does constantly — reuses the stored verdict
-// instead of re-elaborating. Subtrees: probes run in elab's
-// report-only mode against a session-scoped elaboration cache, so a
-// probe skips every submodule subtree whose resolved parameter binding
-// was already elaborated and walks only what the candidate's changed
-// parameter actually reaches; full instance trees are built once, for
-// the point the search ends on, reusing the reference elaboration's
-// unchanged subtrees. Candidate probes run on a bounded worker pool
-// (measure.Options.Concurrency); the search visits candidates
-// lowest-first in batches, so the minimized parameters are identical
-// for every worker count.
+// The implementation lives in internal/measure (so the batch
+// measure.Session can share the search's elaboration cache across a
+// whole component set without an import cycle); this package is the
+// single-component façade. The parameter-minimization search memoizes
+// at two levels, both keyed by the structural signature of
+// internal/synth's single-instance rule (module + resolved
+// parameters). Point verdicts: a candidate that names a design point
+// already probed — which the fixpoint iteration does constantly —
+// reuses the stored verdict instead of re-elaborating. Subtrees:
+// probes run in elab's report-only mode against a session-scoped
+// elaboration cache, so a probe skips every submodule subtree whose
+// resolved parameter binding was already elaborated and walks only
+// what the candidate's changed parameter actually reaches; full
+// instance trees are built once, for the point the search ends on,
+// reusing the reference elaboration's unchanged subtrees. Candidate
+// probes run on a bounded worker pool (measure.Options.Concurrency);
+// the search visits candidates lowest-first in batches, so the
+// minimized parameters are identical for every worker count.
 package accounting
 
 import (
-	"fmt"
-	"maps"
-	"sort"
-	"sync"
-
-	"repro/internal/cache"
-	"repro/internal/elab"
 	"repro/internal/hdl"
 	"repro/internal/measure"
-	"repro/internal/netlist"
-	"repro/internal/parallel"
-	"repro/internal/synth"
 )
 
-// elabMemo caches the point verdicts of one (design, module) pair
-// across the minimization search. Keys are synth.ParamSignature
-// strings, so two candidate maps that resolve to the same design point
-// share one entry. No per-point instance trees are retained: probes
-// run in report-only mode against a session-scoped subtree cache
-// (sess), which also lets the final measurement's full elaboration
-// reuse every subtree the winning parameters left unchanged from the
-// reference.
-type elabMemo struct {
-	design *hdl.Design
-	module string
-	ref    *elab.Report
-	sess   *elab.Cache
+// Result carries a component measurement along with the accounting
+// details that produced it. It is measure.ComponentResult under its
+// historical name.
+type Result = measure.ComponentResult
 
-	mu      sync.Mutex
-	verdict map[string]bool
-	hits    int
-	misses  int
-}
-
-// compatible reports whether the candidate parameter point elaborates
-// to a structure compatible with the reference elaboration, memoized.
-// Elaboration failures count as incompatible, as in the paper's rule
-// (the smallest value must still elaborate). Probes are report-only:
-// only the construct Report is computed, and subtrees whose resolved
-// parameter bindings were already elaborated this session are skipped
-// entirely, so a probe costs proportional to what the candidate's
-// changed parameter actually reaches.
-func (m *elabMemo) compatible(cand map[string]int64) bool {
-	sig := synth.ParamSignature(m.module, cand)
-	m.mu.Lock()
-	if v, ok := m.verdict[sig]; ok {
-		m.hits++
-		m.mu.Unlock()
-		return v
-	}
-	m.misses++
-	m.mu.Unlock()
-
-	_, rep, err := elab.ElaborateOpts(m.design, m.module, cand, elab.Options{
-		Cache:      m.sess,
-		ReportOnly: true,
-	})
-	ok := false
-	if err == nil {
-		ok, _ = m.ref.CompatibleWith(rep)
-	}
-
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if v, seen := m.verdict[sig]; seen {
-		// A concurrent probe of the same point won the race; both
-		// computed the same deterministic verdict.
-		return v
-	}
-	m.verdict[sig] = ok
-	return ok
-}
-
-// counters returns the memo's hit/miss tallies.
-func (m *elabMemo) counters() (hits, misses int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.hits, m.misses
+// MeasureComponent measures one component (a module plus everything it
+// instantiates).
+//
+// With useAccounting (Section 2.2), the component is measured at its
+// minimized parameterization and every repeated (module, parameters)
+// subtree is synthesized once — duplicate instances reuse the
+// representative's logic structurally during lowering. Without it, the
+// component is measured as instantiated: full default parameters,
+// every instance counted.
+//
+// The software metrics (LoC, Stmts) sum each unique module's source
+// once in both modes — the paper notes in Section 5.3 that the
+// accounting procedure does not affect them.
+//
+// To measure a whole component set, use measure.NewSession and
+// Session.MeasureAll, which produce bit-identical results while
+// sharing the elaboration cache and deduplicating synthesis across
+// components.
+func MeasureComponent(design *hdl.Design, top string, useAccounting bool, opts measure.Options) (*Result, error) {
+	return measure.MeasureComponent(design, top, useAccounting, opts)
 }
 
 // MinimizeParams returns, for each header parameter of the module, the
@@ -131,298 +85,5 @@ func MinimizeParams(design *hdl.Design, module string) (map[string]int64, error)
 // MinimizeParamsN is MinimizeParams with a concurrency bound
 // (0 = GOMAXPROCS, 1 = exact sequential path).
 func MinimizeParamsN(design *hdl.Design, module string, concurrency int) (map[string]int64, error) {
-	params, _, err := minimizeParams(design, module, concurrency)
-	return params, err
-}
-
-func minimizeParams(design *hdl.Design, module string, concurrency int) (map[string]int64, *elabMemo, error) {
-	mod, err := design.Module(module)
-	if err != nil {
-		return nil, nil, err
-	}
-	// The session cache memoizes every subtree elaborated during this
-	// search, keyed by resolved parameter binding. The reference
-	// elaboration populates it, report-only probes draw on it, and the
-	// final full elaboration of the winning point reuses each subtree
-	// the minimized parameters did not touch.
-	sess := elab.NewCache()
-	_, refReport, err := elab.ElaborateOpts(design, module, nil, elab.Options{Cache: sess})
-	if err != nil {
-		return nil, nil, fmt.Errorf("accounting: reference elaboration of %s: %w", module, err)
-	}
-	// Start from the declared defaults.
-	current := map[string]int64{}
-	env := elab.NewEnv(nil)
-	for _, p := range mod.Params {
-		v, err := elab.Eval(p.Value, env)
-		if err != nil {
-			return nil, nil, fmt.Errorf("accounting: default of %s.%s: %w", module, p.Name, err)
-		}
-		current[p.Name] = v
-		if err := env.Define(p.Name, v); err != nil {
-			return nil, nil, err
-		}
-	}
-	names := make([]string, 0, len(current))
-	for n := range current {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-
-	memo := &elabMemo{
-		design:  design,
-		module:  module,
-		ref:     refReport,
-		sess:    sess,
-		verdict: map[string]bool{},
-	}
-	// Seed with the reference point: the defaults are compatible with
-	// themselves, and if nothing minimizes, the final measurement's
-	// elaboration is answered whole from the session cache.
-	memo.verdict[synth.ParamSignature(module, current)] = true
-
-	for round := 0; round < 5; round++ {
-		changed := false
-		for _, name := range names {
-			// Candidates strictly below the current value, ascending;
-			// the search keeps the lowest compatible one, exactly like
-			// a sequential first-fit scan.
-			var below []int64
-			for _, v := range candidateValues(current[name]) {
-				if v >= current[name] {
-					break
-				}
-				below = append(below, v)
-			}
-			idx, err := parallel.FirstMatch(concurrency, len(below), func(i int) (bool, error) {
-				cand := make(map[string]int64, len(current))
-				for k, cv := range current {
-					cand[k] = cv
-				}
-				cand[name] = below[i]
-				return memo.compatible(cand), nil
-			})
-			if err != nil {
-				return nil, nil, err
-			}
-			if idx >= 0 {
-				current[name] = below[idx]
-				changed = true
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-	return current, memo, nil
-}
-
-// candidateValues returns ascending candidate values to try for a
-// parameter whose current value is cur: small integers exhaustively,
-// then powers of two below it.
-func candidateValues(cur int64) []int64 {
-	var out []int64
-	limit := cur
-	if limit > 64 {
-		limit = 64
-	}
-	for v := int64(0); v <= limit; v++ {
-		out = append(out, v)
-	}
-	for v := int64(128); v < cur; v *= 2 {
-		out = append(out, v)
-	}
-	return out
-}
-
-// Result carries a component measurement along with the accounting
-// details that produced it.
-type Result struct {
-	Metrics *measure.Metrics
-	// UniqueModules lists the distinct modules in the component's
-	// hierarchy (sorted).
-	UniqueModules []string
-	// MinimizedParams holds the scaled top-level parameter values
-	// (accounting mode only; nil otherwise).
-	MinimizedParams map[string]int64
-	// InstanceCount is the elaborated instance count of the component
-	// at the parameters actually measured.
-	InstanceCount int
-	// DedupedInstances is how many duplicate instances the
-	// single-instance rule removed (accounting mode only).
-	DedupedInstances int
-	// Synth is the synthesis of the component at the measured
-	// parameter point. Downstream analyses (timing, power sweeps) can
-	// reuse it instead of re-running synthesis.
-	Synth *synth.Result
-	// ElabCacheHits and ElabCacheMisses count memoized versus fresh
-	// point verdicts during the parameter-minimization search
-	// (accounting mode only).
-	ElabCacheHits, ElabCacheMisses int
-	// ElabStats counts the session elaboration cache's subtree-level
-	// activity — fragments and trees reused versus elaborated fresh,
-	// and how many instances the reuse skipped (accounting mode only).
-	ElabStats elab.CacheStats
-}
-
-// MeasureComponent measures one component (a module plus everything it
-// instantiates).
-//
-// With useAccounting (Section 2.2), the component is measured at its
-// minimized parameterization and every repeated (module, parameters)
-// subtree is synthesized once — duplicate instances reuse the
-// representative's logic structurally during lowering. Without it, the
-// component is measured as instantiated: full default parameters,
-// every instance counted.
-//
-// The software metrics (LoC, Stmts) sum each unique module's source
-// once in both modes — the paper notes in Section 5.3 that the
-// accounting procedure does not affect them.
-func MeasureComponent(design *hdl.Design, top string, useAccounting bool, opts measure.Options) (*Result, error) {
-	if opts.Cache == nil {
-		return measureComponent(design, top, useAccounting, opts)
-	}
-	eff := opts
-	eff.DedupInstances = useAccounting
-	key := cache.Key(append([]string{
-		"accounting-component", design.Fingerprint(), top, fmt.Sprintf("acct=%t", useAccounting),
-	}, eff.CacheKeyParts()...)...)
-	rec, _, err := cache.DoEq(opts.Cache, key, func() (*componentRecord, error) {
-		res, err := measureComponent(design, top, useAccounting, opts)
-		if err != nil {
-			return nil, err
-		}
-		return recordOf(res), nil
-	}, compareRecords)
-	if err != nil {
-		return nil, err
-	}
-	return rec.toResult(), nil
-}
-
-// componentRecord is the cacheable projection of a Result: everything
-// downstream consumers read (metrics, accounting details, and the
-// optimized netlist that timing analysis reuses), without the live
-// elaboration trees a fresh synthesis also carries.
-type componentRecord struct {
-	Metrics          *measure.Metrics
-	UniqueModules    []string
-	MinimizedParams  map[string]int64
-	InstanceCount    int
-	DedupedInstances int
-	// ElabCacheHits/Misses and ElabStats describe the run that
-	// populated the entry (they depend on probe scheduling, not on the
-	// result).
-	ElabCacheHits, ElabCacheMisses int
-	ElabStats                      elab.CacheStats
-	Optimized                      *netlist.Netlist
-}
-
-func recordOf(res *Result) *componentRecord {
-	return &componentRecord{
-		Metrics:          res.Metrics,
-		UniqueModules:    res.UniqueModules,
-		MinimizedParams:  res.MinimizedParams,
-		InstanceCount:    res.InstanceCount,
-		DedupedInstances: res.DedupedInstances,
-		ElabCacheHits:    res.ElabCacheHits,
-		ElabCacheMisses:  res.ElabCacheMisses,
-		ElabStats:        res.ElabStats,
-		Optimized:        res.Synth.Optimized,
-	}
-}
-
-func (r *componentRecord) toResult() *Result {
-	return &Result{
-		Metrics:          r.Metrics,
-		UniqueModules:    r.UniqueModules,
-		MinimizedParams:  r.MinimizedParams,
-		InstanceCount:    r.InstanceCount,
-		DedupedInstances: r.DedupedInstances,
-		ElabCacheHits:    r.ElabCacheHits,
-		ElabCacheMisses:  r.ElabCacheMisses,
-		ElabStats:        r.ElabStats,
-		Synth:            &synth.Result{Optimized: r.Optimized},
-	}
-}
-
-// compareRecords is the cache's verify-mode comparator: every
-// paper-facing value must match bit-for-bit; the elaboration-memo
-// counters are scheduling-dependent and excluded.
-func compareRecords(cached, fresh *componentRecord) string {
-	switch {
-	case *cached.Metrics != *fresh.Metrics:
-		return fmt.Sprintf("metrics differ: cached %+v, fresh %+v", *cached.Metrics, *fresh.Metrics)
-	case !maps.Equal(cached.MinimizedParams, fresh.MinimizedParams):
-		return fmt.Sprintf("minimized parameters differ: cached %v, fresh %v", cached.MinimizedParams, fresh.MinimizedParams)
-	case cached.InstanceCount != fresh.InstanceCount:
-		return fmt.Sprintf("instance count differs: cached %d, fresh %d", cached.InstanceCount, fresh.InstanceCount)
-	case cached.DedupedInstances != fresh.DedupedInstances:
-		return fmt.Sprintf("deduped instances differ: cached %d, fresh %d", cached.DedupedInstances, fresh.DedupedInstances)
-	case cached.Optimized.Hash() != fresh.Optimized.Hash():
-		return "optimized netlist structure differs"
-	}
-	return ""
-}
-
-func measureComponent(design *hdl.Design, top string, useAccounting bool, opts measure.Options) (*Result, error) {
-	modules, err := design.TransitiveModules(top)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{UniqueModules: modules}
-
-	var inst *elab.Instance
-	var report *elab.Report
-	if useAccounting {
-		params, memo, err := minimizeParams(design, top, opts.Concurrency)
-		if err != nil {
-			return nil, err
-		}
-		res.MinimizedParams = params
-		// The search probed candidates in report-only mode; the full
-		// instance tree is materialized only here, for the point the
-		// search ended on, reusing every subtree the minimized
-		// parameters left unchanged from the reference elaboration.
-		inst, report, err = elab.ElaborateOpts(design, top, params, elab.Options{Cache: memo.sess})
-		if err != nil {
-			return nil, err
-		}
-		res.ElabCacheHits, res.ElabCacheMisses = memo.counters()
-		res.ElabStats = memo.sess.Stats()
-		if opts.ElabStats != nil {
-			opts.ElabStats.Add(res.ElabStats, res.ElabCacheHits, res.ElabCacheMisses)
-		}
-	} else {
-		inst, report, err = elab.Elaborate(design, top, nil)
-		if err != nil {
-			return nil, err
-		}
-	}
-	res.InstanceCount = inst.CountInstances()
-
-	mopts := opts
-	mopts.DedupInstances = useAccounting
-	synres, err := synth.SynthesizeInstance(inst, report, synth.LowerOptions{
-		DedupInstances:   useAccounting,
-		DisableTemplates: opts.DisableTemplates,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Synth = synres
-	res.DedupedInstances = synres.Deduped
-	m := measure.SynthMetricsOnly(synres, mopts)
-
-	// Software metrics: each unique module's source once.
-	for _, name := range modules {
-		src, err := measure.SourceOnly(design, name)
-		if err != nil {
-			return nil, err
-		}
-		m.Stmts += src.Stmts
-		m.LoC += src.LoC
-	}
-	res.Metrics = m
-	return res, nil
+	return measure.MinimizeParamsN(design, module, concurrency)
 }

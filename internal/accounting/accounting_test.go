@@ -192,51 +192,3 @@ endmodule`)
 		t.Errorf("deduped = %d, want 0 (different parameterizations)", with.DedupedInstances)
 	}
 }
-
-func TestCandidateValuesOrdering(t *testing.T) {
-	vals := candidateValues(1000)
-	if vals[0] != 0 || vals[1] != 1 {
-		t.Errorf("candidates start %v", vals[:2])
-	}
-	for i := 1; i < len(vals); i++ {
-		if vals[i] <= vals[i-1] {
-			t.Fatalf("candidates not ascending: %v", vals)
-		}
-	}
-	if vals[len(vals)-1] >= 1000 {
-		t.Errorf("candidates must stay below the current value: %v", vals[len(vals)-1])
-	}
-}
-
-// TestCandidateValuesGap pins the deliberate shape of the candidate
-// sequence: small values are probed exhaustively (0..64, where real
-// minimized parameters live), then only powers of two from 128 up —
-// nothing in 65..127. The gap is intentional: it bounds the search at
-// large defaults without losing the small-value resolution the paper's
-// scaling rule needs. Changing it changes which points the search can
-// land on, so it must not shift silently.
-func TestCandidateValuesGap(t *testing.T) {
-	vals := candidateValues(1 << 20)
-	seen := map[int64]bool{}
-	for _, v := range vals {
-		seen[v] = true
-	}
-	for v := int64(0); v <= 64; v++ {
-		if !seen[v] {
-			t.Errorf("small value %d missing: 0..64 must be exhaustive", v)
-		}
-	}
-	for v := int64(65); v <= 127; v++ {
-		if seen[v] {
-			t.Errorf("value %d present: 65..127 is a deliberate gap", v)
-		}
-	}
-	for v := int64(128); v < 1<<20; v *= 2 {
-		if !seen[v] {
-			t.Errorf("power of two %d missing above the gap", v)
-		}
-	}
-	if len(vals) != 65+13 {
-		t.Errorf("candidateValues(1<<20) has %d entries, want 65 small + 13 powers of two", len(vals))
-	}
-}

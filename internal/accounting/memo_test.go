@@ -4,7 +4,6 @@ import (
 	"reflect"
 	"testing"
 
-	"repro/internal/elab"
 	"repro/internal/measure"
 )
 
@@ -19,41 +18,6 @@ module m #(parameter N = 8, parameter W = 16) (input [W-1:0] a, output [W-1:0] y
   end endgenerate
   assign y[0] = a[0];
 endmodule`
-
-func TestMinimizeParamsMemoizesRepeatedPoints(t *testing.T) {
-	d := design(t, memoDesign)
-	params, memo, err := minimizeParams(d, "m", 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if params["N"] != 2 {
-		t.Errorf("N = %d, want 2", params["N"])
-	}
-	hits, misses := memo.counters()
-	if hits == 0 {
-		t.Errorf("search elaborated every candidate from scratch (hits=0, misses=%d); the fixpoint rounds must hit the memo", misses)
-	}
-	// The winning point's verdict must be memoized, and the final full
-	// elaboration must come out of the session cache bit-identical to
-	// an uncached one.
-	if v, ok := memo.verdict[elab.ParamSignature("m", params)]; !ok || !v {
-		t.Errorf("winning point %v not memoized as compatible", params)
-	}
-	cached, cachedRep, err := elab.ElaborateOpts(d, "m", params, elab.Options{Cache: memo.sess})
-	if err != nil {
-		t.Fatal(err)
-	}
-	plain, plainRep, err := elab.Elaborate(d, "m", params)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if cachedRep.String() != plainRep.String() {
-		t.Errorf("cached report differs from uncached:\n%s\nvs\n%s", cachedRep, plainRep)
-	}
-	if got, want := cached.CountInstances(), plain.CountInstances(); got != want {
-		t.Errorf("cached tree has %d instances, uncached %d", got, want)
-	}
-}
 
 func TestMinimizeParamsParallelDeterminism(t *testing.T) {
 	d := design(t, memoDesign)

@@ -32,7 +32,7 @@ import (
 // SchemaVersion is the on-disk format version. It participates in both
 // the key derivation and the per-entry header, so bumping it orphans
 // every existing entry (they are never decoded, only ignored).
-const SchemaVersion = 1
+const SchemaVersion = 2
 
 // EnvVar names the environment variable the commands consult for a
 // default cache directory when no -cache-dir flag is given.
@@ -156,6 +156,23 @@ func Get[T any](c *Cache, key string, out *T) bool {
 		c.discard(key)
 		return false
 	}
+	return true
+}
+
+// Fetch is Get with stats accounting: a successful decode counts as a
+// hit. Unlike Do it never computes or stores. Batch planners use it to
+// probe for finished entries up front; a miss counts nothing, because
+// the planner's eventual Do/DoEq on the same key records the miss when
+// it computes. In verify mode callers should skip Fetch and go through
+// Do/DoEq so hits are recomputed and compared.
+func Fetch[T any](c *Cache, key string, out *T) bool {
+	if c == nil {
+		return false
+	}
+	if !Get(c, key, out) {
+		return false
+	}
+	c.hits.Add(1)
 	return true
 }
 

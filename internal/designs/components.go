@@ -66,6 +66,18 @@ func Design(c Component) (*hdl.Design, error) {
 	})
 }
 
+// Sources returns the raw µHDL source text of every bundled file
+// (the shared library plus each component), keyed by file name. The
+// parser fuzzers seed from it so every construct the corpus uses is
+// in the initial corpus.
+func Sources() map[string]string {
+	sources := map[string]string{"lib.v": libSrc}
+	for _, c := range All() {
+		sources[c.Label()+".v"] = c.src
+	}
+	return sources
+}
+
 // FullDesign parses every component plus the library into one design
 // (useful for whole-corpus tooling).
 func FullDesign() (*hdl.Design, error) {

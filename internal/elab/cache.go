@@ -43,6 +43,17 @@ type CacheStats struct {
 	InstancesReused int
 }
 
+// Sub returns the counter deltas since an earlier snapshot — how a
+// batch that shares one long-lived cache (e.g. a measurement session)
+// attributes activity to one span of work.
+func (s CacheStats) Sub(prev CacheStats) CacheStats {
+	return CacheStats{
+		Hits:            s.Hits - prev.Hits,
+		Misses:          s.Misses - prev.Misses,
+		InstancesReused: s.InstancesReused - prev.InstancesReused,
+	}
+}
+
 // Cache memoizes elaborated subtrees within one measurement session
 // (one design under one Options limit set — do not share a Cache
 // across designs or across different MaxGenIterations/MaxInstances).

@@ -187,6 +187,28 @@ func TestFuzzEquivalence(t *testing.T) {
 	}
 }
 
+// FuzzEquivalence is the Go-native fuzzing entry point over the same
+// generator: the fuzzer explores the seed space (every seed names one
+// deterministic random module) and each input must synthesize to gates
+// that match the RTL interpreter cycle for cycle. `go test
+// -fuzz=FuzzEquivalence ./internal/equiv` searches open-endedly; CI
+// runs a short smoke.
+func FuzzEquivalence(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := generateModule(seed)
+		d, err := hdl.ParseDesign(map[string]string{"fuzz.v": src})
+		if err != nil {
+			t.Fatalf("seed %d: generated module failed to parse: %v\n%s", seed, err, src)
+		}
+		if _, err := CheckEquivalence(d, "fuzz", nil, 20, seed*7+1); err != nil {
+			t.Errorf("seed %d: %v\n--- generated source ---\n%s", seed, err, src)
+		}
+	})
+}
+
 // TestFuzzOptimizePreservesBehaviour drives the raw (pre-optimization)
 // and optimized netlists of random modules with identical vectors —
 // the differential test of internal/netlist's constant folding, CSE,

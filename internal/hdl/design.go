@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Design is a collection of parsed source files forming one design:
@@ -12,6 +13,9 @@ import (
 type Design struct {
 	Files   []*SourceFile
 	modules map[string]*Module
+
+	mu          sync.Mutex
+	fingerprint string // memoized Fingerprint; reset by AddFile
 }
 
 // NewDesign builds a Design from parsed files, rejecting duplicate
@@ -35,6 +39,9 @@ func (d *Design) AddFile(f *SourceFile) error {
 		d.modules[m.Name] = m
 	}
 	d.Files = append(d.Files, f)
+	d.mu.Lock()
+	d.fingerprint = ""
+	d.mu.Unlock()
 	return nil
 }
 
@@ -91,13 +98,24 @@ func (d *Design) ModuleNames() []string {
 // identically regardless of file layout or declaration order. It is
 // the "source tree" part of the content-addressed cache keys in
 // internal/cache.
+//
+// The hash is memoized (and invalidated by AddFile): a measurement
+// session derives one disk-cache key per unit from the same design,
+// and re-formatting the whole corpus for every lookup would dominate
+// the warm path.
 func (d *Design) Fingerprint() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.fingerprint != "" {
+		return d.fingerprint
+	}
 	h := sha256.New()
 	for _, name := range d.ModuleNames() {
 		h.Write([]byte(Format(d.modules[name])))
 		h.Write([]byte{0})
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	d.fingerprint = hex.EncodeToString(h.Sum(nil))
+	return d.fingerprint
 }
 
 // Instantiated returns the set of module names instantiated (directly)

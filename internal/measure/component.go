@@ -1,0 +1,215 @@
+package measure
+
+import (
+	"fmt"
+	"maps"
+
+	"repro/internal/cache"
+	"repro/internal/elab"
+	"repro/internal/hdl"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// ComponentResult carries a component measurement along with the
+// accounting details that produced it. internal/accounting re-exports
+// it as accounting.Result.
+type ComponentResult struct {
+	Metrics *Metrics
+	// UniqueModules lists the distinct modules in the component's
+	// hierarchy (sorted).
+	UniqueModules []string
+	// MinimizedParams holds the scaled top-level parameter values
+	// (accounting mode only; nil otherwise).
+	MinimizedParams map[string]int64
+	// InstanceCount is the elaborated instance count of the component
+	// at the parameters actually measured.
+	InstanceCount int
+	// DedupedInstances is how many duplicate instances the
+	// single-instance rule removed (accounting mode only).
+	DedupedInstances int
+	// Synth is the synthesis of the component at the measured
+	// parameter point. Downstream analyses (timing, power sweeps) can
+	// reuse it instead of re-running synthesis.
+	Synth *synth.Result
+	// ElabCacheHits and ElabCacheMisses count memoized versus fresh
+	// point verdicts during the parameter-minimization search
+	// (accounting mode only).
+	ElabCacheHits, ElabCacheMisses int
+	// ElabStats counts the session elaboration cache's subtree-level
+	// activity — fragments and trees reused versus elaborated fresh,
+	// and how many instances the reuse skipped (accounting mode only;
+	// when the measurement ran inside a Session the cache is shared
+	// across the whole batch, so per-component deltas are not
+	// attributable and this is left zero — read Session.ElabStats).
+	ElabStats elab.CacheStats
+}
+
+// MeasureComponent measures one component (a module plus everything it
+// instantiates).
+//
+// With useAccounting (Section 2.2 of the paper), the component is
+// measured at its minimized parameterization and every repeated
+// (module, parameters) subtree is synthesized once — duplicate
+// instances reuse the representative's logic structurally during
+// lowering. Without it, the component is measured as instantiated:
+// full default parameters, every instance counted.
+//
+// The software metrics (LoC, Stmts) sum each unique module's source
+// once in both modes — the paper notes in Section 5.3 that the
+// accounting procedure does not affect them.
+func MeasureComponent(design *hdl.Design, top string, useAccounting bool, opts Options) (*ComponentResult, error) {
+	if opts.Cache == nil {
+		return measureComponent(design, top, useAccounting, opts)
+	}
+	rec, _, err := cache.DoEq(opts.Cache, componentKey(design, top, useAccounting, opts), func() (*componentRecord, error) {
+		res, err := measureComponent(design, top, useAccounting, opts)
+		if err != nil {
+			return nil, err
+		}
+		return recordOf(res), nil
+	}, compareRecords)
+	if err != nil {
+		return nil, err
+	}
+	return rec.toResult(), nil
+}
+
+// componentKey derives the on-disk cache key of one component
+// measurement. The Session uses the same key, so warm entries are
+// shared between the batch and per-component paths for the same
+// parsed design.
+func componentKey(design *hdl.Design, top string, useAccounting bool, opts Options) string {
+	eff := opts
+	eff.DedupInstances = useAccounting
+	return cache.Key(append([]string{
+		"accounting-component", design.Fingerprint(), top, fmt.Sprintf("acct=%t", useAccounting),
+	}, eff.CacheKeyParts()...)...)
+}
+
+// componentRecord is the cacheable projection of a ComponentResult:
+// everything downstream consumers read (metrics, accounting details,
+// and the optimized netlist that timing analysis reuses), without the
+// live elaboration trees a fresh synthesis also carries.
+type componentRecord struct {
+	Metrics          *Metrics
+	UniqueModules    []string
+	MinimizedParams  map[string]int64
+	InstanceCount    int
+	DedupedInstances int
+	// ElabCacheHits/Misses and ElabStats describe the run that
+	// populated the entry (they depend on probe scheduling, not on the
+	// result).
+	ElabCacheHits, ElabCacheMisses int
+	ElabStats                      elab.CacheStats
+	Optimized                      *netlist.Netlist
+}
+
+func recordOf(res *ComponentResult) *componentRecord {
+	return &componentRecord{
+		Metrics:          res.Metrics,
+		UniqueModules:    res.UniqueModules,
+		MinimizedParams:  res.MinimizedParams,
+		InstanceCount:    res.InstanceCount,
+		DedupedInstances: res.DedupedInstances,
+		ElabCacheHits:    res.ElabCacheHits,
+		ElabCacheMisses:  res.ElabCacheMisses,
+		ElabStats:        res.ElabStats,
+		Optimized:        res.Synth.Optimized,
+	}
+}
+
+func (r *componentRecord) toResult() *ComponentResult {
+	return &ComponentResult{
+		Metrics:          r.Metrics,
+		UniqueModules:    r.UniqueModules,
+		MinimizedParams:  r.MinimizedParams,
+		InstanceCount:    r.InstanceCount,
+		DedupedInstances: r.DedupedInstances,
+		ElabCacheHits:    r.ElabCacheHits,
+		ElabCacheMisses:  r.ElabCacheMisses,
+		ElabStats:        r.ElabStats,
+		Synth:            &synth.Result{Optimized: r.Optimized},
+	}
+}
+
+// compareRecords is the cache's verify-mode comparator: every
+// paper-facing value must match bit-for-bit; the elaboration-memo
+// counters are scheduling-dependent and excluded.
+func compareRecords(cached, fresh *componentRecord) string {
+	switch {
+	case *cached.Metrics != *fresh.Metrics:
+		return fmt.Sprintf("metrics differ: cached %+v, fresh %+v", *cached.Metrics, *fresh.Metrics)
+	case !maps.Equal(cached.MinimizedParams, fresh.MinimizedParams):
+		return fmt.Sprintf("minimized parameters differ: cached %v, fresh %v", cached.MinimizedParams, fresh.MinimizedParams)
+	case cached.InstanceCount != fresh.InstanceCount:
+		return fmt.Sprintf("instance count differs: cached %d, fresh %d", cached.InstanceCount, fresh.InstanceCount)
+	case cached.DedupedInstances != fresh.DedupedInstances:
+		return fmt.Sprintf("deduped instances differ: cached %d, fresh %d", cached.DedupedInstances, fresh.DedupedInstances)
+	case cached.Optimized.Hash() != fresh.Optimized.Hash():
+		return "optimized netlist structure differs"
+	}
+	return ""
+}
+
+func measureComponent(design *hdl.Design, top string, useAccounting bool, opts Options) (*ComponentResult, error) {
+	modules, err := design.TransitiveModules(top)
+	if err != nil {
+		return nil, err
+	}
+	res := &ComponentResult{UniqueModules: modules}
+
+	var inst *elab.Instance
+	var report *elab.Report
+	if useAccounting {
+		params, memo, err := minimizeParams(design, top, opts.Concurrency, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.MinimizedParams = params
+		// The search probed candidates in report-only mode; the full
+		// instance tree is materialized only here, for the point the
+		// search ended on, reusing every subtree the minimized
+		// parameters left unchanged from the reference elaboration.
+		inst, report, err = elab.ElaborateOpts(design, top, params, elab.Options{Cache: memo.sess})
+		if err != nil {
+			return nil, err
+		}
+		res.ElabCacheHits, res.ElabCacheMisses = memo.counters()
+		res.ElabStats = memo.sess.Stats()
+		if opts.ElabStats != nil {
+			opts.ElabStats.Add(res.ElabStats, res.ElabCacheHits, res.ElabCacheMisses)
+		}
+	} else {
+		inst, report, err = elab.Elaborate(design, top, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.InstanceCount = inst.CountInstances()
+
+	mopts := opts
+	mopts.DedupInstances = useAccounting
+	synres, err := synth.SynthesizeInstance(inst, report, synth.LowerOptions{
+		DedupInstances:   useAccounting,
+		DisableTemplates: opts.DisableTemplates,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Synth = synres
+	res.DedupedInstances = synres.Deduped
+	m := SynthMetricsOnly(synres, mopts)
+
+	// Software metrics: each unique module's source once.
+	for _, name := range modules {
+		src, err := SourceOnly(design, name)
+		if err != nil {
+			return nil, err
+		}
+		m.Stmts += src.Stmts
+		m.LoC += src.LoC
+	}
+	res.Metrics = m
+	return res, nil
+}

@@ -1,4 +1,4 @@
-package accounting
+package measure
 
 import (
 	"maps"
@@ -8,7 +8,6 @@ import (
 	"repro/internal/designs"
 	"repro/internal/elab"
 	"repro/internal/hdl"
-	"repro/internal/measure"
 	"repro/internal/synth"
 )
 
@@ -103,7 +102,7 @@ func TestMinimizeParamsCorpusMatchesUncachedReference(t *testing.T) {
 		// Downstream pin: the accounting measurement's optimized netlist
 		// (built from session-cached subtrees) must hash identically to
 		// a synthesis of the same point elaborated entirely from scratch.
-		res, err := MeasureComponent(d, c.Top, true, measure.Options{Concurrency: 1})
+		res, err := MeasureComponent(d, c.Top, true, Options{Concurrency: 1})
 		if err != nil {
 			t.Fatalf("%s: measure: %v", c.Label(), err)
 		}
@@ -127,7 +126,7 @@ func TestMinimizeParamsCorpusMatchesUncachedReference(t *testing.T) {
 func TestMeasureComponentElabStats(t *testing.T) {
 	d := design(t, replicatedDesign)
 	rec := &elab.StatsRecorder{}
-	res, err := MeasureComponent(d, "quad", true, measure.Options{Concurrency: 1, ElabStats: rec})
+	res, err := MeasureComponent(d, "quad", true, Options{Concurrency: 1, ElabStats: rec})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,484 @@
+package measure
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/elab"
+	"repro/internal/hdl"
+	"repro/internal/parallel"
+	"repro/internal/synth"
+)
+
+// Unit is one measurement request in a Session batch: a top module
+// measured with or without the accounting procedure.
+type Unit struct {
+	Top           string
+	UseAccounting bool
+}
+
+// SessionStats summarizes the cross-component sharing one Session
+// achieved. Counters accumulate across MeasureAll calls.
+type SessionStats struct {
+	// Components is the number of units measured (disk-cache hits
+	// included).
+	Components int
+	// Planned counts the units whose parameter binding was resolved
+	// this session, i.e. that requested a signature from the shared
+	// synthesis table (disk-cache hits skip planning entirely).
+	Planned int
+	// Synthesized counts the distinct signatures the table synthesized
+	// fresh.
+	Synthesized int
+	// Shared counts the signature requests answered by an entry some
+	// earlier unit — possibly in a previous MeasureAll call — already
+	// synthesized.
+	Shared int
+}
+
+// Session measures batches of components of one design with the whole
+// pipeline shared across them: one parsed design, one component-scoped
+// elaboration cache per top module (subtree memoization across that
+// component's minimization search, reference elaboration, and final
+// trees), and a single-flight synthesis table keyed by the canonical
+// parameter signature, so each distinct (module, resolved parameters)
+// design point is synthesized and metric-extracted exactly once no
+// matter how many units — or MeasureAll calls — land on it.
+//
+// Every result is bit-identical to the per-component MeasureComponent
+// path on the same parsed design: the elaboration cache's entries are
+// bit-identical to uncached elaboration, signatures only collapse when
+// the synthesized netlist is provably identical, and the on-disk cache
+// records use the same keys and codec.
+//
+// A Session must not outlive its design and must not be shared across
+// designs. It is safe for concurrent use.
+type Session struct {
+	design *hdl.Design
+
+	mu        sync.Mutex
+	flights   map[string]*sigFlight
+	dedupMemo map[string]bool // module name → could produce duplicate siblings
+	stats     SessionStats
+	elabStats elab.CacheStats // aggregated across component elaboration caches
+}
+
+// sigFlight is the single-flight synthesis of one signature: the first
+// unit to request the signature computes it, everyone else waits on
+// done and reads the shared entry.
+type sigFlight struct {
+	done      chan struct{}
+	res       *synth.Result
+	metrics   *Metrics // synthesis-derived metrics only (no source sums)
+	instCount int
+	err       error
+}
+
+// NewSession creates a measurement session over one parsed design.
+func NewSession(design *hdl.Design) *Session {
+	return &Session{
+		design:    design,
+		flights:   map[string]*sigFlight{},
+		dedupMemo: map[string]bool{},
+	}
+}
+
+// Design returns the design the session measures.
+func (s *Session) Design() *hdl.Design { return s.design }
+
+// Stats returns a snapshot of the session's sharing counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ElabStats returns the cumulative subtree counters aggregated across
+// every component elaboration cache the session has retired.
+func (s *Session) ElabStats() elab.CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.elabStats
+}
+
+// addElabStats folds one retired component cache into the aggregate.
+func (s *Session) addElabStats(st elab.CacheStats) {
+	s.mu.Lock()
+	s.elabStats.Hits += st.Hits
+	s.elabStats.Misses += st.Misses
+	s.elabStats.InstancesReused += st.InstancesReused
+	s.mu.Unlock()
+}
+
+// plan is the outcome of resolving one unit before synthesis.
+type plan struct {
+	rec       *componentRecord // non-nil: answered from the disk cache
+	top       string
+	overrides map[string]int64 // minimized parameters (nil without accounting)
+	sigKey    string           // shared-table key
+	dedup     bool             // effective dedup flag for lowering
+	hits      int              // minimization memo point-verdict hits
+	misses    int
+	owned     *sigFlight // non-nil: this call must synthesize the entry
+	err       error      // deferred so one failed unit does not strand flights
+}
+
+// MeasureAll measures every unit of the batch, sharing the parse, the
+// elaboration cache, and one synthesis per distinct signature across
+// all of them. Results are returned in unit order and are bit-identical
+// to calling MeasureComponent(design, u.Top, u.UseAccounting, opts)
+// per unit, at every concurrency and with the disk cache off, cold, or
+// warm.
+//
+// The batch is processed grouped by top module, each group owning a
+// fresh elaboration cache that dies with it. Almost all the reuse that
+// cache offers is component-local anyway — full-tree keys are
+// hierarchical paths rooted at the top module name, so only a
+// component's own reference elaboration and flights can ever hit them,
+// and cross-component report-fragment hits are limited to shared
+// library subtrees — while a batch-global cache accretes every
+// component's trees and fragments into the live heap, and the
+// garbage-collector mark time that costs across a cold sweep outweighs
+// the extra hits. Each group plans its units — the minimization search
+// for accounting units, the declared defaults otherwise (units with a
+// warm disk-cache record skip planning entirely) — registers their
+// canonical signatures in the shared flight table, and synthesizes the
+// distinct signatures it owns exactly once. Aggregate: each unit
+// assembles its result from its signature's shared entry plus its own
+// per-module source metrics, and persists it through the disk cache
+// under the same key the per-component path uses.
+func (s *Session) MeasureAll(units []Unit, opts Options) ([]*ComponentResult, error) {
+	// When the group pool is parallel the minimization search's inner
+	// candidate pool is serialized so the machine is not oversubscribed
+	// (same policy as the per-component corpus path).
+	inner := opts.Concurrency
+	if parallel.Workers(opts.Concurrency) > 1 {
+		inner = 1
+	}
+	elabBefore := s.ElabStats()
+
+	var tops []string
+	groups := map[string][]int{}
+	for i, u := range units {
+		if _, ok := groups[u.Top]; !ok {
+			tops = append(tops, u.Top)
+		}
+		groups[u.Top] = append(groups[u.Top], i)
+	}
+
+	// Phase 1: plan and synthesize, one component per worker. Errors are
+	// carried in the plan, not returned, so every registered flight has
+	// an owner that will resolve it even when a sibling unit fails;
+	// owned flights are always resolved — synthesizeFlight closes done
+	// unconditionally — so concurrent MeasureAll calls waiting on them
+	// cannot deadlock.
+	plans := make([]*plan, len(units))
+	parallel.ForEach(opts.Concurrency, len(tops), func(gi int) error {
+		top := tops[gi]
+		ecache := elab.NewCache()
+		var owned []*plan
+		for _, i := range groups[top] {
+			p := s.planUnit(units[i], opts, inner, ecache)
+			plans[i] = p
+			if p.owned != nil {
+				owned = append(owned, p)
+			}
+		}
+		for _, p := range owned {
+			s.synthesizeFlight(p.owned, p.top, p.overrides, p.dedup, opts, ecache)
+		}
+		// Every signature of this component this call can ever own is
+		// now resolved; later hits come from the flight table, not from
+		// re-elaboration, so the component's cache retires here.
+		s.addElabStats(ecache.Stats())
+		return nil
+	})
+
+	// Phase 2: aggregate per unit and persist through the disk cache.
+	results, err := parallel.Map(opts.Concurrency, len(units), func(i int) (*ComponentResult, error) {
+		return s.assembleUnit(units[i], plans[i], opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	totalHits, totalMisses := 0, 0
+	for _, p := range plans {
+		totalHits += p.hits
+		totalMisses += p.misses
+	}
+	if opts.ElabStats != nil {
+		opts.ElabStats.Add(s.ElabStats().Sub(elabBefore), totalHits, totalMisses)
+	}
+	return results, nil
+}
+
+// planUnit resolves one unit's parameter binding against its
+// component's elaboration cache and registers its signature in the
+// shared table.
+func (s *Session) planUnit(u Unit, opts Options, inner int, ecache *elab.Cache) *plan {
+	if opts.Cache != nil && !opts.Cache.Verifying() {
+		var rec componentRecord
+		if cache.Fetch(opts.Cache, componentKey(s.design, u.Top, u.UseAccounting, opts), &rec) {
+			s.mu.Lock()
+			s.stats.Components++
+			s.mu.Unlock()
+			return &plan{rec: &rec}
+		}
+	}
+
+	p := &plan{top: u.Top}
+	if u.UseAccounting {
+		params, memo, err := minimizeParams(s.design, u.Top, inner, ecache)
+		if err != nil {
+			return &plan{err: err}
+		}
+		p.overrides = params
+		p.hits, p.misses = memo.counters()
+	}
+	// Canonical signature: the full resolved parameter map, so a unit
+	// measured at defaults and a unit whose minimization landed on the
+	// defaults name the same design point.
+	full, err := s.resolvedParams(u.Top, p.overrides)
+	if err != nil {
+		return &plan{err: err, hits: p.hits, misses: p.misses}
+	}
+	sig := elab.ParamSignature(u.Top, full)
+
+	// The hierarchy decides whether the dedup flag is part of the key:
+	// when no parent anywhere under the top can instantiate the same
+	// (module, parameters) twice, the single-instance rule never fires
+	// and lowering is bit-identical with the flag on or off, so the
+	// with- and without-accounting sweeps share one synthesis.
+	possible, err := s.dedupPossible(u.Top, map[string]bool{})
+	if err != nil {
+		return &plan{err: err, hits: p.hits, misses: p.misses}
+	}
+	p.dedup = u.UseAccounting
+	dedupKey := "any"
+	if possible {
+		dedupKey = fmt.Sprintf("%t", p.dedup)
+	}
+	p.sigKey = cache.Key(append([]string{
+		"session-sig", sig, "dedup=" + dedupKey,
+		fmt.Sprintf("notmpl=%t", opts.DisableTemplates),
+	}, opts.CacheKeyParts()...)...)
+
+	s.mu.Lock()
+	s.stats.Components++
+	s.stats.Planned++
+	f, ok := s.flights[p.sigKey]
+	if !ok {
+		f = &sigFlight{done: make(chan struct{})}
+		s.flights[p.sigKey] = f
+		s.stats.Synthesized++
+		p.owned = f
+	} else {
+		s.stats.Shared++
+	}
+	s.mu.Unlock()
+	return p
+}
+
+// resolvedParams returns the full parameter map of top under the given
+// overrides: declared defaults resolved left to right, overridden
+// values replacing them.
+func (s *Session) resolvedParams(top string, overrides map[string]int64) (map[string]int64, error) {
+	mod, err := s.design.Module(top)
+	if err != nil {
+		return nil, err
+	}
+	full, err := defaultParams(mod)
+	if err != nil {
+		return nil, err
+	}
+	for name, v := range overrides {
+		if _, ok := full[name]; !ok {
+			return nil, fmt.Errorf("measure: module %s has no parameter %q", top, name)
+		}
+		full[name] = v
+	}
+	return full, nil
+}
+
+// dedupPossible reports whether elaborating module name could ever
+// yield two sibling instances of the same (module, parameters) design
+// point — the only shape the single-instance rule acts on. It is a
+// conservative static over-approximation on the AST, so planning needs
+// no elaboration: duplicate siblings require a parent whose body
+// instantiates the same module name more than once, or instantiates
+// inside a generate loop, anywhere in the hierarchy. A false negative
+// is impossible; a false positive only costs the with/without sweeps a
+// shared synthesis, never correctness. Verdicts are memoized per
+// module name (the property is parameter-independent).
+func (s *Session) dedupPossible(name string, visiting map[string]bool) (bool, error) {
+	s.mu.Lock()
+	v, ok := s.dedupMemo[name]
+	s.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	if visiting[name] {
+		// Instantiation cycle: elaboration will reject the design; stay
+		// conservative here and let that error surface downstream.
+		return true, nil
+	}
+	visiting[name] = true
+	defer delete(visiting, name)
+	mod, err := s.design.Module(name)
+	if err != nil {
+		return false, err
+	}
+	counts := map[string]int{}
+	children := map[string]bool{}
+	v = scanDedupItems(mod.Items, false, counts, children)
+	if !v {
+		for ch := range children {
+			cv, err := s.dedupPossible(ch, visiting)
+			if err != nil {
+				return false, err
+			}
+			if cv {
+				v = true
+				break
+			}
+		}
+	}
+	s.mu.Lock()
+	s.dedupMemo[name] = v
+	s.mu.Unlock()
+	return v, nil
+}
+
+// scanDedupItems walks one module body (descending into generate
+// blocks) and reports whether it can stamp the same child module name
+// twice: two instantiation statements of one module, or any
+// instantiation inside a generate for loop. Instantiated module names
+// are collected into children for the hierarchy recursion.
+func scanDedupItems(items []hdl.Item, inLoop bool, counts map[string]int, children map[string]bool) bool {
+	for _, it := range items {
+		switch v := it.(type) {
+		case *hdl.Instance:
+			children[v.ModuleName] = true
+			if inLoop {
+				return true
+			}
+			counts[v.ModuleName]++
+			if counts[v.ModuleName] > 1 {
+				return true
+			}
+		case *hdl.GenFor:
+			if scanDedupItems(v.Body, true, counts, children) {
+				return true
+			}
+		case *hdl.GenIf:
+			// Branches are exclusive at elaboration time; counting both
+			// into one tally only over-approximates.
+			if scanDedupItems(v.Then, inLoop, counts, children) {
+				return true
+			}
+			if scanDedupItems(v.Else, inLoop, counts, children) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// synthesizeFlight computes one shared-table entry: elaborate the
+// design point against the component's elaboration cache (reusing
+// every subtree the minimization search or reference elaboration
+// already built — a unit measured at its defaults reuses the reference
+// tree whole), lower it, optimize, and extract the synthesis-derived
+// metrics. done is always closed, error or not.
+func (s *Session) synthesizeFlight(f *sigFlight, top string, overrides map[string]int64, dedup bool, opts Options, ecache *elab.Cache) {
+	defer close(f.done)
+	inst, report, err := elab.ElaborateOpts(s.design, top, overrides, elab.Options{Cache: ecache})
+	if err != nil {
+		f.err = err
+		return
+	}
+	synres, err := synth.SynthesizeInstance(inst, report, synth.LowerOptions{
+		DedupInstances:   dedup,
+		DisableTemplates: opts.DisableTemplates,
+	})
+	if err != nil {
+		f.err = err
+		return
+	}
+	mopts := opts
+	mopts.DedupInstances = dedup
+	f.metrics = SynthMetricsOnly(synres, mopts)
+	f.instCount = inst.CountInstances()
+	// The flight table outlives the call, so retain only the cacheable
+	// projection — the optimized netlist and the lowering counters, the
+	// same shape a warm disk record rebuilds. Keeping the raw netlist,
+	// instance tree, and report would pin every signature's full
+	// elaboration for the session's lifetime, and that live-heap growth
+	// costs more in garbage-collector mark time across a batch than the
+	// fields are worth (no downstream consumer reads them). The retained
+	// netlist's derived tables rebuild on demand, so they are released
+	// too.
+	slim := *synres
+	slim.Raw, slim.Top, slim.Report = nil, nil, nil
+	slim.Optimized.TrimDerived()
+	slim.Optimized.TrimNames()
+	f.res = &slim
+}
+
+// assembleUnit builds one unit's result from its plan and the shared
+// synthesis table, persisting it through the disk cache.
+func (s *Session) assembleUnit(u Unit, p *plan, opts Options) (*ComponentResult, error) {
+	if p.rec != nil {
+		return p.rec.toResult(), nil
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	s.mu.Lock()
+	f := s.flights[p.sigKey]
+	s.mu.Unlock()
+	<-f.done
+	if f.err != nil {
+		return nil, f.err
+	}
+
+	res := &ComponentResult{
+		InstanceCount:    f.instCount,
+		DedupedInstances: f.res.Deduped,
+		Synth:            f.res,
+		MinimizedParams:  p.overrides,
+		ElabCacheHits:    p.hits,
+		ElabCacheMisses:  p.misses,
+	}
+	modules, err := s.design.TransitiveModules(u.Top)
+	if err != nil {
+		return nil, err
+	}
+	res.UniqueModules = modules
+	m := *f.metrics // copy: the entry is shared across units
+	for _, name := range modules {
+		src, err := SourceOnly(s.design, name)
+		if err != nil {
+			return nil, err
+		}
+		m.Stmts += src.Stmts
+		m.LoC += src.LoC
+	}
+	res.Metrics = &m
+
+	if opts.Cache == nil {
+		return res, nil
+	}
+	// Same key and codec as the per-component path: a cold batch
+	// populates the entries MeasureComponent would, and in verify mode
+	// the batch result is compared against the stored record.
+	rec, _, err := cache.DoEq(opts.Cache, componentKey(s.design, u.Top, u.UseAccounting, opts), func() (*componentRecord, error) {
+		return recordOf(res), nil
+	}, compareRecords)
+	if err != nil {
+		return nil, err
+	}
+	return rec.toResult(), nil
+}

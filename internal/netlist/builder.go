@@ -454,7 +454,7 @@ func (b *Builder) Build() (*Netlist, error) {
 	for _, p := range b.outputs {
 		nl.Outputs = append(nl.Outputs, PortBit{Name: p.Name, Net: get(p.Net)})
 	}
-	nl.NetNames = names
+	nl.SetNetNames(names)
 	return nl, nil
 }
 

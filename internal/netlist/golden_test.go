@@ -375,9 +375,11 @@ func refFoldAndHash(n *netlist.Netlist) (*netlist.Netlist, int, int, error) {
 	}
 
 	out := &netlist.Netlist{
-		NetNames: n.NetNames,
-		Const0:   c0,
-		Const1:   c1,
+		Nets:        n.Nets,
+		NetNameData: n.NetNameData,
+		NetNameOff:  n.NetNameOff,
+		Const0:      c0,
+		Const1:      c1,
 	}
 	for ci := range n.Cells {
 		if removed[ci] {
@@ -493,12 +495,14 @@ func refRemoveDead(n *netlist.Netlist) (*netlist.Netlist, int) {
 
 	dead := 0
 	out := &netlist.Netlist{
-		NetNames: n.NetNames,
-		Const0:   n.Const0,
-		Const1:   n.Const1,
-		RAMs:     n.RAMs,
-		Inputs:   n.Inputs,
-		Outputs:  n.Outputs,
+		Nets:        n.Nets,
+		NetNameData: n.NetNameData,
+		NetNameOff:  n.NetNameOff,
+		Const0:      n.Const0,
+		Const1:      n.Const1,
+		RAMs:        n.RAMs,
+		Inputs:      n.Inputs,
+		Outputs:     n.Outputs,
 	}
 	for ci := range n.Cells {
 		if live[ci] {

@@ -154,9 +154,27 @@ type PortBit struct {
 // mutex-guarded, making concurrent analyses of a shared netlist (e.g.
 // one synthesis result reused by parallel workers) race-free.
 type Netlist struct {
-	NetNames []string // per-net debug names ("" for anonymous)
-	Cells    []Cell
-	RAMs     []*RAM
+	// Nets is the total net count (including constants). It is stored
+	// explicitly rather than derived from the name tables so that
+	// TrimNames can release the names of a long-retained netlist
+	// without touching the count every analysis kernel sizes its
+	// tables by.
+	Nets int
+
+	// Per-net debug names ("" for anonymous), packed into one
+	// pointer-free backing buffer: name i is
+	// NetNameData[NetNameOff[i]:NetNameOff[i+1]]. A netlist can be
+	// retained for a long time (measurement sessions keep every
+	// distinct signature's optimized netlist alive), and a plain
+	// []string would make the garbage collector scan one pointer per
+	// net on every cycle; the packed form is marked without being
+	// scanned. Build the pair with SetNetNames, read through
+	// NetName/NumNets; both tables may be empty after TrimNames.
+	NetNameData []byte
+	NetNameOff  []int32
+
+	Cells []Cell
+	RAMs  []*RAM
 
 	Const0, Const1 NetID
 
@@ -174,14 +192,48 @@ type Netlist struct {
 }
 
 // NumNets returns the number of nets (including constants).
-func (n *Netlist) NumNets() int { return len(n.NetNames) }
+func (n *Netlist) NumNets() int { return n.Nets }
 
-// NetName returns the debug name of a net (possibly "").
+// NetName returns the debug name of a net (possibly "", always "" for
+// every net after TrimNames).
 func (n *Netlist) NetName(id NetID) string {
-	if int(id) < len(n.NetNames) {
-		return n.NetNames[id]
+	if id >= 0 && int(id)+1 < len(n.NetNameOff) {
+		return string(n.NetNameData[n.NetNameOff[id]:n.NetNameOff[id+1]])
 	}
 	return ""
+}
+
+// SetNetNames installs the per-net debug names, packing them into the
+// pointer-free backing form. The net count of the netlist becomes
+// len(names), so this must be called exactly once, with one entry per
+// net, when the netlist is built.
+func (n *Netlist) SetNetNames(names []string) {
+	total := 0
+	for _, s := range names {
+		total += len(s)
+	}
+	data := make([]byte, 0, total)
+	off := make([]int32, len(names)+1)
+	for i, s := range names {
+		data = append(data, s...)
+		off[i+1] = int32(len(data))
+	}
+	n.Nets = len(names)
+	n.NetNameData = data
+	n.NetNameOff = off
+}
+
+// TrimNames drops the per-net debug names while preserving the net
+// count (every analysis kernel sizes its tables by NumNets, and the
+// structural hash covers the count, so trimming changes neither
+// measurements nor identity — NetName just returns "" for every net).
+// Optimized netlists share the raw-sized name tables of the netlist
+// they came from, so for a netlist retained beyond its measurement
+// this keeps tens of bytes per net from outliving their only reader,
+// the debug dump.
+func (n *Netlist) TrimNames() {
+	n.NetNameData = nil
+	n.NetNameOff = nil
 }
 
 // NumFFs counts DFF cells.
@@ -300,6 +352,22 @@ func (n *Netlist) Hash() string {
 	}
 	n.derived.hash = hex.EncodeToString(h.Sum(nil))
 	return n.derived.hash
+}
+
+// TrimDerived drops the lazily derived driver and topological-order
+// tables, keeping the memoized structural hash. Both tables rebuild on
+// demand, so this is purely a live-heap release for netlists retained
+// beyond their measurement (a session's flight table keeps every
+// distinct signature's optimized netlist for the rest of the session;
+// the derived tables are sized by cell count and would otherwise
+// dominate what the garbage collector has to carry for them).
+func (n *Netlist) TrimDerived() {
+	n.derived.mu.Lock()
+	n.derived.drivers = nil
+	n.derived.topo = nil
+	n.derived.topoErr = nil
+	n.derived.topoDone = false
+	n.derived.mu.Unlock()
 }
 
 // TopoOrder returns the combinational cells in topological order

@@ -425,9 +425,14 @@ func Optimize(n *Netlist) (*Netlist, OptimizeResult, error) {
 		}
 	}
 	out := &Netlist{
-		NetNames: n.NetNames,
-		Const0:   c0,
-		Const1:   c1,
+		// Optimization keeps the source net ID space, so the net count
+		// and the packed name tables (immutable once set) are shared,
+		// not copied.
+		Nets:        n.Nets,
+		NetNameData: n.NetNameData,
+		NetNameOff:  n.NetNameOff,
+		Const0:      c0,
+		Const1:      c1,
 	}
 	out.Cells = make([]Cell, 0, nLive)
 	for ci := range n.Cells {

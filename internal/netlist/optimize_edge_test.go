@@ -13,10 +13,9 @@ import (
 // net carries a different debug name (renamed nets must not block
 // buffer elision, which keys on structure only).
 func chainNetlist() *netlist.Netlist {
-	return &netlist.Netlist{
-		NetNames: []string{"const0", "const1", "in", "stage_a", "renamed_b", "alias_c", "clk"},
-		Const0:   0,
-		Const1:   1,
+	n := &netlist.Netlist{
+		Const0: 0,
+		Const1: 1,
 		Cells: []netlist.Cell{
 			{Type: netlist.Buf, In: [3]netlist.NetID{2, netlist.Nil, netlist.Nil}, Clk: netlist.Nil, Out: 3},
 			{Type: netlist.Buf, In: [3]netlist.NetID{3, netlist.Nil, netlist.Nil}, Clk: netlist.Nil, Out: 4},
@@ -25,6 +24,8 @@ func chainNetlist() *netlist.Netlist {
 		Inputs:  []netlist.PortBit{{Name: "in", Net: 2}},
 		Outputs: []netlist.PortBit{{Name: "y", Net: 5}},
 	}
+	n.SetNetNames([]string{"const0", "const1", "in", "stage_a", "renamed_b", "alias_c", "clk"})
+	return n
 }
 
 func TestOptimizeBufferChainRenamedNets(t *testing.T) {
@@ -58,10 +59,9 @@ func TestOptimizeBufferChainRenamedNets(t *testing.T) {
 // constant through its own output (q & 0), plus a second FF in an
 // unobservable self-loop.
 func ffLoopNetlist() *netlist.Netlist {
-	return &netlist.Netlist{
-		NetNames: []string{"const0", "const1", "clk", "d", "q", "q_dead"},
-		Const0:   0,
-		Const1:   1,
+	n := &netlist.Netlist{
+		Const0: 0,
+		Const1: 1,
 		Cells: []netlist.Cell{
 			// d = q & 0 — constant loop through the FF.
 			{Type: netlist.And2, In: [3]netlist.NetID{4, 0, netlist.Nil}, Clk: netlist.Nil, Out: 3},
@@ -72,6 +72,8 @@ func ffLoopNetlist() *netlist.Netlist {
 		Inputs:  []netlist.PortBit{{Name: "clk", Net: 2}},
 		Outputs: []netlist.PortBit{{Name: "q", Net: 4}},
 	}
+	n.SetNetNames([]string{"const0", "const1", "clk", "d", "q", "q_dead"})
+	return n
 }
 
 func TestOptimizeConstantLoopFeedingFF(t *testing.T) {
@@ -109,9 +111,8 @@ func TestOptimizeConstantLoopFeedingFF(t *testing.T) {
 // XOR(a,a) fold behind them.
 func TestOptimizeCSEChain(t *testing.T) {
 	n := &netlist.Netlist{
-		NetNames: []string{"const0", "const1", "a", "b", "t1", "t2", "y"},
-		Const0:   0,
-		Const1:   1,
+		Const0: 0,
+		Const1: 1,
 		Cells: []netlist.Cell{
 			{Type: netlist.And2, In: [3]netlist.NetID{2, 3, netlist.Nil}, Clk: netlist.Nil, Out: 4},
 			{Type: netlist.And2, In: [3]netlist.NetID{3, 2, netlist.Nil}, Clk: netlist.Nil, Out: 5}, // commutes to the same key
@@ -120,6 +121,7 @@ func TestOptimizeCSEChain(t *testing.T) {
 		Inputs:  []netlist.PortBit{{Name: "a", Net: 2}, {Name: "b", Net: 3}},
 		Outputs: []netlist.PortBit{{Name: "y", Net: 6}},
 	}
+	n.SetNetNames([]string{"const0", "const1", "a", "b", "t1", "t2", "y"})
 	opt, res, err := netlist.Optimize(n)
 	if err != nil {
 		t.Fatal(err)

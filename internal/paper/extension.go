@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/accounting"
 	"repro/internal/designs"
 	"repro/internal/measure"
 	"repro/internal/nlme"
@@ -60,17 +59,26 @@ func TimingAwareOpts(o Opts) (*TimingAwareResult, error) {
 		criticalNs   float64
 		nearCritical float64
 	}
+	// The accounting measurements run as one session batch; when the
+	// caller shares a session with Figure 6 (ucpaper -all), every
+	// component's synthesis is already in the shared table and this
+	// experiment adds no synthesis work at all.
+	sess, err := o.session()
+	if err != nil {
+		return nil, err
+	}
+	units := make([]measure.Unit, len(comps))
+	for i, c := range comps {
+		units[i] = measure.Unit{Top: c.Top, UseAccounting: true}
+	}
+	accs, err := sess.MeasureAll(units, o.measureOptions())
+	if err != nil {
+		return nil, err
+	}
 	inner := o.inner(parallel.Workers(concurrency) > 1)
 	rows, err := parallel.Map(concurrency, len(comps), func(i int) (row, error) {
 		c := comps[i]
-		d, err := designs.Design(c)
-		if err != nil {
-			return row{}, err
-		}
-		acc, err := accounting.MeasureComponent(d, c.Top, true, measure.Options{Concurrency: inner, Cache: o.Cache, ElabStats: o.ElabStats})
-		if err != nil {
-			return row{}, err
-		}
+		acc := accs[i]
 		// Timing runs on the accounting-scaled synthesis, which the
 		// measurement carries with it.
 		ta := timing.Analyze(acc.Synth.Optimized, lib)

@@ -4,12 +4,10 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/accounting"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/designs"
 	"repro/internal/measure"
-	"repro/internal/parallel"
 )
 
 // MeasureCorpus measures all 18 synthetic components through the full
@@ -32,28 +30,45 @@ func MeasureCorpusN(useAccounting bool, concurrency int) ([]dataset.Component, e
 }
 
 // MeasureCorpusOpts is MeasureCorpus with full options (concurrency
-// bound and measurement cache). The measured corpus is identical for
-// every concurrency value and for cache off / cold / warm.
+// bound, measurement cache, shared session). The measured corpus is
+// identical for every concurrency value and for cache off / cold /
+// warm. The 18 components run as one measure.Session batch over the
+// corpus-wide parsed design: one parse, a shared elaboration cache,
+// and one synthesis per distinct (module, parameters) signature —
+// bit-identical to measuring each component in isolation.
 func MeasureCorpusOpts(useAccounting bool, o Opts) ([]dataset.Component, error) {
 	comps := designs.All()
-	inner := o.inner(parallel.Workers(o.Concurrency) > 1)
-	return parallel.Map(o.Concurrency, len(comps), func(i int) (dataset.Component, error) {
-		c := comps[i]
-		d, err := designs.Design(c)
-		if err != nil {
-			return dataset.Component{}, err
-		}
-		res, err := accounting.MeasureComponent(d, c.Top, useAccounting, measure.Options{Concurrency: inner, Cache: o.Cache, ElabStats: o.ElabStats})
-		if err != nil {
-			return dataset.Component{}, fmt.Errorf("%s: %w", c.Label(), err)
-		}
-		return dataset.Component{
+	sess, err := o.session()
+	if err != nil {
+		return nil, err
+	}
+	units := make([]measure.Unit, len(comps))
+	for i, c := range comps {
+		units[i] = measure.Unit{Top: c.Top, UseAccounting: useAccounting}
+	}
+	results, err := sess.MeasureAll(units, o.measureOptions())
+	if err != nil {
+		return nil, err
+	}
+	return corpusRows(comps, results)
+}
+
+// corpusRows converts batch measurements into fit-ready database rows
+// (efforts are the Table 2 values their real counterparts reported).
+func corpusRows(comps []designs.Component, results []*measure.ComponentResult) ([]dataset.Component, error) {
+	if len(results) != len(comps) {
+		return nil, fmt.Errorf("paper: %d measurements for %d components", len(results), len(comps))
+	}
+	rows := make([]dataset.Component, len(comps))
+	for i, c := range comps {
+		rows[i] = dataset.Component{
 			Project: c.Project,
 			Name:    c.Name,
 			Effort:  c.Effort,
-			Metrics: res.Metrics.MetricMap(),
-		}, nil
-	})
+			Metrics: results[i].Metrics.MetricMap(),
+		}
+	}
+	return rows, nil
 }
 
 // Figure6Result is the accounting-procedure experiment: per-estimator
@@ -85,15 +100,35 @@ func Figure6N(concurrency int) (*Figure6Result, error) {
 	return Figure6Opts(Opts{Concurrency: concurrency})
 }
 
-// Figure6Opts is Figure6 with full options (concurrency bound and
-// measurement cache).
+// Figure6Opts is Figure6 with full options (concurrency bound,
+// measurement cache, shared session). Both sweeps — accounting on and
+// off — are planned as one session batch, so the two measurements of a
+// component whose minimization lands on its declared defaults (and
+// whose hierarchy gives the single-instance rule nothing to remove)
+// share a single synthesis.
 func Figure6Opts(o Opts) (*Figure6Result, error) {
 	concurrency := o.Concurrency
-	withComps, err := MeasureCorpusOpts(true, o)
+	comps := designs.All()
+	sess, err := o.session()
 	if err != nil {
 		return nil, err
 	}
-	withoutComps, err := MeasureCorpusOpts(false, o)
+	units := make([]measure.Unit, 0, 2*len(comps))
+	for _, c := range comps {
+		units = append(units, measure.Unit{Top: c.Top, UseAccounting: true})
+	}
+	for _, c := range comps {
+		units = append(units, measure.Unit{Top: c.Top, UseAccounting: false})
+	}
+	all, err := sess.MeasureAll(units, o.measureOptions())
+	if err != nil {
+		return nil, err
+	}
+	withComps, err := corpusRows(comps, all[:len(comps)])
+	if err != nil {
+		return nil, err
+	}
+	withoutComps, err := corpusRows(comps, all[len(comps):])
 	if err != nil {
 		return nil, err
 	}

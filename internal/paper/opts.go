@@ -2,7 +2,9 @@ package paper
 
 import (
 	"repro/internal/cache"
+	"repro/internal/designs"
 	"repro/internal/elab"
+	"repro/internal/measure"
 )
 
 // Opts configures the experiments that measure the synthetic corpus
@@ -23,6 +25,14 @@ type Opts struct {
 	// counters of every accounting search across the corpus (purely
 	// observational; results are unchanged).
 	ElabStats *elab.StatsRecorder
+	// Session, when non-nil, is the shared measurement session every
+	// corpus-measuring experiment batches through, so one ucpaper run
+	// that prints Figure 6 and the timing extension parses the corpus
+	// once and synthesizes each distinct (module, parameters) signature
+	// once across all of them. It must have been created over
+	// designs.FullDesign(). When nil, each experiment creates its own.
+	// Results are bit-identical either way.
+	Session *measure.Session
 }
 
 // options lowers Opts to per-component measurement options, bounding
@@ -33,4 +43,33 @@ func (o Opts) inner(outerParallel bool) int {
 		return 1
 	}
 	return o.Concurrency
+}
+
+// session returns the shared measurement session, creating one over
+// the full corpus design when the caller did not supply one.
+func (o Opts) session() (*measure.Session, error) {
+	if o.Session != nil {
+		return o.Session, nil
+	}
+	full, err := designs.FullDesign()
+	if err != nil {
+		return nil, err
+	}
+	return measure.NewSession(full), nil
+}
+
+// measureOptions lowers Opts to the batch measurement options of a
+// Session (which handles inner-pool serialization itself).
+func (o Opts) measureOptions() measure.Options {
+	return measure.Options{Concurrency: o.Concurrency, Cache: o.Cache, ElabStats: o.ElabStats}
+}
+
+// NewSession creates the shared measurement session ucpaper threads
+// through a multi-experiment run (one per process; see Opts.Session).
+func NewSession() (*measure.Session, error) {
+	full, err := designs.FullDesign()
+	if err != nil {
+		return nil, err
+	}
+	return measure.NewSession(full), nil
 }

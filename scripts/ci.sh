@@ -20,8 +20,10 @@
 # machine with a higher BENCHCOUNT and compare at the strict default.
 #
 # Usage:
-#   scripts/ci.sh                      # tier-1 + bench gate
-#   SKIP_BENCH=1 scripts/ci.sh         # tier-1 only (no baseline diff)
+#   scripts/ci.sh                      # tier-1 + fuzz smoke + cover + bench gate
+#   SKIP_BENCH=1 scripts/ci.sh         # skip the bench baseline diff
+#   SKIP_FUZZ=1 scripts/ci.sh          # skip the fuzz smoke stage
+#   FUZZTIME=30s scripts/ci.sh         # longer fuzz smoke (default 10s)
 #   BENCHCOUNT=10 scripts/ci.sh        # more bench repetitions (default 5)
 #   BENCH_TOLERANCE=10 scripts/ci.sh   # stricter regression gate
 set -eu
@@ -34,7 +36,30 @@ go vet ./...
 echo "== tier-1: test =="
 go test ./...
 echo "== tier-1: race =="
-go test -race ./internal/parallel ./internal/nlme ./internal/paper ./internal/elab ./internal/accounting
+go test -race ./internal/parallel ./internal/nlme ./internal/paper ./internal/elab ./internal/accounting ./internal/measure ./internal/core
+
+if [ "${SKIP_FUZZ:-0}" != "1" ]; then
+	# Short coverage-guided smoke on the two fuzz targets (the parser's
+	# round-trip fuzzer and the synthesis-vs-RTL differential fuzzer).
+	# Each package has exactly one target, so -fuzz=Fuzz is unambiguous.
+	fuzztime="${FUZZTIME:-10s}"
+	echo "== fuzz smoke (${fuzztime}/target) =="
+	go test -run '^$' -fuzz Fuzz -fuzztime "$fuzztime" ./internal/hdl
+	go test -run '^$' -fuzz Fuzz -fuzztime "$fuzztime" ./internal/equiv
+fi
+
+# Coverage report (informational; a pipeline would mask a test failure
+# under `set -eu`, so capture to a file first).
+echo "== coverage report =="
+cover_out="$(mktemp)"
+if go test -count=1 -cover ./... >"$cover_out" 2>&1; then
+	grep -v '\[no test files\]' "$cover_out" || true
+	rm -f "$cover_out"
+else
+	cat "$cover_out"
+	rm -f "$cover_out"
+	exit 1
+fi
 
 if [ "${SKIP_BENCH:-0}" = "1" ]; then
 	echo "ci: tier-1 passed (bench gate skipped)"
