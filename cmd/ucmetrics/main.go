@@ -14,6 +14,10 @@
 //	-cache-dir DIR   cache measurements on disk (default
 //	                 $UCOMPLEXITY_CACHE; results are identical with
 //	                 and without the cache)
+//	-cpuprofile FILE write a CPU profile of the run
+//	-memprofile FILE write a heap profile of the run
+//	-alloc-stats     report runtime.MemStats deltas (allocations,
+//	                 bytes, GC cycles) for the measurement on stderr
 //
 // All measurements run through one measure.Session: with -builtin all
 // the whole corpus is parsed once and each distinct (module,
@@ -26,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/cache"
@@ -41,12 +47,63 @@ func main() {
 	noAccounting := flag.Bool("no-accounting", false, "disable the accounting procedure")
 	asCSV := flag.Bool("csv", false, "emit CSV database rows")
 	cacheDir := flag.String("cache-dir", cache.DefaultDir(), "measurement cache directory (default $"+cache.EnvVar+"; empty = no cache)")
+	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memProfile := flag.String("memprofile", "", "write heap profile to file")
+	allocStats := flag.Bool("alloc-stats", false, "report runtime.MemStats deltas for the run on stderr")
 	flag.Parse()
 
-	if err := run(*top, *builtin, !*noAccounting, *asCSV, *cacheDir, flag.Args()); err != nil {
+	if err := profiledRun(*top, *builtin, !*noAccounting, *asCSV, *cacheDir, *cpuProfile, *memProfile, *allocStats, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "ucmetrics:", err)
 		os.Exit(1)
 	}
+}
+
+// profiledRun wraps run with the observability flags: CPU/heap
+// profiles (same shape as ucpaper's) and the -alloc-stats MemStats
+// delta line used to sanity-check steady-state allocation behaviour
+// without a benchmark harness.
+func profiledRun(top, builtin string, useAccounting, asCSV bool, cacheDir, cpuProfile, memProfile string, allocStats bool, files []string) error {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ucmetrics:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ucmetrics:", err)
+			}
+		}()
+	}
+
+	var before runtime.MemStats
+	if allocStats {
+		runtime.ReadMemStats(&before)
+	}
+	err := run(top, builtin, useAccounting, asCSV, cacheDir, files)
+	if allocStats {
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		fmt.Fprintf(os.Stderr, "alloc-stats: %d allocs, %d bytes allocated, %d GC cycles, %.3f ms GC pause\n",
+			after.Mallocs-before.Mallocs,
+			after.TotalAlloc-before.TotalAlloc,
+			after.NumGC-before.NumGC,
+			float64(after.PauseTotalNs-before.PauseTotalNs)/1e6)
+	}
+	return err
 }
 
 // target names one component to measure within the session's design.

@@ -1,0 +1,37 @@
+package cones_test
+
+import (
+	"testing"
+
+	"repro/internal/cones"
+	"repro/internal/designs"
+	"repro/internal/synth"
+)
+
+// TestAnalyzeSummaryMatchesAnalyze pins the summary fast path against
+// the full analysis over the whole corpus, reusing one workspace dirty
+// across components the way a session pool worker does.
+func TestAnalyzeSummaryMatchesAnalyze(t *testing.T) {
+	ws := &cones.Workspace{}
+	for _, c := range designs.All() {
+		d, err := designs.Design(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Label(), err)
+		}
+		res, err := synth.Synthesize(d, c.Top, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Label(), err)
+		}
+		full := cones.Analyze(res.Optimized)
+		for run := 0; run < 2; run++ {
+			got := cones.AnalyzeSummary(res.Optimized, ws)
+			want := cones.Summary{FanInLC: full.FanInLC, MaxDepth: full.MaxDepth, NumCones: len(full.Cones)}
+			if got != want {
+				t.Errorf("%s run %d: AnalyzeSummary = %+v, Analyze says %+v", c.Label(), run, got, want)
+			}
+		}
+		if got := cones.AnalyzeSummary(res.Optimized, nil); got.FanInLC != full.FanInLC {
+			t.Errorf("%s: nil-workspace summary FanInLC %d != %d", c.Label(), got.FanInLC, full.FanInLC)
+		}
+	}
+}

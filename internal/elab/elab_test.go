@@ -244,23 +244,25 @@ endmodule`}
 	if err != nil {
 		t.Fatal(err)
 	}
-	var constIf, sigIf *Construct
+	var constIf, sigIf Construct
+	var haveConstIf, haveSigIf bool
 	for _, c := range ref.Constructs {
 		if c.Kind != "if" {
 			continue
 		}
 		if c.NonConst {
-			sigIf = c
+			sigIf, haveSigIf = c, true
 		} else {
-			constIf = c
+			constIf, haveConstIf = c, true
 		}
 	}
-	if constIf == nil || !constIf.Branches["then"] {
+	if !haveConstIf || !constIf.Branches["then"] {
 		t.Errorf("constant if: %+v", constIf)
 	}
-	if sigIf == nil {
+	if !haveSigIf {
 		t.Error("signal-dependent if not recorded as NonConst")
 	}
+	_ = sigIf
 	// MODE=0 flips the constant branch: incompatible.
 	_, cand, err := Elaborate(d, "m", map[string]int64{"MODE": 0})
 	if err != nil {
@@ -438,8 +440,8 @@ func TestEnvScoping(t *testing.T) {
 
 func TestReportString(t *testing.T) {
 	r := NewReport()
-	r.recordLoop("genfor", "a.v:3:1", 4)
-	r.recordBranch("genif", "a.v:9:1", "then")
+	r.recordLoop("genfor", hdl.Pos{File: "a.v", Line: 3, Col: 1}, 4)
+	r.recordBranch("genif", hdl.Pos{File: "a.v", Line: 9, Col: 1}, "then")
 	s := r.String()
 	if !strings.Contains(s, "genfor@a.v:3:1 alive=true") {
 		t.Errorf("report string:\n%s", s)

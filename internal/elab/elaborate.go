@@ -2,6 +2,7 @@ package elab
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/hdl"
 )
@@ -57,12 +58,53 @@ type elaborator struct {
 	report    *Report
 	instCount int
 	stack     []string // module names being elaborated, for cycle detection
-	cache     *Cache
+	// stackBuf backs stack for typical hierarchy depths so pushing the
+	// first module doesn't heap-allocate; stack spills past it normally.
+	stackBuf [16]string
+	// prefBuf is scratch for building generate-scope prefixes
+	// ("g[2]."). Loop drivers rebuild it from scratch before every use,
+	// so nested loops clobbering it is harmless.
+	prefBuf []byte
+	cache   *Cache
 	// usedPaths guards full-tree reuse: a hierarchical path may only be
 	// served from (or stored into) the cache once per elaboration, so a
 	// design that repeats an instance name still gets distinct Instance
 	// objects, exactly as uncached elaboration builds them.
 	usedPaths map[string]bool
+	// Chunked allocators for the per-item structs built in bulk.
+	netA bump[Net]
+	asgA bump[ElabAssign]
+	alwA bump[ElabAlways]
+	chA  bump[Child]
+}
+
+// bump is a chunked allocator for the small structs an elaboration
+// creates in bulk (nets, assigns, always blocks, child links). The
+// objects escape into Instance trees that live as long as the
+// elaboration's output, so handing out pointers into shared chunks
+// trades one heap allocation per object for one per 256; chunks are
+// never reset or reused.
+type bump[T any] struct {
+	chunk []T
+	next  int // size of the next chunk; grows geometrically
+}
+
+func (b *bump[T]) new() *T {
+	if len(b.chunk) == 0 {
+		// Start small: most elaborations (per-probe module stamps) need
+		// only a handful of objects, so a large fixed chunk would waste
+		// more than individual allocation saves. Double up to a cap so
+		// big designs still amortize to one allocation per 256 objects.
+		if b.next == 0 {
+			b.next = 8
+		} else if b.next < 256 {
+			b.next *= 2
+		}
+		b.chunk = make([]T, b.next)
+	}
+	p := &b.chunk[0]
+	b.chunk = b.chunk[1:]
+	return p
 }
 
 // Elaborate builds the elaborated instance tree of module top with the
@@ -80,6 +122,7 @@ func ElaborateOpts(design *hdl.Design, top string, overrides map[string]int64, o
 		return nil, nil, err
 	}
 	el := &elaborator{design: design, opts: opts, report: NewReport(), cache: opts.Cache}
+	el.stack = el.stackBuf[:0]
 	params := map[string]int64{}
 	// Resolve header parameters left to right: defaults may reference
 	// earlier parameters; overrides replace defaults.
@@ -187,14 +230,30 @@ func (el *elaborator) elaborateModule(m *hdl.Module, path string, params map[str
 		return nil, fmt.Errorf("elab: instance limit %d exceeded at %s", el.opts.maxInst(), path)
 	}
 
+	// Pre-size Nets and Children from an exact count of the
+	// directly-declared items, so small leaf modules — the bulk of what
+	// probe elaborations stamp — get single-bucket maps and no append
+	// growth (generate-stamped extras beyond the count amortize
+	// normally). Mems, IntVars, and Genvars allocate lazily on first
+	// insert — most instances have none of the three, and map reads on
+	// nil are fine.
+	nChild, nDecl := 0, 0
+	for _, it := range m.Items {
+		switch d := it.(type) {
+		case *hdl.Instance:
+			nChild++
+		case *hdl.NetDecl:
+			nDecl += len(d.Names)
+		}
+	}
 	inst := &Instance{
-		Module:  m,
-		Path:    path,
-		Params:  params,
-		Nets:    map[string]*Net{},
-		Mems:    map[string]*Mem{},
-		IntVars: map[string]bool{},
-		Genvars: map[string]bool{},
+		Module: m,
+		Path:   path,
+		Params: params,
+		Nets:   make(map[string]*Net, len(m.Ports)+nDecl),
+	}
+	if nChild > 0 {
+		inst.Children = make([]*Child, 0, nChild)
 	}
 	env := NewEnv(params)
 
@@ -202,7 +261,7 @@ func (el *elaborator) elaborateModule(m *hdl.Module, path string, params map[str
 	for _, p := range m.Ports {
 		w, lsb, err := el.evalRange(p.Range, env, p.Pos)
 		if err != nil {
-			return nil, fmt.Errorf("elab: port %s.%s: %w", path, p.Name, err)
+			return nil, &portError{path: path, port: p.Name, err: err}
 		}
 		if _, dup := inst.Nets[p.Name]; dup {
 			return nil, fmt.Errorf("elab: duplicate port %s.%s", path, p.Name)
@@ -211,7 +270,9 @@ func (el *elaborator) elaborateModule(m *hdl.Module, path string, params map[str
 		if p.IsReg {
 			kind = hdl.KindReg
 		}
-		inst.Nets[p.Name] = &Net{Name: p.Name, Width: w, LSB: lsb, Kind: kind, IsPort: true, Dir: p.Dir, Pos: p.Pos}
+		n := el.netA.new()
+		*n = Net{Name: p.Name, Width: w, LSB: lsb, Kind: kind, IsPort: true, Dir: p.Dir, Pos: p.Pos}
+		inst.Nets[p.Name] = n
 	}
 
 	if err := el.elaborateItems(inst, m.Items, env); err != nil {
@@ -237,11 +298,11 @@ func (el *elaborator) evalRange(r *hdl.Range, env *Env, pos hdl.Pos) (int, int64
 		return 0, 0, err
 	}
 	if msb < lsb {
-		return 0, 0, fmt.Errorf("%s: degenerate range [%d:%d]", pos, msb, lsb)
+		return 0, 0, &rangeError{pos: pos, msb: msb, lsb: lsb}
 	}
 	w := msb - lsb + 1
 	if w > 4096 {
-		return 0, 0, fmt.Errorf("%s: range [%d:%d] too wide (%d bits)", pos, msb, lsb, w)
+		return 0, 0, &rangeError{pos: pos, msb: msb, lsb: lsb, tooWide: true}
 	}
 	return int(w), lsb, nil
 }
@@ -267,11 +328,17 @@ func (el *elaborator) elaborateItem(inst *Instance, it hdl.Item, env *Env) error
 	case *hdl.NetDecl:
 		switch v.Kind {
 		case hdl.KindGenvar:
+			if inst.Genvars == nil {
+				inst.Genvars = map[string]bool{}
+			}
 			for _, n := range v.Names {
 				inst.Genvars[n] = true
 			}
 			return nil
 		case hdl.KindInteger:
+			if inst.IntVars == nil {
+				inst.IntVars = map[string]bool{}
+			}
 			for _, n := range v.Names {
 				inst.IntVars[n] = true
 			}
@@ -305,7 +372,10 @@ func (el *elaborator) elaborateItem(inst *Instance, it hdl.Item, env *Env) error
 			if _, dup := inst.Mems[name]; dup {
 				return fmt.Errorf("elab: duplicate memory %s in %s", name, inst.Path)
 			}
-			el.report.recordMem(v.Pos.String(), depth)
+			el.report.recordMem(v.Pos, depth)
+			if inst.Mems == nil {
+				inst.Mems = map[string]*Mem{}
+			}
 			inst.Mems[name] = &Mem{Name: name, Width: w, Depth: depth, MinIdx: lo, Pos: v.Pos}
 			return nil
 		}
@@ -314,16 +384,22 @@ func (el *elaborator) elaborateItem(inst *Instance, it hdl.Item, env *Env) error
 			if _, dup := inst.Nets[full]; dup {
 				return fmt.Errorf("elab: duplicate net %s in %s", full, inst.Path)
 			}
-			inst.Nets[full] = &Net{Name: full, Width: w, LSB: lsb, Kind: v.Kind, Pos: v.Pos}
+			nn := el.netA.new()
+			*nn = Net{Name: full, Width: w, LSB: lsb, Kind: v.Kind, Pos: v.Pos}
+			inst.Nets[full] = nn
 		}
 		return nil
 
 	case *hdl.ContAssign:
-		inst.Assigns = append(inst.Assigns, &ElabAssign{Item: v, Env: env})
+		a := el.asgA.new()
+		*a = ElabAssign{Item: v, Env: env}
+		inst.Assigns = append(inst.Assigns, a)
 		return nil
 
 	case *hdl.AlwaysBlock:
-		inst.Alwayses = append(inst.Alwayses, &ElabAlways{Item: v, Env: env})
+		ab := el.alwA.new()
+		*ab = ElabAlways{Item: v, Env: env}
+		inst.Alwayses = append(inst.Alwayses, ab)
 		// Walk the body for the construct signature (constant
 		// conditionals, loop trip counts).
 		return el.signStmt(inst, v.Body, env)
@@ -354,14 +430,22 @@ func (el *elaborator) elaborateInstance(parent *Instance, v *hdl.Instance, env *
 	}
 	// Resolve child parameters: defaults (left to right, in the child's
 	// own growing env) overridden by explicit bindings evaluated in the
-	// parent scope.
-	overrides := map[string]int64{}
-	declared := map[string]bool{}
-	for _, p := range child.Params {
-		declared[p.Name] = true
+	// parent scope. Declared-name checks are linear scans — parameter
+	// and port lists are short, and the maps they replace dominated this
+	// function's allocation profile.
+	var overrides map[string]int64
+	if len(v.Params) > 0 {
+		overrides = make(map[string]int64, len(v.Params))
 	}
 	for _, b := range v.Params {
-		if !declared[b.Name] {
+		declared := false
+		for _, p := range child.Params {
+			if p.Name == b.Name {
+				declared = true
+				break
+			}
+		}
+		if !declared {
 			return fmt.Errorf("elab: %s: module %s has no parameter %q", b.Pos, child.Name, b.Name)
 		}
 		if b.Value == nil {
@@ -373,7 +457,7 @@ func (el *elaborator) elaborateInstance(parent *Instance, v *hdl.Instance, env *
 		}
 		overrides[b.Name] = val
 	}
-	params := map[string]int64{}
+	params := make(map[string]int64, len(child.Params))
 	childEnv := NewEnv(nil)
 	for _, p := range child.Params {
 		var val int64
@@ -391,12 +475,15 @@ func (el *elaborator) elaborateInstance(parent *Instance, v *hdl.Instance, env *
 		}
 	}
 	// Check port binding names.
-	ports := map[string]bool{}
-	for _, p := range child.Ports {
-		ports[p.Name] = true
-	}
 	for _, b := range v.Ports {
-		if !ports[b.Name] {
+		found := false
+		for _, p := range child.Ports {
+			if p.Name == b.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
 			return fmt.Errorf("elab: %s: module %s has no port %q", b.Pos, child.Name, b.Name)
 		}
 	}
@@ -424,7 +511,9 @@ func (el *elaborator) elaborateInstance(parent *Instance, v *hdl.Instance, env *
 				if err := el.reuseInstances(e.count, childPath); err != nil {
 					return err
 				}
-				parent.Children = append(parent.Children, &Child{Name: name, Ports: v.Ports, Env: env, Pos: v.Pos})
+				ch := el.chA.new()
+				*ch = Child{Name: name, Ports: v.Ports, Env: env, Pos: v.Pos}
+				parent.Children = append(parent.Children, ch)
 				return nil
 			}
 		} else if el.usedPaths[childPath] {
@@ -437,7 +526,9 @@ func (el *elaborator) elaborateInstance(parent *Instance, v *hdl.Instance, env *
 				if err := el.reuseInstances(e.count, childPath); err != nil {
 					return err
 				}
-				parent.Children = append(parent.Children, &Child{Name: name, Ports: v.Ports, Env: env, Inst: e.inst, Pos: v.Pos})
+				ch := el.chA.new()
+				*ch = Child{Name: name, Ports: v.Ports, Env: env, Inst: e.inst, Pos: v.Pos}
+				parent.Children = append(parent.Children, ch)
 				return nil
 			}
 		}
@@ -471,13 +562,15 @@ func (el *elaborator) elaborateInstance(parent *Instance, v *hdl.Instance, env *
 		// still checks every port expression.
 		childInst = nil
 	}
-	parent.Children = append(parent.Children, &Child{
+	ch := el.chA.new()
+	*ch = Child{
 		Name:  name,
 		Ports: v.Ports,
 		Env:   env,
 		Inst:  childInst,
 		Pos:   v.Pos,
-	})
+	}
+	parent.Children = append(parent.Children, ch)
 	return nil
 }
 
@@ -490,13 +583,15 @@ func (el *elaborator) elaborateGenFor(inst *Instance, v *hdl.GenFor, env *Env) e
 		return fmt.Errorf("elab: generate for init in %s: %w", inst.Path, err)
 	}
 	label := v.Label
-	if label == "" {
-		label = fmt.Sprintf("_gf%d_%d", v.Pos.Line, v.Pos.Col)
-	}
 	trips := int64(0)
+	// One map-free iteration scope is reused across trips for the
+	// condition/step evaluations (they never capture it); each body gets
+	// its own scope since its prefix differs and items retain it.
+	iter := env.ChildVar("", v.Var, val)
+	pref := el.prefBuf
 	for {
-		iterEnv := env.Child("", map[string]int64{v.Var: val})
-		cond, err := Eval(v.Cond, iterEnv)
+		iter.setVar(val)
+		cond, err := Eval(v.Cond, iter)
 		if err != nil {
 			return fmt.Errorf("elab: generate for condition in %s: %w", inst.Path, err)
 		}
@@ -507,11 +602,24 @@ func (el *elaborator) elaborateGenFor(inst *Instance, v *hdl.GenFor, env *Env) e
 		if trips > int64(el.opts.maxIter()) {
 			return fmt.Errorf("elab: %s: generate loop exceeds %d iterations", v.Pos, el.opts.maxIter())
 		}
-		bodyEnv := env.Child(fmt.Sprintf("%s[%d].", label, val), map[string]int64{v.Var: val})
+		// Rebuilt from parts every trip (not hoisted) so a nested
+		// generate loop clobbering the shared prefix scratch is harmless.
+		if label != "" {
+			pref = append(pref[:0], label...)
+		} else {
+			pref = append(pref[:0], "_gf"...)
+			pref = strconv.AppendInt(pref, int64(v.Pos.Line), 10)
+			pref = append(pref, '_')
+			pref = strconv.AppendInt(pref, int64(v.Pos.Col), 10)
+		}
+		pref = append(pref, '[')
+		pref = strconv.AppendInt(pref, val, 10)
+		pref = append(pref, ']', '.')
+		bodyEnv := env.ChildVar(string(pref), v.Var, val)
 		if err := el.elaborateItems(inst, v.Body, bodyEnv); err != nil {
 			return err
 		}
-		next, err := Eval(v.Step, iterEnv)
+		next, err := Eval(v.Step, iter)
 		if err != nil {
 			return fmt.Errorf("elab: generate for step in %s: %w", inst.Path, err)
 		}
@@ -520,7 +628,8 @@ func (el *elaborator) elaborateGenFor(inst *Instance, v *hdl.GenFor, env *Env) e
 		}
 		val = next
 	}
-	el.report.recordLoop("genfor", v.Pos.String(), trips)
+	el.prefBuf = pref
+	el.report.recordLoop("genfor", v.Pos, trips)
 	return nil
 }
 
@@ -530,14 +639,14 @@ func (el *elaborator) elaborateGenIf(inst *Instance, v *hdl.GenIf, env *Env) err
 		return fmt.Errorf("elab: generate if condition in %s: %w", inst.Path, err)
 	}
 	if cond != 0 {
-		el.report.recordBranch("genif", v.Pos.String(), "then")
+		el.report.recordBranch("genif", v.Pos, "then")
 		branchEnv := env
 		if v.ThenLabel != "" {
 			branchEnv = env.Child(v.ThenLabel+".", nil)
 		}
 		return el.elaborateItems(inst, v.Then, branchEnv)
 	}
-	el.report.recordBranch("genif", v.Pos.String(), "else")
+	el.report.recordBranch("genif", v.Pos, "else")
 	if len(v.Else) == 0 {
 		return nil
 	}
@@ -569,7 +678,7 @@ func (el *elaborator) signStmt(inst *Instance, s hdl.Stmt, env *Env) error {
 			if c != 0 {
 				arm = "then"
 			}
-			el.report.recordBranch("if", v.Pos.String(), arm)
+			el.report.recordBranch("if", v.Pos, arm)
 			if c != 0 {
 				return el.signStmt(inst, v.Then, env)
 			}
@@ -578,7 +687,7 @@ func (el *elaborator) signStmt(inst *Instance, s hdl.Stmt, env *Env) error {
 			}
 			return nil
 		}
-		el.report.recordNonConst("if", v.Pos.String())
+		el.report.recordNonConst("if", v.Pos)
 		if err := el.signStmt(inst, v.Then, env); err != nil {
 			return err
 		}
@@ -611,13 +720,13 @@ func (el *elaborator) signStmt(inst *Instance, s hdl.Stmt, env *Env) error {
 					break
 				}
 			}
-			el.report.recordBranch("case", v.Pos.String(), armName)
+			el.report.recordBranch("case", v.Pos, armName)
 			if body != nil {
 				return el.signStmt(inst, body, env)
 			}
 			return nil
 		}
-		el.report.recordNonConst("case", v.Pos.String())
+		el.report.recordNonConst("case", v.Pos)
 		for _, item := range v.Items {
 			if err := el.signStmt(inst, item.Body, env); err != nil {
 				return err
@@ -630,10 +739,10 @@ func (el *elaborator) signStmt(inst *Instance, s hdl.Stmt, env *Env) error {
 			// Loop bounds must be constant for synthesis; report the
 			// error lazily (synthesis will reject it too) but keep the
 			// signature walk going.
-			el.report.recordNonConst("for", v.Pos.String())
+			el.report.recordNonConst("for", v.Pos)
 			return el.signStmt(inst, v.Body, env)
 		}
-		el.report.recordLoop("for", v.Pos.String(), trips)
+		el.report.recordLoop("for", v.Pos, trips)
 		return el.signStmt(inst, v.Body, env)
 	}
 	return nil
@@ -659,9 +768,10 @@ func (el *elaborator) forTripCount(inst *Instance, v *hdl.For, env *Env) (int64,
 		return 0, err
 	}
 	trips := int64(0)
+	iter := env.ChildVar("", ident.Name, val)
 	for {
-		iterEnv := env.Child("", map[string]int64{ident.Name: val})
-		c, err := Eval(v.Cond, iterEnv)
+		iter.setVar(val)
+		c, err := Eval(v.Cond, iter)
 		if err != nil {
 			return 0, err
 		}
@@ -672,7 +782,7 @@ func (el *elaborator) forTripCount(inst *Instance, v *hdl.For, env *Env) (int64,
 		if trips > int64(el.opts.maxIter()) {
 			return 0, fmt.Errorf("for loop exceeds %d iterations", el.opts.maxIter())
 		}
-		next, err := Eval(stepA.RHS, iterEnv)
+		next, err := Eval(stepA.RHS, iter)
 		if err != nil {
 			return 0, err
 		}

@@ -6,20 +6,35 @@ import "fmt"
 // localparams, and genvar values, plus the net-name prefix introduced
 // by labeled generate scopes (so a wire declared inside
 // "begin : g" of iteration 2 lives under "g[2].").
+//
+// A scope stores its constants two ways: an optional inline single
+// binding (oneName/oneVal — the genvar or loop variable of generate
+// and for scopes, which is by far the most common scope shape) and a
+// lazily-allocated map for everything else. The inline slot keeps the
+// per-iteration scopes of loop elaboration map-free.
 type Env struct {
-	parent   *Env
-	prefix   string // full accumulated prefix, e.g. "g[2]."
-	consts   map[string]int64
-	prefixes []string // prefix chain, innermost first (see Prefixes)
+	parent  *Env
+	prefix  string // full accumulated prefix, e.g. "g[2]."
+	oneName string // inline binding name; "" means unused
+	oneVal  int64
+	// base holds constants supplied at scope creation. NewEnv aliases
+	// its argument here instead of copying — the caller hands over a
+	// map it no longer writes (module parameter bindings) — while
+	// Define writes go to the separate consts overlay, so the caller's
+	// map is never mutated.
+	base     map[string]int64
+	consts   map[string]int64 // lazily allocated on first Define
+	prefixes []string         // prefix chain, innermost first (see Prefixes)
 }
 
-// NewEnv returns a root environment with the given constants.
+// NewEnv returns a root environment with the given constants. The map
+// is aliased, not copied: the caller must not write to it afterward.
 func NewEnv(consts map[string]int64) *Env {
-	c := make(map[string]int64, len(consts))
-	for k, v := range consts {
-		c[k] = v
+	e := &Env{prefixes: rootPrefixes}
+	if len(consts) > 0 {
+		e.base = consts
 	}
-	return &Env{consts: c, prefixes: rootPrefixes}
+	return e
 }
 
 var rootPrefixes = []string{""}
@@ -28,11 +43,22 @@ var rootPrefixes = []string{""}
 // net-name prefix; consts (may be nil) adds scope-local constants such
 // as the genvar value.
 func (e *Env) Child(extraPrefix string, consts map[string]int64) *Env {
-	c := make(map[string]int64, len(consts))
-	for k, v := range consts {
-		c[k] = v
+	child := e.ChildVar(extraPrefix, "", 0)
+	if len(consts) > 0 {
+		c := make(map[string]int64, len(consts))
+		for k, v := range consts {
+			c[k] = v
+		}
+		child.consts = c
 	}
-	child := &Env{parent: e, prefix: e.prefix + extraPrefix, consts: c}
+	return child
+}
+
+// ChildVar returns a nested scope binding at most one constant (name
+// may be "" for none) without allocating a map — the shape of every
+// generate-loop and for-loop iteration scope.
+func (e *Env) ChildVar(extraPrefix, name string, val int64) *Env {
+	child := &Env{parent: e, prefix: e.prefix + extraPrefix, oneName: name, oneVal: val}
 	if extraPrefix == "" {
 		// Same prefix as the parent: the resolution chain is unchanged
 		// and can be shared (Prefixes results are read-only).
@@ -46,11 +72,26 @@ func (e *Env) Child(extraPrefix string, consts map[string]int64) *Env {
 	return child
 }
 
+// setVar rebinds the inline constant. Loop drivers reuse one iteration
+// scope across iterations instead of allocating a fresh Env per trip;
+// this is sound because the scope is only read (evaluated against),
+// never captured, between rebinds.
+func (e *Env) setVar(val int64) { e.oneVal = val }
+
 // Define adds a constant to the innermost scope, rejecting redefinition
 // within the same scope.
 func (e *Env) Define(name string, v int64) error {
+	if name == e.oneName && name != "" {
+		return fmt.Errorf("elab: constant %q redefined in the same scope", name)
+	}
+	if _, ok := e.base[name]; ok {
+		return fmt.Errorf("elab: constant %q redefined in the same scope", name)
+	}
 	if _, ok := e.consts[name]; ok {
 		return fmt.Errorf("elab: constant %q redefined in the same scope", name)
+	}
+	if e.consts == nil {
+		e.consts = make(map[string]int64, 4)
 	}
 	e.consts[name] = v
 	return nil
@@ -59,7 +100,13 @@ func (e *Env) Define(name string, v int64) error {
 // Lookup resolves a constant by walking scopes outward.
 func (e *Env) Lookup(name string) (int64, bool) {
 	for s := e; s != nil; s = s.parent {
+		if s.oneName == name && name != "" {
+			return s.oneVal, true
+		}
 		if v, ok := s.consts[name]; ok {
+			return v, true
+		}
+		if v, ok := s.base[name]; ok {
 			return v, true
 		}
 	}

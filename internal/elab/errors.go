@@ -1,0 +1,74 @@
+package elab
+
+import (
+	"fmt"
+
+	"repro/internal/hdl"
+)
+
+// Lazy error types for the constraint checks that probe elaborations
+// hit routinely: the scaling-rule search drives parameters until
+// something breaks and then discards the message, so these defer all
+// formatting to Error() — constructing one costs a single allocation
+// instead of a fmt.Errorf chain. The rendered text is pinned
+// byte-identical to the fmt.Errorf forms they replaced
+// (TestCacheErrorParity compares it across elaboration modes).
+
+type rangeError struct {
+	pos      hdl.Pos
+	msb, lsb int64
+	tooWide  bool
+}
+
+func (e *rangeError) Error() string {
+	if e.tooWide {
+		return fmt.Sprintf("%s: range [%d:%d] too wide (%d bits)", e.pos, e.msb, e.lsb, e.msb-e.lsb+1)
+	}
+	return fmt.Sprintf("%s: degenerate range [%d:%d]", e.pos, e.msb, e.lsb)
+}
+
+type bitIndexError struct {
+	pos   hdl.Pos
+	idx   int64
+	name  string
+	width int
+}
+
+func (e *bitIndexError) Error() string {
+	return fmt.Sprintf("%s: bit index %d out of range for %q (width %d)", e.pos, e.idx, e.name, e.width)
+}
+
+type partSelectError struct {
+	pos      hdl.Pos
+	msb, lsb int64
+	name     string
+	width    int
+}
+
+func (e *partSelectError) Error() string {
+	return fmt.Sprintf("%s: part select [%d:%d] out of range for %q (width %d)", e.pos, e.msb, e.lsb, e.name, e.width)
+}
+
+// portError prefixes a range error with the port it occurred on.
+type portError struct {
+	path, port string
+	err        error
+}
+
+func (e *portError) Error() string {
+	return fmt.Sprintf("elab: port %s.%s: %s", e.path, e.port, e.err)
+}
+
+func (e *portError) Unwrap() error { return e.err }
+
+// posError prefixes a range-check error with its source position.
+type posError struct {
+	pos hdl.Pos
+	err error
+}
+
+func (e *posError) Error() string {
+	return fmt.Sprintf("elab: %s: %s", e.pos, e.err)
+}
+
+func (e *posError) Unwrap() error { return e.err }

@@ -15,15 +15,15 @@ import (
 func (el *elaborator) validateRanges(inst *Instance) error {
 	for _, ea := range inst.Assigns {
 		if err := el.checkExpr(inst, ea.Item.LHS, ea.Env); err != nil {
-			return fmt.Errorf("elab: %s: %w", ea.Item.Pos, err)
+			return el.wrapPos(err, ea.Item.Pos)
 		}
 		if err := el.checkExpr(inst, ea.Item.RHS, ea.Env); err != nil {
-			return fmt.Errorf("elab: %s: %w", ea.Item.Pos, err)
+			return el.wrapPos(err, ea.Item.Pos)
 		}
 	}
 	for _, ab := range inst.Alwayses {
 		if err := el.checkStmt(inst, ab.Item.Body, ab.Env); err != nil {
-			return fmt.Errorf("elab: %s: %w", ab.Item.Pos, err)
+			return el.wrapPos(err, ab.Item.Pos)
 		}
 	}
 	for _, c := range inst.Children {
@@ -32,11 +32,16 @@ func (el *elaborator) validateRanges(inst *Instance) error {
 				continue
 			}
 			if err := el.checkExpr(inst, b.Value, c.Env); err != nil {
-				return fmt.Errorf("elab: %s: %w", b.Pos, err)
+				return el.wrapPos(err, b.Pos)
 			}
 		}
 	}
 	return nil
+}
+
+// wrapPos prefixes a range-check error with its source position.
+func (el *elaborator) wrapPos(err error, pos hdl.Pos) error {
+	return &posError{pos: pos, err: err}
 }
 
 func (el *elaborator) checkStmt(inst *Instance, s hdl.Stmt, env *Env) error {
@@ -115,7 +120,7 @@ func (el *elaborator) checkExpr(inst *Instance, e hdl.Expr, env *Env) error {
 				if idx, err := Eval(v.Idx, env); err == nil {
 					bit := idx - n.LSB
 					if bit < 0 || bit >= int64(n.Width) {
-						return fmt.Errorf("%s: bit index %d out of range for %q (width %d)", v.Pos, idx, base.Name, n.Width)
+						return &bitIndexError{pos: v.Pos, idx: idx, name: base.Name, width: n.Width}
 					}
 				}
 			}
@@ -129,7 +134,7 @@ func (el *elaborator) checkExpr(inst *Instance, e hdl.Expr, env *Env) error {
 				if err1 == nil && err2 == nil {
 					lo, hi := lsb-n.LSB, msb-n.LSB
 					if lo > hi || lo < 0 || hi >= int64(n.Width) {
-						return fmt.Errorf("%s: part select [%d:%d] out of range for %q (width %d)", v.Pos, msb, lsb, base.Name, n.Width)
+						return &partSelectError{pos: v.Pos, msb: msb, lsb: lsb, name: base.Name, width: n.Width}
 					}
 				}
 			}

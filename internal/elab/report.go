@@ -4,14 +4,29 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/hdl"
 )
 
-// Construct records the elaboration fate of one parameter-sensitive
-// syntactic construct, keyed by its source position. Constructs inside
-// generate loops are elaborated repeatedly; their records aggregate all
-// elaborations.
-type Construct struct {
+// ConstructKey identifies one parameter-sensitive syntactic construct:
+// its kind and source position. Keying reports by this comparable
+// struct instead of a rendered "kind@file:line:col" string keeps the
+// hot record/merge path free of per-call string formatting; the
+// rendered form only materializes for diagnostics (String, the
+// CompatibleWith reasons).
+type ConstructKey struct {
 	Kind string // "genfor", "genif", "if", "case", "for", "mem", "repl"
+	Pos  hdl.Pos
+}
+
+// String renders the key in the legacy "kind@file:line:col" form.
+func (k ConstructKey) String() string { return k.Kind + "@" + k.Pos.String() }
+
+// Construct records the elaboration fate of one parameter-sensitive
+// syntactic construct. Constructs inside generate loops are elaborated
+// repeatedly; their records aggregate all elaborations.
+type Construct struct {
+	Kind string // same as the key's Kind
 	// Alive is true when the construct did real work in at least one
 	// elaboration: a loop ran ≥1 iteration, a memory has depth ≥2, a
 	// replication count was ≥1.
@@ -28,61 +43,96 @@ type Construct struct {
 
 // Report is the elaboration signature of a design under one parameter
 // assignment: every parameter-sensitive construct and its fate.
+// Constructs are stored by value and the map is allocated lazily on the
+// first record — most per-subtree report fragments stay empty, so it is
+// the only allocation the steady-state record path can perform and
+// usually performs none.
 type Report struct {
-	Constructs map[string]*Construct // key: kind + "@" + position
+	Constructs map[ConstructKey]Construct
 }
 
 // NewReport returns an empty report.
 func NewReport() *Report {
-	return &Report{Constructs: map[string]*Construct{}}
+	return &Report{}
 }
 
-func (r *Report) construct(kind, pos string) *Construct {
-	key := kind + "@" + pos
-	c, ok := r.Constructs[key]
-	if !ok {
-		c = &Construct{Kind: kind}
-		r.Constructs[key] = c
+func (r *Report) ensure() {
+	if r.Constructs == nil {
+		r.Constructs = make(map[ConstructKey]Construct, 8)
 	}
-	return c
 }
 
 // recordLoop records a loop elaboration with the given trip count.
-func (r *Report) recordLoop(kind, pos string, trips int64) {
-	c := r.construct(kind, pos)
+func (r *Report) recordLoop(kind string, pos hdl.Pos, trips int64) {
+	r.ensure()
+	key := ConstructKey{kind, pos}
+	c, ok := r.Constructs[key]
+	if !ok {
+		c.Kind = kind
+	}
 	if trips >= 1 {
 		c.Alive = true
 	}
+	r.Constructs[key] = c
 }
 
 // recordBranch records a constant conditional taking one arm.
-func (r *Report) recordBranch(kind, pos, arm string) {
-	c := r.construct(kind, pos)
+func (r *Report) recordBranch(kind string, pos hdl.Pos, arm string) {
+	r.ensure()
+	key := ConstructKey{kind, pos}
+	c, ok := r.Constructs[key]
+	if !ok {
+		c.Kind = kind
+	}
 	c.Alive = true
 	if c.Branches == nil {
 		c.Branches = map[string]bool{}
 	}
 	c.Branches[arm] = true
+	r.Constructs[key] = c
 }
 
 // recordNonConst records a signal-dependent conditional.
-func (r *Report) recordNonConst(kind, pos string) {
-	c := r.construct(kind, pos)
+func (r *Report) recordNonConst(kind string, pos hdl.Pos) {
+	r.ensure()
+	key := ConstructKey{kind, pos}
+	c, ok := r.Constructs[key]
+	if !ok {
+		c.Kind = kind
+	}
 	c.Alive = true
 	c.NonConst = true
+	r.Constructs[key] = c
+}
+
+// recordMem records a memory elaboration with the given depth.
+func (r *Report) recordMem(pos hdl.Pos, depth int64) {
+	r.ensure()
+	key := ConstructKey{"mem", pos}
+	c, ok := r.Constructs[key]
+	if !ok {
+		c.Kind = "mem"
+	}
+	if depth >= 2 {
+		c.Alive = true
+	}
+	r.Constructs[key] = c
 }
 
 // mergeFrom folds another report's constructs into r. Every record is
 // a monotone union (Alive/NonConst flags, branch-arm sets), so merging
 // a subtree's fragment is exactly equivalent to replaying its record
-// calls, in any order. Constructs are always copied on first insert —
+// calls, in any order. Branch sets are always copied on first insert —
 // never aliased — so fragments held by a session Cache stay immutable.
 func (r *Report) mergeFrom(o *Report) {
+	if len(o.Constructs) == 0 {
+		return
+	}
+	r.ensure()
 	for key, oc := range o.Constructs {
 		c, ok := r.Constructs[key]
 		if !ok {
-			c = &Construct{Kind: oc.Kind}
-			r.Constructs[key] = c
+			c.Kind = oc.Kind
 		}
 		if oc.Alive {
 			c.Alive = true
@@ -90,21 +140,28 @@ func (r *Report) mergeFrom(o *Report) {
 		if oc.NonConst {
 			c.NonConst = true
 		}
-		if len(oc.Branches) > 0 && c.Branches == nil {
-			c.Branches = make(map[string]bool, len(oc.Branches))
+		if len(oc.Branches) > 0 {
+			if c.Branches == nil {
+				c.Branches = make(map[string]bool, len(oc.Branches))
+			}
+			for arm := range oc.Branches {
+				c.Branches[arm] = true
+			}
 		}
-		for arm := range oc.Branches {
-			c.Branches[arm] = true
-		}
+		r.Constructs[key] = c
 	}
 }
 
-// recordMem records a memory elaboration with the given depth.
-func (r *Report) recordMem(pos string, depth int64) {
-	c := r.construct("mem", pos)
-	if depth >= 2 {
-		c.Alive = true
+// sortedKeys returns the construct keys ordered by their rendered
+// "kind@file:line:col" form, matching the legacy string-keyed ordering
+// so diagnostics stay deterministic and stable.
+func (r *Report) sortedKeys() []ConstructKey {
+	keys := make([]ConstructKey, 0, len(r.Constructs))
+	for k := range r.Constructs {
+		keys = append(keys, k)
 	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
 }
 
 // CompatibleWith reports whether candidate cand preserves every
@@ -112,49 +169,101 @@ func (r *Report) recordMem(pos string, depth int64) {
 // loop alive in the reference may collapse to zero iterations, no
 // branch taken in the reference may become unreachable, no non-trivial
 // memory may degenerate, and no construct may disappear entirely.
-// The returned reason describes the first violation.
+// The returned reason describes the first violation in rendered-key
+// order. The compatible case — the accounting search's hot path —
+// performs a single allocation-free unordered scan; keys are only
+// sorted and rendered once a violation is known to exist.
 func (r *Report) CompatibleWith(cand *Report) (bool, string) {
-	keys := make([]string, 0, len(r.Constructs))
-	for k := range r.Constructs {
-		keys = append(keys, k)
+	clean := true
+	for key, ref := range r.Constructs {
+		if violated(key, ref, cand) {
+			clean = false
+			break
+		}
 	}
-	sort.Strings(keys)
-	for _, key := range keys {
-		ref := r.Constructs[key]
-		c, ok := cand.Constructs[key]
-		if !ok {
-			if ref.Alive {
-				return false, fmt.Sprintf("%s disappeared", key)
-			}
-			continue
-		}
-		if ref.Alive && !c.Alive {
+	if clean {
+		return true, ""
+	}
+	for _, key := range r.sortedKeys() {
+		switch code, arm := violation(key, r.Constructs[key], cand); code {
+		case vDisappeared:
+			return false, fmt.Sprintf("%s disappeared", key)
+		case vOptimizedAway:
 			return false, fmt.Sprintf("%s optimized away", key)
-		}
-		if !ref.NonConst && !c.NonConst {
-			for arm := range ref.Branches {
-				if !c.Branches[arm] {
-					return false, fmt.Sprintf("%s: branch %q became dead", key, arm)
-				}
-			}
-		}
-		if ref.NonConst && !c.NonConst && len(c.Branches) > 0 {
+		case vBranchDead:
+			return false, fmt.Sprintf("%s: branch %q became dead", key, arm)
+		case vBecameConst:
 			return false, fmt.Sprintf("%s: condition became constant", key)
 		}
 	}
-	return true, ""
+	return true, "" // unreachable: the unordered scan found a violation
+}
+
+const (
+	vOK = iota
+	vDisappeared
+	vOptimizedAway
+	vBranchDead
+	vBecameConst
+)
+
+// violated is the allocation-free yes/no form of violation for the hot
+// unordered scan (arm iteration order doesn't matter for the bool).
+func violated(key ConstructKey, ref Construct, cand *Report) bool {
+	c, ok := cand.Constructs[key]
+	if !ok {
+		return ref.Alive
+	}
+	if ref.Alive && !c.Alive {
+		return true
+	}
+	if !ref.NonConst && !c.NonConst {
+		for a := range ref.Branches {
+			if !c.Branches[a] {
+				return true
+			}
+		}
+	}
+	return ref.NonConst && !c.NonConst && len(c.Branches) > 0
+}
+
+// violation classifies how cand fails to preserve one reference
+// construct (vOK if it doesn't). Branch arms are checked in sorted
+// order so the reported arm is deterministic.
+func violation(key ConstructKey, ref Construct, cand *Report) (code int, arm string) {
+	c, ok := cand.Constructs[key]
+	if !ok {
+		if ref.Alive {
+			return vDisappeared, ""
+		}
+		return vOK, ""
+	}
+	if ref.Alive && !c.Alive {
+		return vOptimizedAway, ""
+	}
+	if !ref.NonConst && !c.NonConst && len(ref.Branches) > 0 {
+		arms := make([]string, 0, len(ref.Branches))
+		for a := range ref.Branches {
+			arms = append(arms, a)
+		}
+		sort.Strings(arms)
+		for _, a := range arms {
+			if !c.Branches[a] {
+				return vBranchDead, a
+			}
+		}
+	}
+	if ref.NonConst && !c.NonConst && len(c.Branches) > 0 {
+		return vBecameConst, ""
+	}
+	return vOK, ""
 }
 
 // String renders the report compactly, sorted by key, for debugging
 // and golden tests.
 func (r *Report) String() string {
-	keys := make([]string, 0, len(r.Constructs))
-	for k := range r.Constructs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 	var b strings.Builder
-	for _, k := range keys {
+	for _, k := range r.sortedKeys() {
 		c := r.Constructs[k]
 		fmt.Fprintf(&b, "%s alive=%v", k, c.Alive)
 		if c.NonConst {

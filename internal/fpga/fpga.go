@@ -14,9 +14,8 @@
 package fpga
 
 import (
-	"sort"
-
 	"repro/internal/netlist"
+	"repro/internal/scratch"
 )
 
 // Options configures the mapping.
@@ -77,6 +76,15 @@ type Mapping struct {
 // Map covers the netlist's combinational logic with k-LUTs and
 // evaluates the timing model.
 func Map(n *netlist.Netlist, opts Options) *Mapping {
+	return mapImpl(n, opts, &Workspace{}, true)
+}
+
+// mapImpl is the covering kernel behind Map and MapWS. All scratch —
+// the per-net tables, merge buffers, and the arena every cut set is
+// carved from — comes from ws, so cut sets are only valid until the
+// workspace is reused; they escape through Mapping.LUTs only when
+// wantLUTs is set, which Map pairs with a private workspace.
+func mapImpl(n *netlist.Netlist, opts Options, ws *Workspace, wantLUTs bool) *Mapping {
 	o := opts.withDefaults()
 	drivers := n.Drivers()
 
@@ -88,12 +96,8 @@ func Map(n *netlist.Netlist, opts Options) *Mapping {
 		return d < 0 || n.Cells[d].Type.IsSequential()
 	}
 
-	type netInfo struct {
-		cut      []netlist.NetID // support of the would-be LUT rooted here
-		realized bool
-	}
-	info := make([]netInfo, n.NumNets())
-	level := make([]int, n.NumNets()) // level of the net once realized
+	info := scratch.Zero(&ws.info, n.NumNets())
+	level := scratch.Zero(&ws.level, n.NumNets()) // level of the net once realized
 
 	m := &Mapping{}
 	var realize func(id netlist.NetID)
@@ -107,7 +111,9 @@ func Map(n *netlist.Netlist, opts Options) *Mapping {
 		}
 		if isLeaf(id) {
 			if info[id].cut == nil {
-				info[id].cut = []netlist.NetID{id}
+				s := ws.arena.Take(1)
+				s[0] = id
+				info[id].cut = s
 			}
 			return info[id].cut
 		}
@@ -138,8 +144,13 @@ func Map(n *netlist.Netlist, opts Options) *Mapping {
 			return
 		}
 		level[id] = maxIn + 1
-		m.LUTs = append(m.LUTs, LUT{Root: id, Inputs: cut, Level: level[id]})
+		if wantLUTs {
+			m.LUTs = append(m.LUTs, LUT{Root: id, Inputs: cut, Level: level[id]})
+		}
 		m.LUTInputSum += len(cut)
+		if level[id] > m.Levels {
+			m.Levels = level[id]
+		}
 	}
 
 	order, err := n.TopoOrder()
@@ -152,8 +163,8 @@ func Map(n *netlist.Netlist, opts Options) *Mapping {
 	// support of a cell is a k-way sorted merge. Two reusable scratch
 	// buffers avoid the per-cell map and sort this loop used to pay —
 	// it runs once per cell and dominates the mapping's cost.
-	cur := make([]netlist.NetID, 0, 16)
-	next := make([]netlist.NetID, 0, 16)
+	cur := ws.cur[:0]
+	next := ws.next[:0]
 	for _, ci := range order {
 		c := &n.Cells[ci]
 		cur = cur[:0]
@@ -187,11 +198,16 @@ func Map(n *netlist.Netlist, opts Options) *Mapping {
 			cur, next = next, cur
 		}
 		if len(cur) <= o.K {
-			info[c.Out].cut = append([]netlist.NetID(nil), cur...)
+			cut := ws.arena.Take(len(cur))
+			copy(cut, cur)
+			info[c.Out].cut = cut
 			continue
 		}
-		// Too wide: realize the inputs as LUT roots and cascade.
-		ins := make([]netlist.NetID, 0, len(c.Inputs()))
+		// Too wide: realize the inputs as LUT roots and cascade. Cells
+		// have at most three inputs, so a fixed array and insertion sort
+		// replace the sort.Slice this path used to allocate for.
+		var insArr [3]netlist.NetID
+		ins := insArr[:0]
 		for _, in := range c.Inputs() {
 			if in == n.Const0 || in == n.Const1 {
 				continue
@@ -199,15 +215,22 @@ func Map(n *netlist.Netlist, opts Options) *Mapping {
 			realize(in)
 			ins = append(ins, in)
 		}
-		sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
-		dedup := ins[:0]
-		for k, id := range ins {
-			if k == 0 || id != ins[k-1] {
-				dedup = append(dedup, id)
+		for i := 1; i < len(ins); i++ {
+			for j := i; j > 0 && ins[j] < ins[j-1]; j-- {
+				ins[j], ins[j-1] = ins[j-1], ins[j]
 			}
 		}
-		info[c.Out].cut = dedup
+		cut := ws.arena.Take(len(ins))
+		k := 0
+		for i, id := range ins {
+			if i == 0 || id != ins[i-1] {
+				cut[k] = id
+				k++
+			}
+		}
+		info[c.Out].cut = cut[:k]
 	}
+	ws.cur, ws.next = cur[:0], next[:0]
 
 	// Realize every endpoint.
 	for _, p := range n.Outputs {
@@ -239,12 +262,6 @@ func Map(n *netlist.Netlist, opts Options) *Mapping {
 			for _, b := range rp.Addr {
 				realize(b)
 			}
-		}
-	}
-
-	for _, l := range m.LUTs {
-		if l.Level > m.Levels {
-			m.Levels = l.Level
 		}
 	}
 

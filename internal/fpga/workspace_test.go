@@ -1,0 +1,47 @@
+package fpga_test
+
+import (
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/fpga"
+	"repro/internal/synth"
+)
+
+// TestMapWSMatchesMap pins the workspace fast path against the full
+// mapping over the whole corpus, reusing one workspace dirty across
+// components and K values the way a session pool worker does.
+func TestMapWSMatchesMap(t *testing.T) {
+	ws := &fpga.Workspace{}
+	for _, c := range designs.All() {
+		d, err := designs.Design(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Label(), err)
+		}
+		res, err := synth.Synthesize(d, c.Top, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Label(), err)
+		}
+		for _, k := range []int{0, 4} {
+			opts := fpga.Options{K: k}
+			full := fpga.Map(res.Optimized, opts)
+			if got := fpga.MapWS(res.Optimized, opts, nil); got.LUTInputSum != full.LUTInputSum {
+				t.Errorf("%s K=%d: nil-workspace MapWS LUTInputSum %d != %d",
+					c.Label(), k, got.LUTInputSum, full.LUTInputSum)
+			}
+			for run := 0; run < 2; run++ {
+				got := fpga.MapWS(res.Optimized, opts, ws)
+				if got.LUTs != nil {
+					t.Fatalf("%s K=%d: MapWS materialized %d LUTs", c.Label(), k, len(got.LUTs))
+				}
+				if got.LUTInputSum != full.LUTInputSum || got.Levels != full.Levels ||
+					got.FFs != full.FFs || got.FreqMHz != full.FreqMHz {
+					t.Errorf("%s K=%d run %d: MapWS (%d, %d, %d, %g) != Map (%d, %d, %d, %g)",
+						c.Label(), k, run,
+						got.LUTInputSum, got.Levels, got.FFs, got.FreqMHz,
+						full.LUTInputSum, full.Levels, full.FFs, full.FreqMHz)
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package hdl
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -18,7 +19,10 @@ func Format(m *Module) string {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			fmt.Fprintf(&b, "parameter %s = %s", p.Name, FormatExpr(p.Value))
+			b.WriteString("parameter ")
+			b.WriteString(p.Name)
+			b.WriteString(" = ")
+			appendExpr(&b, p.Value)
 		}
 		b.WriteString(")")
 	}
@@ -32,9 +36,10 @@ func Format(m *Module) string {
 			b.WriteString(" reg")
 		}
 		if p.Range != nil {
-			fmt.Fprintf(&b, " [%s:%s]", FormatExpr(p.Range.MSB), FormatExpr(p.Range.LSB))
+			appendRange(&b, p.Range)
 		}
-		b.WriteString(" " + p.Name)
+		b.WriteByte(' ')
+		b.WriteString(p.Name)
 	}
 	b.WriteString(");\n")
 	for _, it := range m.Items {
@@ -57,6 +62,14 @@ func indent(b *strings.Builder, n int) {
 	}
 }
 
+func appendRange(b *strings.Builder, r *Range) {
+	b.WriteString(" [")
+	appendExpr(b, r.MSB)
+	b.WriteByte(':')
+	appendExpr(b, r.LSB)
+	b.WriteByte(']')
+}
+
 func printItem(b *strings.Builder, it Item, depth int) {
 	indent(b, depth)
 	switch v := it.(type) {
@@ -65,19 +78,34 @@ func printItem(b *strings.Builder, it Item, depth int) {
 		if v.IsLocal {
 			kw = "localparam"
 		}
-		fmt.Fprintf(b, "%s %s = %s;\n", kw, v.Name, FormatExpr(v.Value))
+		b.WriteString(kw)
+		b.WriteByte(' ')
+		b.WriteString(v.Name)
+		b.WriteString(" = ")
+		appendExpr(b, v.Value)
+		b.WriteString(";\n")
 	case *NetDecl:
 		b.WriteString(v.Kind.String())
 		if v.Range != nil {
-			fmt.Fprintf(b, " [%s:%s]", FormatExpr(v.Range.MSB), FormatExpr(v.Range.LSB))
+			appendRange(b, v.Range)
 		}
-		b.WriteString(" " + strings.Join(v.Names, ", "))
+		b.WriteByte(' ')
+		for i, name := range v.Names {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(name)
+		}
 		if v.ArrayRange != nil {
-			fmt.Fprintf(b, " [%s:%s]", FormatExpr(v.ArrayRange.MSB), FormatExpr(v.ArrayRange.LSB))
+			appendRange(b, v.ArrayRange)
 		}
 		b.WriteString(";\n")
 	case *ContAssign:
-		fmt.Fprintf(b, "assign %s = %s;\n", FormatExpr(v.LHS), FormatExpr(v.RHS))
+		b.WriteString("assign ")
+		appendExpr(b, v.LHS)
+		b.WriteString(" = ")
+		appendExpr(b, v.RHS)
+		b.WriteString(";\n")
 	case *AlwaysBlock:
 		b.WriteString("always @(")
 		for i, s := range v.Sens {
@@ -104,19 +132,36 @@ func printItem(b *strings.Builder, it Item, depth int) {
 			printBindings(b, v.Params)
 			b.WriteString(")")
 		}
-		fmt.Fprintf(b, " %s (", v.Name)
+		b.WriteByte(' ')
+		b.WriteString(v.Name)
+		b.WriteString(" (")
 		printBindings(b, v.Ports)
 		b.WriteString(");\n")
 	case *GenFor:
-		fmt.Fprintf(b, "generate for (%s = %s; %s; %s = %s) begin%s\n",
-			v.Var, FormatExpr(v.Init), FormatExpr(v.Cond), v.Var, FormatExpr(v.Step), labelSuffix(v.Label))
+		b.WriteString("generate for (")
+		b.WriteString(v.Var)
+		b.WriteString(" = ")
+		appendExpr(b, v.Init)
+		b.WriteString("; ")
+		appendExpr(b, v.Cond)
+		b.WriteString("; ")
+		b.WriteString(v.Var)
+		b.WriteString(" = ")
+		appendExpr(b, v.Step)
+		b.WriteString(") begin")
+		b.WriteString(labelSuffix(v.Label))
+		b.WriteByte('\n')
 		for _, sub := range v.Body {
 			printItem(b, sub, depth+1)
 		}
 		indent(b, depth)
 		b.WriteString("end endgenerate\n")
 	case *GenIf:
-		fmt.Fprintf(b, "generate if (%s) begin%s\n", FormatExpr(v.Cond), labelSuffix(v.ThenLabel))
+		b.WriteString("generate if (")
+		appendExpr(b, v.Cond)
+		b.WriteString(") begin")
+		b.WriteString(labelSuffix(v.ThenLabel))
+		b.WriteByte('\n')
 		for _, sub := range v.Then {
 			printItem(b, sub, depth+1)
 		}
@@ -141,11 +186,13 @@ func printBindings(b *strings.Builder, bs []Binding) {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		if bind.Value == nil {
-			fmt.Fprintf(b, ".%s()", bind.Name)
-		} else {
-			fmt.Fprintf(b, ".%s(%s)", bind.Name, FormatExpr(bind.Value))
+		b.WriteByte('.')
+		b.WriteString(bind.Name)
+		b.WriteByte('(')
+		if bind.Value != nil {
+			appendExpr(b, bind.Value)
 		}
+		b.WriteByte(')')
 	}
 }
 
@@ -160,13 +207,18 @@ func printStmt(b *strings.Builder, s Stmt, depth int) {
 		indent(b, depth)
 		b.WriteString("end\n")
 	case *Assign:
-		op := "="
+		op := " = "
 		if !v.Blocking {
-			op = "<="
+			op = " <= "
 		}
-		fmt.Fprintf(b, "%s %s %s;\n", FormatExpr(v.LHS), op, FormatExpr(v.RHS))
+		appendExpr(b, v.LHS)
+		b.WriteString(op)
+		appendExpr(b, v.RHS)
+		b.WriteString(";\n")
 	case *If:
-		fmt.Fprintf(b, "if (%s)\n", FormatExpr(v.Cond))
+		b.WriteString("if (")
+		appendExpr(b, v.Cond)
+		b.WriteString(")\n")
 		printStmt(b, v.Then, depth+1)
 		if v.Else != nil {
 			indent(b, depth)
@@ -178,17 +230,22 @@ func printStmt(b *strings.Builder, s Stmt, depth int) {
 		if v.IsCasez {
 			kw = "casez"
 		}
-		fmt.Fprintf(b, "%s (%s)\n", kw, FormatExpr(v.Subject))
+		b.WriteString(kw)
+		b.WriteString(" (")
+		appendExpr(b, v.Subject)
+		b.WriteString(")\n")
 		for _, item := range v.Items {
 			indent(b, depth+1)
 			if item.Exprs == nil {
 				b.WriteString("default:\n")
 			} else {
-				labels := make([]string, len(item.Exprs))
 				for i, e := range item.Exprs {
-					labels[i] = FormatExpr(e)
+					if i > 0 {
+						b.WriteString(", ")
+					}
+					appendExpr(b, e)
 				}
-				fmt.Fprintf(b, "%s:\n", strings.Join(labels, ", "))
+				b.WriteString(":\n")
 			}
 			printStmt(b, item.Body, depth+2)
 		}
@@ -197,9 +254,17 @@ func printStmt(b *strings.Builder, s Stmt, depth int) {
 	case *For:
 		initA := v.Init.(*Assign)
 		stepA := v.Step.(*Assign)
-		fmt.Fprintf(b, "for (%s = %s; %s; %s = %s)\n",
-			FormatExpr(initA.LHS), FormatExpr(initA.RHS), FormatExpr(v.Cond),
-			FormatExpr(stepA.LHS), FormatExpr(stepA.RHS))
+		b.WriteString("for (")
+		appendExpr(b, initA.LHS)
+		b.WriteString(" = ")
+		appendExpr(b, initA.RHS)
+		b.WriteString("; ")
+		appendExpr(b, v.Cond)
+		b.WriteString("; ")
+		appendExpr(b, stepA.LHS)
+		b.WriteString(" = ")
+		appendExpr(b, stepA.RHS)
+		b.WriteString(")\n")
 		printStmt(b, v.Body, depth+1)
 	default:
 		fmt.Fprintf(b, "// unknown stmt %T\n", s)
@@ -223,47 +288,93 @@ var binaryOpText = map[BinaryOp]string{
 // FormatExpr renders an expression with full parenthesization (safe,
 // if verbose).
 func FormatExpr(e Expr) string {
+	if v, ok := e.(*Ident); ok {
+		return v.Name
+	}
+	var b strings.Builder
+	appendExpr(&b, e)
+	return b.String()
+}
+
+// appendExpr renders an expression directly into b. The printer routes
+// every expression through this instead of FormatExpr so formatting a
+// module (the source-metrics path runs it once per module) builds no
+// intermediate per-node strings.
+func appendExpr(b *strings.Builder, e Expr) {
 	switch v := e.(type) {
 	case *Ident:
-		return v.Name
+		b.WriteString(v.Name)
 	case *Number:
 		if v.CareMask != 0 {
-			digits := make([]byte, v.Width)
+			b.WriteString(strconv.Itoa(v.Width))
+			b.WriteString("'b")
 			for i := 0; i < v.Width; i++ {
 				bitPos := uint(v.Width - 1 - i)
 				switch {
 				case (v.CareMask>>bitPos)&1 == 0:
-					digits[i] = '?'
+					b.WriteByte('?')
 				case (v.Value>>bitPos)&1 == 1:
-					digits[i] = '1'
+					b.WriteByte('1')
 				default:
-					digits[i] = '0'
+					b.WriteByte('0')
 				}
 			}
-			return fmt.Sprintf("%d'b%s", v.Width, digits)
+			return
 		}
 		if v.Width > 0 {
-			return fmt.Sprintf("%d'd%d", v.Width, v.Value)
+			b.WriteString(strconv.Itoa(v.Width))
+			b.WriteString("'d")
 		}
-		return fmt.Sprintf("%d", v.Value)
+		b.WriteString(strconv.FormatUint(v.Value, 10))
 	case *Unary:
-		return fmt.Sprintf("(%s%s)", unaryOpText[v.Op], FormatExpr(v.X))
+		b.WriteByte('(')
+		b.WriteString(unaryOpText[v.Op])
+		appendExpr(b, v.X)
+		b.WriteByte(')')
 	case *Binary:
-		return fmt.Sprintf("(%s %s %s)", FormatExpr(v.L), binaryOpText[v.Op], FormatExpr(v.R))
+		b.WriteByte('(')
+		appendExpr(b, v.L)
+		b.WriteByte(' ')
+		b.WriteString(binaryOpText[v.Op])
+		b.WriteByte(' ')
+		appendExpr(b, v.R)
+		b.WriteByte(')')
 	case *Ternary:
-		return fmt.Sprintf("(%s ? %s : %s)", FormatExpr(v.Cond), FormatExpr(v.Then), FormatExpr(v.Else))
+		b.WriteByte('(')
+		appendExpr(b, v.Cond)
+		b.WriteString(" ? ")
+		appendExpr(b, v.Then)
+		b.WriteString(" : ")
+		appendExpr(b, v.Else)
+		b.WriteByte(')')
 	case *Index:
-		return fmt.Sprintf("%s[%s]", FormatExpr(v.Base), FormatExpr(v.Idx))
+		appendExpr(b, v.Base)
+		b.WriteByte('[')
+		appendExpr(b, v.Idx)
+		b.WriteByte(']')
 	case *PartSelect:
-		return fmt.Sprintf("%s[%s:%s]", FormatExpr(v.Base), FormatExpr(v.MSB), FormatExpr(v.LSB))
+		appendExpr(b, v.Base)
+		b.WriteByte('[')
+		appendExpr(b, v.MSB)
+		b.WriteByte(':')
+		appendExpr(b, v.LSB)
+		b.WriteByte(']')
 	case *Concat:
-		parts := make([]string, len(v.Parts))
+		b.WriteByte('{')
 		for i, p := range v.Parts {
-			parts[i] = FormatExpr(p)
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			appendExpr(b, p)
 		}
-		return "{" + strings.Join(parts, ", ") + "}"
+		b.WriteByte('}')
 	case *Repl:
-		return fmt.Sprintf("{%s{%s}}", FormatExpr(v.Count), FormatExpr(v.X))
+		b.WriteByte('{')
+		appendExpr(b, v.Count)
+		b.WriteByte('{')
+		appendExpr(b, v.X)
+		b.WriteString("}}")
+	default:
+		fmt.Fprintf(b, "/*?%T*/", e)
 	}
-	return fmt.Sprintf("/*?%T*/", e)
 }

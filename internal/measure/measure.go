@@ -170,7 +170,7 @@ func Module(design *hdl.Design, top string, overrides map[string]int64, opts Opt
 		if err != nil {
 			return nil, fmt.Errorf("measure: synthesize %s: %w", top, err)
 		}
-		return fromNetlist(res, mod, opts)
+		return fromNetlist(res, mod, opts, nil)
 	}
 	if opts.Cache == nil {
 		return compute()
@@ -186,25 +186,43 @@ func Module(design *hdl.Design, top string, overrides map[string]int64, opts Opt
 // already-synthesized result (used by accounting to avoid re-running
 // synthesis).
 func SynthMetricsOnly(res *synth.Result, opts Options) *Metrics {
-	m, err := fromNetlist(res, nil, opts)
+	return synthMetricsWS(res, opts, nil)
+}
+
+// synthMetricsWS is SynthMetricsOnly with optional reusable scratch:
+// under a workspace the cone, LUT, and power kernels run their
+// summary/arena variants, whose aggregates are pinned bit-identical to
+// the fresh kernels by their package tests and the session golden
+// tests.
+func synthMetricsWS(res *synth.Result, opts Options, ws *Workspace) *Metrics {
+	m, err := fromNetlist(res, nil, opts, ws)
 	if err != nil {
 		panic(err) // fromNetlist only errors on source measurement
 	}
 	return m
 }
 
-func fromNetlist(res *synth.Result, mod *hdl.Module, opts Options) (*Metrics, error) {
+func fromNetlist(res *synth.Result, mod *hdl.Module, opts Options, ws *Workspace) (*Metrics, error) {
 	lib := opts.library()
 	nl := res.Optimized
 	stats := nl.Stats()
-	coneAn := cones.Analyze(nl)
-	mapping := fpga.Map(nl, opts.FPGA)
-	pw := power.Analyze(nl, lib, mapping.FreqMHz)
+	var fanInExact int
+	var mapping *fpga.Mapping
+	var pw power.Estimate
+	if ws != nil {
+		fanInExact = cones.AnalyzeSummary(nl, &ws.cones).FanInLC
+		mapping = fpga.MapWS(nl, opts.FPGA, &ws.fpga)
+		pw = power.AnalyzeWS(nl, lib, mapping.FreqMHz, &ws.power)
+	} else {
+		fanInExact = cones.Analyze(nl).FanInLC
+		mapping = fpga.Map(nl, opts.FPGA)
+		pw = power.Analyze(nl, lib, mapping.FreqMHz)
+	}
 	areaL, areaS := lib.Areas(nl)
 
 	m := &Metrics{
 		FanInLC:      mapping.LUTInputSum,
-		FanInLCExact: coneAn.FanInLC,
+		FanInLCExact: fanInExact,
 		Nets:         stats.Nets,
 		Cells:        stats.Cells,
 		FFs:          stats.FFs,

@@ -8,6 +8,7 @@ import (
 	"repro/internal/elab"
 	"repro/internal/hdl"
 	"repro/internal/parallel"
+	"repro/internal/srcmetrics"
 	"repro/internal/synth"
 )
 
@@ -59,7 +60,8 @@ type Session struct {
 
 	mu        sync.Mutex
 	flights   map[string]*sigFlight
-	dedupMemo map[string]bool // module name → could produce duplicate siblings
+	dedupMemo map[string]bool              // module name → could produce duplicate siblings
+	srcMemo   map[string]srcmetrics.Counts // module name → software metrics
 	stats     SessionStats
 	elabStats elab.CacheStats // aggregated across component elaboration caches
 }
@@ -81,6 +83,7 @@ func NewSession(design *hdl.Design) *Session {
 		design:    design,
 		flights:   map[string]*sigFlight{},
 		dedupMemo: map[string]bool{},
+		srcMemo:   map[string]srcmetrics.Counts{},
 	}
 }
 
@@ -174,7 +177,11 @@ func (s *Session) MeasureAll(units []Unit, opts Options) ([]*ComponentResult, er
 	// unconditionally — so concurrent MeasureAll calls waiting on them
 	// cannot deadlock.
 	plans := make([]*plan, len(units))
-	parallel.ForEach(opts.Concurrency, len(tops), func(gi int) error {
+	// Each worker holds one scratch workspace from the process-wide
+	// pool for its whole run, so steady-state synthesis and metric
+	// extraction reuse buffers instead of reallocating per flight.
+	locals := parallel.NewLocal(opts.Concurrency, getWorkspace)
+	parallel.ForEachWorker(opts.Concurrency, len(tops), func(worker, gi int) error {
 		top := tops[gi]
 		ecache := elab.NewCache()
 		var owned []*plan
@@ -186,7 +193,7 @@ func (s *Session) MeasureAll(units []Unit, opts Options) ([]*ComponentResult, er
 			}
 		}
 		for _, p := range owned {
-			s.synthesizeFlight(p.owned, p.top, p.overrides, p.dedup, opts, ecache)
+			s.synthesizeFlight(p.owned, p.top, p.overrides, p.dedup, opts, ecache, locals.Get(worker))
 		}
 		// Every signature of this component this call can ever own is
 		// now resolved; later hits come from the flight table, not from
@@ -194,6 +201,9 @@ func (s *Session) MeasureAll(units []Unit, opts Options) ([]*ComponentResult, er
 		s.addElabStats(ecache.Stats())
 		return nil
 	})
+	for _, w := range locals.All() {
+		putWorkspace(w)
+	}
 
 	// Phase 2: aggregate per unit and persist through the disk cache.
 	results, err := parallel.Map(opts.Concurrency, len(units), func(i int) (*ComponentResult, error) {
@@ -392,16 +402,21 @@ func scanDedupItems(items []hdl.Item, inLoop bool, counts map[string]int, childr
 // already built — a unit measured at its defaults reuses the reference
 // tree whole), lower it, optimize, and extract the synthesis-derived
 // metrics. done is always closed, error or not.
-func (s *Session) synthesizeFlight(f *sigFlight, top string, overrides map[string]int64, dedup bool, opts Options, ecache *elab.Cache) {
+func (s *Session) synthesizeFlight(f *sigFlight, top string, overrides map[string]int64, dedup bool, opts Options, ecache *elab.Cache, ws *Workspace) {
 	defer close(f.done)
 	inst, report, err := elab.ElaborateOpts(s.design, top, overrides, elab.Options{Cache: ecache})
 	if err != nil {
 		f.err = err
 		return
 	}
+	var sws *synth.Workspace
+	if ws != nil {
+		sws = ws.synth
+	}
 	synres, err := synth.SynthesizeInstance(inst, report, synth.LowerOptions{
 		DedupInstances:   dedup,
 		DisableTemplates: opts.DisableTemplates,
+		Workspace:        sws,
 	})
 	if err != nil {
 		f.err = err
@@ -409,7 +424,7 @@ func (s *Session) synthesizeFlight(f *sigFlight, top string, overrides map[strin
 	}
 	mopts := opts
 	mopts.DedupInstances = dedup
-	f.metrics = SynthMetricsOnly(synres, mopts)
+	f.metrics = synthMetricsWS(synres, mopts, ws)
 	f.instCount = inst.CountInstances()
 	// The flight table outlives the call, so retain only the cacheable
 	// projection — the optimized netlist and the lowering counters, the
@@ -425,6 +440,29 @@ func (s *Session) synthesizeFlight(f *sigFlight, top string, overrides map[strin
 	slim.Optimized.TrimDerived()
 	slim.Optimized.TrimNames()
 	f.res = &slim
+}
+
+// sourceCounts memoizes one module's software metrics for the life of
+// the session. The counts are a pure function of the parsed design, and
+// every unit sums them over its transitive module set, so without the
+// memo a batch re-formats each shared library module's source once per
+// unit that includes it.
+func (s *Session) sourceCounts(name string) (srcmetrics.Counts, error) {
+	s.mu.Lock()
+	c, ok := s.srcMemo[name]
+	s.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	mod, err := s.design.Module(name)
+	if err != nil {
+		return srcmetrics.Counts{}, err
+	}
+	c = srcmetrics.MeasureModule(mod)
+	s.mu.Lock()
+	s.srcMemo[name] = c
+	s.mu.Unlock()
+	return c, nil
 }
 
 // assembleUnit builds one unit's result from its plan and the shared
@@ -459,7 +497,7 @@ func (s *Session) assembleUnit(u Unit, p *plan, opts Options) (*ComponentResult,
 	res.UniqueModules = modules
 	m := *f.metrics // copy: the entry is shared across units
 	for _, name := range modules {
-		src, err := SourceOnly(s.design, name)
+		src, err := s.sourceCounts(name)
 		if err != nil {
 			return nil, err
 		}

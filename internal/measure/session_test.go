@@ -154,6 +154,86 @@ func TestSessionMatchesPerComponentCorpus(t *testing.T) {
 	}
 }
 
+// TestConcurrentSessionsSharePoolOnly stresses the process-wide
+// workspace pool: several goroutines each run their own private
+// Sessions — nothing shared between them except the pool — with
+// 8 workers, and each goroutine churns through repeated
+// session-create/measure/discard cycles so workspaces are returned
+// (Reset) and re-taken across session and goroutine boundaries many
+// times. Every cycle must be bit-identical to a sequential reference;
+// combined with `go test -race` this pins that a recycled workspace
+// carries no state from its previous owner.
+func TestConcurrentSessionsSharePoolOnly(t *testing.T) {
+	src := map[string]string{"t.v": `
+module leaf #(parameter W = 4) (input [W-1:0] a, output [W-1:0] y);
+  assign y = ~a;
+endmodule
+module pair #(parameter W = 4) (input [W-1:0] a, b, output [W-1:0] y);
+  wire [W-1:0] t1, t2;
+  leaf #(.W(W)) u0 (.a(a), .y(t1));
+  leaf #(.W(W)) u1 (.a(b), .y(t2));
+  assign y = t1 & t2;
+endmodule
+module top #(parameter N = 6, parameter W = 4) (input [W-1:0] a, b, output [W-1:0] y);
+  wire [W-1:0] t;
+  pair #(.W(W)) u (.a(a), .b(b), .y(t));
+  genvar i;
+  generate for (i = 0; i < N; i = i + 1) begin : g
+    assign y[i%W] = t[i%W];
+  end endgenerate
+endmodule`}
+	d, err := hdl.ParseDesign(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := []measure.Unit{
+		{Top: "top", UseAccounting: true},
+		{Top: "top", UseAccounting: false},
+		{Top: "pair", UseAccounting: true},
+	}
+	ref := measure.NewSession(d)
+	want, err := ref.MeasureAll(units, measure.Options{Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 4
+	const cycles = 3
+	errCh := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := range goroutines {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cycle := range cycles {
+				sess := measure.NewSession(d)
+				got, err := sess.MeasureAll(units, measure.Options{Concurrency: 8})
+				if err != nil {
+					errCh <- fmt.Errorf("goroutine %d cycle %d: %w", g, cycle, err)
+					return
+				}
+				for i, u := range units {
+					if *got[i].Metrics != *want[i].Metrics {
+						errCh <- fmt.Errorf("goroutine %d cycle %d %s(acct=%t): metrics differ:\n got %+v\nwant %+v",
+							g, cycle, u.Top, u.UseAccounting, *got[i].Metrics, *want[i].Metrics)
+						return
+					}
+					if gh, wh := got[i].Synth.Optimized.Hash(), want[i].Synth.Optimized.Hash(); gh != wh {
+						errCh <- fmt.Errorf("goroutine %d cycle %d %s(acct=%t): netlist hash %s, want %s",
+							g, cycle, u.Top, u.UseAccounting, gh, wh)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
 // TestSessionConcurrentMeasureAll hammers one shared Session from 8
 // goroutines measuring the same batch — the configuration the race
 // detector checks in CI. Every goroutine must see results identical

@@ -386,25 +386,26 @@ func (n *Netlist) TopoOrder() ([]int, error) {
 }
 
 func (n *Netlist) topoOrderLocked() ([]int, error) {
-	drivers := n.driversLocked()
+	order, _, err := n.topoOrderInto(n.driversLocked(), make([]byte, len(n.Cells)), nil, nil)
+	return order, err
+}
+
+// topoOrderInto is the topological sort over caller-provided scratch:
+// state must be len(Cells) and zeroed, stack and order are appended to
+// from length zero (their capacity is reused). The returned stack lets
+// a workspace keep its grown capacity.
+func (n *Netlist) topoOrderInto(drivers []int, state []byte, stack []topoFrame, order []int) ([]int, []topoFrame, error) {
 	const (
 		white = 0
 		gray  = 1
 		black = 2
 	)
-	state := make([]byte, len(n.Cells))
-	var order []int
-
 	// Iterative DFS to avoid deep recursion on long gate chains.
-	type frame struct {
-		cell int
-		pin  int
-	}
 	for start := range n.Cells {
 		if n.Cells[start].Type.IsSequential() || state[start] != white {
 			continue
 		}
-		stack := []frame{{cell: start}}
+		stack = append(stack[:0], topoFrame{cell: start})
 		state[start] = gray
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
@@ -423,9 +424,9 @@ func (n *Netlist) topoOrderLocked() ([]int, error) {
 				switch state[d] {
 				case white:
 					state[d] = gray
-					stack = append(stack, frame{cell: d})
+					stack = append(stack, topoFrame{cell: d})
 				case gray:
-					return nil, fmt.Errorf("netlist: combinational cycle through cell %d (%s) and %d (%s)",
+					return nil, stack, fmt.Errorf("netlist: combinational cycle through cell %d (%s) and %d (%s)",
 						f.cell, cell.Type, d, n.Cells[d].Type)
 				}
 				continue
@@ -435,7 +436,7 @@ func (n *Netlist) topoOrderLocked() ([]int, error) {
 			stack = stack[:len(stack)-1]
 		}
 	}
-	return order, nil
+	return order, stack, nil
 }
 
 // Stats summarizes a netlist for reports and tests.

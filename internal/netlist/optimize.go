@@ -1,6 +1,10 @@
 package netlist
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/scratch"
+)
 
 // OptimizeResult reports what the optimization passes removed.
 type OptimizeResult struct {
@@ -41,14 +45,36 @@ type OptimizeResult struct {
 // are all preserved, which internal/netlist's golden tests pin against
 // a reference implementation of the old pass.
 func Optimize(n *Netlist) (*Netlist, OptimizeResult, error) {
+	return OptimizeWS(n, nil)
+}
+
+// OptimizeWS is Optimize with the pass's scratch (union-find, consumer
+// adjacency, hash table, worklist, liveness) drawn from a reusable
+// workspace. A nil workspace allocates fresh, which is exactly
+// Optimize; the returned netlist is freshly allocated either way and
+// never aliases workspace memory. The output is bit-identical for any
+// workspace, dirty or fresh — the property tests pin ws == nil-ws.
+func OptimizeWS(n *Netlist, ws *Workspace) (*Netlist, OptimizeResult, error) {
 	res := OptimizeResult{Converged: true}
-	order, err := n.TopoOrder()
+	var order []int
+	var err error
+	if ws == nil {
+		order, err = n.TopoOrder()
+	} else {
+		// The optimizer's input is typically discarded right after the
+		// pass, so its derived tables go into workspace scratch instead
+		// of being memoized into the netlist.
+		_, order, err = ws.topoInto(n)
+	}
 	if err != nil {
 		return nil, res, err
 	}
 	numNets := n.NumNets()
 	nc := len(n.Cells)
 	c0, c1 := n.Const0, n.Const1
+	if ws == nil {
+		ws = &Workspace{}
+	}
 
 	// Union-find over nets. A removed cell's output is unioned into its
 	// replacement net; the replacement is always a class root at union
@@ -58,8 +84,8 @@ func Optimize(n *Netlist) (*Netlist, OptimizeResult, error) {
 	// ring links the members of each class in a circular list so a
 	// later union can find every raw net whose consumers must be
 	// revisited.
-	parent := make([]NetID, numNets)
-	ring := make([]int32, numNets)
+	parent := scratch.Raw(&ws.oParent, numNets)
+	ring := scratch.Raw(&ws.oRing, numNets)
 	for i := range parent {
 		parent[i] = NetID(i)
 		ring[i] = int32(i)
@@ -81,7 +107,7 @@ func Optimize(n *Netlist) (*Netlist, OptimizeResult, error) {
 	// Consumer adjacency (CSR) over combinational cells, keyed by raw
 	// pin ids. Sequential cells are never re-examined (they do not fold)
 	// so they carry no edges.
-	start := make([]int32, numNets+1)
+	start := scratch.Zero(&ws.oStart, numNets+1)
 	for _, ci := range order {
 		c := &n.Cells[ci]
 		for _, in := range c.Inputs() {
@@ -93,8 +119,8 @@ func Optimize(n *Netlist) (*Netlist, OptimizeResult, error) {
 	for i := 0; i < numNets; i++ {
 		start[i+1] += start[i]
 	}
-	consumers := make([]int32, start[numNets])
-	fill := make([]int32, numNets)
+	consumers := scratch.Raw(&ws.oConsumers, int(start[numNets]))
+	fill := scratch.Zero(&ws.oFill, numNets)
 	for _, ci := range order {
 		c := &n.Cells[ci]
 		for _, in := range c.Inputs() {
@@ -114,9 +140,9 @@ func Optimize(n *Netlist) (*Netlist, OptimizeResult, error) {
 	for size < 2*len(order)+8 {
 		size <<= 1
 	}
-	keys := make([]hashKey, size)
-	kfull := make([]bool, size)
-	kout := make([]NetID, size)
+	keys := scratch.Zero(&ws.oKeys, size)
+	kfull := scratch.Zero(&ws.oKfull, size)
+	kout := scratch.Zero(&ws.oKout, size)
 	entries := 0
 	hashOf := func(k hashKey) uint32 {
 		h := uint64(k.t)
@@ -154,18 +180,19 @@ func Optimize(n *Netlist) (*Netlist, OptimizeResult, error) {
 			kfull[slot] = true
 			kout[slot] = oldOut[i]
 		}
+		ws.oKeys, ws.oKfull, ws.oKout = keys, kfull, kout
 	}
 
 	// Worklist, seeded with every combinational cell in topological
 	// order so the initial sweep reproduces the old pass exactly.
-	queue := make([]int32, len(order), len(order)+16)
-	inQueue := make([]bool, nc)
+	queue := scratch.Raw(&ws.oQueue, len(order))
+	inQueue := scratch.Zero(&ws.oInQueue, nc)
 	for i, ci := range order {
 		queue[i] = int32(ci)
 		inQueue[ci] = true
 	}
-	processed := make([]bool, nc)
-	removed := make([]bool, nc)
+	processed := scratch.Zero(&ws.oProcessed, nc)
+	removed := scratch.Zero(&ws.oRemoved, nc)
 
 	union := func(from, to NetID) {
 		rf, rt := find(from), find(to)
@@ -348,13 +375,14 @@ func Optimize(n *Netlist) (*Netlist, OptimizeResult, error) {
 	} else {
 		res.Iterations = 1
 	}
+	ws.oQueue = queue[:0] // capture worklist growth for reuse
 
 	// Dead-logic removal over the folded structure: cells are live only
 	// if they reach a primary output or a RAM pin (read-port outputs are
 	// RAM-driven and are not roots). A kept cell's output was never
 	// unioned into anything, so the driver table indexes by the raw
 	// output net.
-	driver := make([]int32, numNets)
+	driver := scratch.Raw(&ws.oDriver, numNets)
 	for i := range driver {
 		driver[i] = -1
 	}
@@ -363,9 +391,9 @@ func Optimize(n *Netlist) (*Netlist, OptimizeResult, error) {
 			driver[n.Cells[ci].Out] = int32(ci)
 		}
 	}
-	live := make([]bool, nc)
-	seenNet := make([]bool, numNets)
-	stack := make([]NetID, 0, 64)
+	live := scratch.Zero(&ws.oLive, nc)
+	seenNet := scratch.Zero(&ws.oSeenNet, numNets)
+	stack := ws.oStack[:0]
 	push := func(id NetID) {
 		if id == Nil {
 			return
@@ -410,6 +438,7 @@ func Optimize(n *Netlist) (*Netlist, OptimizeResult, error) {
 		}
 		push(c.Clk)
 	}
+	ws.oStack = stack[:0]
 
 	// Assemble the output in one pass: surviving cells in original
 	// order with inputs resolved through the union-find (outputs of

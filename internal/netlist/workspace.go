@@ -1,0 +1,104 @@
+package netlist
+
+import "repro/internal/scratch"
+
+// Workspace holds reusable scratch for the netlist kernels: the
+// builder's net/cell buffers and the optimizer's union-find, adjacency,
+// hash-table, worklist, and liveness arrays. A workspace is owned by
+// exactly one goroutine at a time (measurement sessions hand one to
+// each pool worker); every kernel that accepts one re-initializes the
+// slices it takes before use, so a workspace carries capacity between
+// runs, never values. Passing nil everywhere a *Workspace is accepted
+// selects the original fresh-allocation path — the reference the
+// golden tests pin reuse against.
+//
+// Everything a kernel returns (the built or optimized netlist) is
+// freshly allocated even under a workspace: only intermediate scratch
+// is reused, so results never alias workspace memory.
+type Workspace struct {
+	// Builder state (taken over by NewBuilderWS for one build).
+	bNames    []string
+	bParent   []NetID
+	bNamed    []bool
+	bCells    []Cell
+	bInputs   []PortBit
+	bOutputs  []PortBit
+	bRAMs     []*RAM
+	bAliasLog []AliasPair
+	bSeen     []int32
+	bRemap    []NetID
+	bNameOut  []string
+
+	// Optimizer state.
+	oParent    []NetID
+	oRing      []int32
+	oStart     []int32
+	oConsumers []int32
+	oFill      []int32
+	oKeys      []hashKey
+	oKfull     []bool
+	oKout      []NetID
+	oQueue     []int32
+	oInQueue   []bool
+	oProcessed []bool
+	oRemoved   []bool
+	oDriver    []int32
+	oLive      []bool
+	oSeenNet   []bool
+	oStack     []NetID
+
+	// Raw-netlist analysis scratch: the optimizer's input is discarded
+	// right after the pass, so its driver table and topological order
+	// are computed here instead of being memoized into the netlist.
+	tDrivers []int
+	tState   []byte
+	tOrder   []int
+	tStack   []topoFrame
+}
+
+// Reset drops references the workspace may hold into a previous run's
+// data (strings, RAM macros, port bits) while keeping every buffer's
+// capacity. The kernels re-initialize value scratch themselves, so
+// Reset is about not pinning old heap objects, not about correctness
+// of the next run — running a kernel on a dirty, un-Reset workspace
+// produces bit-identical results.
+func (w *Workspace) Reset() {
+	clearFull(w.bNames)
+	clearFull(w.bRAMs)
+	clearFull(w.bInputs)
+	clearFull(w.bOutputs)
+	clearFull(w.bNameOut)
+}
+
+// clearFull zeroes a slice over its whole capacity, so no element of a
+// previous, longer use survives as a live reference.
+func clearFull[T any](s []T) {
+	if cap(s) > 0 {
+		clear(s[:cap(s)])
+	}
+}
+
+// topoFrame is one iterative-DFS frame of the topological sort (shared
+// with the memoized TopoOrder path).
+type topoFrame struct {
+	cell int
+	pin  int
+}
+
+// topoInto computes the driver table and combinational topological
+// order of n into the workspace's scratch buffers, without touching
+// n's memoized derived tables. The returned slices are valid until the
+// workspace's next use.
+func (w *Workspace) topoInto(n *Netlist) (drivers []int, order []int, err error) {
+	drivers = scratch.Raw(&w.tDrivers, n.NumNets())
+	for i := range drivers {
+		drivers[i] = -1
+	}
+	for i := range n.Cells {
+		drivers[n.Cells[i].Out] = i
+	}
+	order, stack, err := n.topoOrderInto(drivers, scratch.Zero(&w.tState, len(n.Cells)), w.tStack[:0], w.tOrder[:0])
+	w.tOrder = order[:0]
+	w.tStack = stack[:0]
+	return drivers, order, err
+}

@@ -90,11 +90,20 @@ func (r *Result) ConfidenceInterval(eff, conf float64) (lo, hi float64) {
 //	Q(λ,w)  = Σ_i [ Σ_j r_ij² − λ/(1+n_i·λ)·(Σ_j r_ij)² ]
 //
 // and the ML σε² given (w, λ) is Q/n, which is substituted back in.
+//
+// The returned closure owns reusable weight and predictor-log scratch,
+// so repeated evaluations allocate nothing — and for the same reason it
+// is NOT safe for concurrent calls. Multi-start optimization hands each
+// pool worker its own closure via stats.MinimizeMultistartFunc; the
+// scratch never changes a computed value (every entry read is written
+// first on each evaluation), so results stay bit-identical to the
+// allocate-per-eval form.
 func (d *Data) profiledObjective(members [][]int, logEff []float64) func(theta []float64) float64 {
 	k := d.NumMetrics()
 	n := d.NumObs()
+	w := make([]float64, k)
+	logEta := make([]float64, n)
 	return func(theta []float64) float64 {
-		w := make([]float64, k)
 		for i := 0; i < k; i++ {
 			if theta[i] > 400 || theta[i] < -400 {
 				return math.Inf(1)
@@ -105,8 +114,7 @@ func (d *Data) profiledObjective(members [][]int, logEff []float64) func(theta [
 		if math.IsInf(lambda, 1) {
 			return math.Inf(1)
 		}
-		logEta, err := d.predictorLogs(w)
-		if err != nil {
+		if d.predictorLogsInto(logEta, w) != nil {
 			return math.Inf(1)
 		}
 		var q, logDetTerm float64
@@ -167,9 +175,11 @@ func FitOpts(d *Data, opts FitOptions) (*Result, error) {
 		logEff[i] = math.Log(e)
 	}
 
-	obj := d.profiledObjective(members, logEff)
+	// Each pool worker gets its own objective closure so the reusable
+	// scratch inside profiledObjective is never shared.
+	obj := func() func([]float64) float64 { return d.profiledObjective(members, logEff) }
 	starts := startingPoints(d, true)
-	best := stats.MinimizeMultistartP(obj, starts, stats.NelderMeadOptions{MaxIter: 40000, TolF: 1e-12, TolX: 1e-9}, opts.Concurrency)
+	best := stats.MinimizeMultistartFunc(obj, starts, stats.NelderMeadOptions{MaxIter: 40000, TolF: 1e-12, TolX: 1e-9}, opts.Concurrency)
 	if math.IsInf(best.F, 1) {
 		return nil, fmt.Errorf("nlme: optimization found no feasible point")
 	}
@@ -244,34 +254,38 @@ func FitFixedOpts(d *Data, opts FitOptions) (*Result, error) {
 	for i, e := range d.Efforts {
 		logEff[i] = math.Log(e)
 	}
-	obj := func(theta []float64) float64 {
+	// As in FitOpts, the objective factory gives each pool worker a
+	// closure owning its own scratch, so evaluations allocate nothing.
+	obj := func() func([]float64) float64 {
 		w := make([]float64, k)
-		for i := 0; i < k; i++ {
-			if theta[i] > 400 || theta[i] < -400 {
+		logEta := make([]float64, n)
+		return func(theta []float64) float64 {
+			for i := 0; i < k; i++ {
+				if theta[i] > 400 || theta[i] < -400 {
+					return math.Inf(1)
+				}
+				w[i] = math.Exp(theta[i])
+			}
+			if d.predictorLogsInto(logEta, w) != nil {
 				return math.Inf(1)
 			}
-			w[i] = math.Exp(theta[i])
+			var rss float64
+			for i := range logEff {
+				r := logEff[i] - logEta[i]
+				rss += r * r
+			}
+			if rss <= 0 {
+				// A perfect fit; return the limit (−∞ likelihood objective
+				// would be −Inf, i.e. unboundedly good — report a huge
+				// negative number to let the optimizer accept it).
+				return math.Inf(-1)
+			}
+			nn := float64(n)
+			return 0.5 * (nn*math.Log(2*math.Pi) + nn*math.Log(rss/nn) + nn)
 		}
-		logEta, err := d.predictorLogs(w)
-		if err != nil {
-			return math.Inf(1)
-		}
-		var rss float64
-		for i := range logEff {
-			r := logEff[i] - logEta[i]
-			rss += r * r
-		}
-		if rss <= 0 {
-			// A perfect fit; return the limit (−∞ likelihood objective
-			// would be −Inf, i.e. unboundedly good — report a huge
-			// negative number to let the optimizer accept it).
-			return math.Inf(-1)
-		}
-		nn := float64(n)
-		return 0.5 * (nn*math.Log(2*math.Pi) + nn*math.Log(rss/nn) + nn)
 	}
 	starts := startingPoints(d, false)
-	best := stats.MinimizeMultistartP(obj, starts, stats.NelderMeadOptions{MaxIter: 40000, TolF: 1e-12, TolX: 1e-9}, opts.Concurrency)
+	best := stats.MinimizeMultistartFunc(obj, starts, stats.NelderMeadOptions{MaxIter: 40000, TolF: 1e-12, TolX: 1e-9}, opts.Concurrency)
 	if math.IsInf(best.F, 1) {
 		return nil, fmt.Errorf("nlme: optimization found no feasible point")
 	}
@@ -314,10 +328,26 @@ func startingPoints(d *Data, mixed bool) [][]float64 {
 	k := d.NumMetrics()
 	n := d.NumObs()
 
+	// All seeds live in one backing array: fitting is called once per
+	// bootstrap/probe evaluation, so the dozen-plus small slices the
+	// naive construction allocates add up on the measurement hot path.
+	nb := 4
+	if k == 2 {
+		nb = 6
+	}
+	dim, per := k, 1
+	if mixed {
+		dim, per = k+1, 3
+	}
+	count := nb * per
+	backing := make([]float64, count*dim+nb*k)
+	baseArea := backing[count*dim:]
+	baseAt := func(i int) []float64 { return baseArea[i*k : (i+1)*k] }
+
 	// Heuristic 1: w_k = mean(effort) / (k · mean(metric_k)), the scale
 	// that makes each term contribute equally on average.
 	meanEff := stats.Mean(d.Efforts)
-	scaleSeed := make([]float64, k)
+	scaleSeed := baseAt(0)
 	for j := 0; j < k; j++ {
 		var s float64
 		cnt := 0
@@ -336,7 +366,8 @@ func startingPoints(d *Data, mixed bool) [][]float64 {
 
 	// Heuristic 2: non-negative OLS of effort on metrics (negative
 	// coefficients clipped to a tiny positive fraction of the scale seed).
-	olsSeed := append([]float64(nil), scaleSeed...)
+	olsSeed := baseAt(1)
+	copy(olsSeed, scaleSeed)
 	x := stats.NewMatrix(n, k)
 	for i := 0; i < n; i++ {
 		for j := 0; j < k; j++ {
@@ -353,35 +384,44 @@ func startingPoints(d *Data, mixed bool) [][]float64 {
 		}
 	}
 
-	bases := [][]float64{scaleSeed, olsSeed}
 	// Perturbed variants widen the basin coverage deterministically.
-	for _, delta := range []float64{-2, 2} {
-		v := append([]float64(nil), scaleSeed...)
+	for bi, delta := range []float64{-2, 2} {
+		v := baseAt(2 + bi)
+		copy(v, scaleSeed)
 		for j := range v {
 			v[j] += delta
 		}
-		bases = append(bases, v)
 	}
 	if k == 2 {
 		// Lopsided seeds matter for two-metric estimators like DEE1
 		// where one metric may dominate.
-		a := append([]float64(nil), scaleSeed...)
+		a := baseAt(4)
+		copy(a, scaleSeed)
 		a[0] += 3
 		a[1] -= 3
-		b := append([]float64(nil), scaleSeed...)
+		b := baseAt(5)
+		copy(b, scaleSeed)
 		b[0] -= 3
 		b[1] += 3
-		bases = append(bases, a, b)
 	}
 
+	starts := make([][]float64, count)
 	if !mixed {
-		return bases
+		for i := range starts {
+			row := backing[i*dim : (i+1)*dim]
+			copy(row, baseAt(i))
+			starts[i] = row
+		}
+		return starts
 	}
-	var starts [][]float64
-	for _, b := range bases {
-		for _, logLambda := range []float64{math.Log(0.25), math.Log(1), math.Log(4)} {
-			s := append(append([]float64(nil), b...), logLambda)
-			starts = append(starts, s)
+	logLambdas := [3]float64{math.Log(0.25), math.Log(1), math.Log(4)}
+	for bi := 0; bi < nb; bi++ {
+		for li, logLambda := range logLambdas {
+			i := bi*per + li
+			row := backing[i*dim : (i+1)*dim]
+			copy(row, baseAt(bi))
+			row[k] = logLambda
+			starts[i] = row
 		}
 	}
 	return starts

@@ -95,6 +95,64 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	return first
 }
 
+// ForEachWorker is ForEach with the stable worker id passed to fn:
+// worker is in [0, min(Workers(workers), n)) and identifies the
+// goroutine running the call, so two calls with the same worker id
+// never overlap. Callers use it to own per-worker mutable scratch
+// (arenas, reusable buffers) without locking. With workers == 1 every
+// call runs in the calling goroutine with worker id 0 — the exact
+// sequential path.
+func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		errIdx = -1
+		first  error
+		wg     sync.WaitGroup
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if failed.Load() {
+					continue
+				}
+				if err := fn(worker, i); err != nil {
+					mu.Lock()
+					if errIdx == -1 || i < errIdx {
+						errIdx, first = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	return first
+}
+
 // Map calls fn(0) … fn(n-1) on at most Workers(workers) concurrent
 // goroutines and returns the results in index order. On error the
 // partial results are discarded and the lowest-index error is returned
@@ -113,6 +171,63 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// MapWorker is Map with the stable worker id passed to fn (see
+// ForEachWorker).
+func MapWorker[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachWorker(workers, n, func(worker, i int) error {
+		v, err := fn(worker, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Local is a lazily-populated set of per-worker values for use with
+// ForEachWorker/MapWorker: Get(worker) returns the worker's value,
+// creating it on first use. It is not itself synchronized — the
+// per-worker exclusivity of the pool is what makes it safe — so a
+// Local must only be used from within one ForEachWorker/MapWorker call
+// at a time.
+type Local[T any] struct {
+	news func() T
+	vals []T
+	have []bool
+}
+
+// NewLocal returns a Local whose values are created by news, sized for
+// the effective worker count of a Concurrency knob.
+func NewLocal[T any](workers int, news func() T) *Local[T] {
+	w := Workers(workers)
+	return &Local[T]{news: news, vals: make([]T, w), have: make([]bool, w)}
+}
+
+// Get returns worker's value, creating it on first use.
+func (l *Local[T]) Get(worker int) T {
+	if !l.have[worker] {
+		l.vals[worker] = l.news()
+		l.have[worker] = true
+	}
+	return l.vals[worker]
+}
+
+// All returns the values created so far, in worker order.
+func (l *Local[T]) All() []T {
+	out := make([]T, 0, len(l.vals))
+	for i, ok := range l.have {
+		if ok {
+			out = append(out, l.vals[i])
+		}
+	}
+	return out
 }
 
 // Group runs a fixed set of heterogeneous tasks with the pool's error

@@ -14,6 +14,7 @@ package power
 
 import (
 	"repro/internal/netlist"
+	"repro/internal/scratch"
 	"repro/internal/stdcell"
 )
 
@@ -29,11 +30,28 @@ type Estimate struct {
 	FreqMHz float64
 }
 
+// Workspace holds the two per-net activity planes, reusable across
+// analyses. Owned by one goroutine at a time; nil selects fresh
+// scratch.
+type Workspace struct {
+	prob []float64
+	dens []float64
+}
+
 // Analyze propagates switching activity and returns the power
 // estimate at the given clock frequency.
 func Analyze(n *netlist.Netlist, lib *stdcell.Library, freqMHz float64) Estimate {
-	prob := make([]float64, n.NumNets())
-	dens := make([]float64, n.NumNets())
+	return AnalyzeWS(n, lib, freqMHz, nil)
+}
+
+// AnalyzeWS is Analyze with reusable scratch; results are bit-identical
+// for any ws.
+func AnalyzeWS(n *netlist.Netlist, lib *stdcell.Library, freqMHz float64, ws *Workspace) Estimate {
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	prob := scratch.Raw(&ws.prob, n.NumNets())
+	dens := scratch.Raw(&ws.dens, n.NumNets())
 
 	// Initial conditions: primary inputs and sequential outputs.
 	for i := range prob {

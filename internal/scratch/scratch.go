@@ -1,0 +1,71 @@
+// Package scratch holds the tiny allocation-reuse primitives shared by
+// every workspace in the measurement pipeline (netlist builder and
+// optimizer, synth lowering, cone extraction, FPGA mapping): length-n
+// views over persistent buffers and a chunked arena for many small
+// slices with a common lifetime. None of it is synchronized — a buffer
+// or arena belongs to exactly one goroutine at a time, which is the
+// workspace ownership model (see DESIGN.md).
+package scratch
+
+// Zero returns a zeroed slice of length n backed by *buf, growing the
+// buffer when its capacity is insufficient. Use for scratch the caller
+// reads before fully writing (the make([]T, n) replacement).
+func Zero[T any](buf *[]T, n int) []T {
+	s := *buf
+	if cap(s) < n {
+		s = make([]T, n)
+	} else {
+		s = s[:n]
+		clear(s)
+	}
+	*buf = s
+	return s
+}
+
+// Raw is Zero for buffers the caller fully initializes before reading:
+// it skips the clearing pass and may return stale values.
+func Raw[T any](buf *[]T, n int) []T {
+	s := *buf
+	if cap(s) < n {
+		s = make([]T, n)
+	} else {
+		s = s[:n]
+	}
+	*buf = s
+	return s
+}
+
+// Arena hands out small value slices carved from doubling chunks, so a
+// steady-state pass that takes the same total footprint as the last one
+// allocates nothing. Taken slices stay valid until Reset; they are
+// full-capacity-sliced, so an append by the holder copies out instead
+// of bleeding into a neighbour.
+type Arena[T any] struct {
+	chunk []T
+}
+
+// Take returns an n-element zeroed slice from the arena.
+func (a *Arena[T]) Take(n int) []T {
+	if len(a.chunk)+n > cap(a.chunk) {
+		sz := 2 * cap(a.chunk)
+		if sz < 1024 {
+			sz = 1024
+		}
+		if sz < n {
+			sz = n
+		}
+		a.chunk = make([]T, 0, sz)
+	}
+	off := len(a.chunk)
+	a.chunk = a.chunk[: off+n : cap(a.chunk)]
+	s := a.chunk[off : off+n : off+n]
+	clear(s)
+	return s
+}
+
+// Reset rewinds the arena, invalidating every slice it handed out. The
+// retained chunk is the largest one ever grown to, so the next cycle of
+// Takes is allocation-free once sizes stabilize.
+func (a *Arena[T]) Reset() {
+	a.chunk = a.chunk[:0]
+}

@@ -140,7 +140,7 @@ func (r *RTLSim) eval(inst *elab.Instance, env *elab.Env, st *execState, e hdl.E
 // readNet returns the current value of a net, honoring the block's
 // blocking-assignment shadow.
 func (r *RTLSim) readNet(inst *elab.Instance, st *execState, n *elab.Net) uint64 {
-	key := inst.Path + "." + n.Name
+	key := r.netKey(inst, n.Name)
 	if st != nil {
 		if v, ok := st.shadow[key]; ok {
 			return v & mask(n.Width)
@@ -241,7 +241,7 @@ func (r *RTLSim) evalAt(inst *elab.Instance, env *elab.Env, st *execState, e hdl
 			if err != nil {
 				return 0, err
 			}
-			words := r.mems[inst.Path+"."+mem.Name]
+			words := r.mems[r.netKey(inst, mem.Name)]
 			a := addr - uint64(mem.MinIdx)
 			if a >= uint64(len(words)) {
 				return 0, nil

@@ -18,9 +18,26 @@ type RTLSim struct {
 	vals map[string]uint64   // inst.Path + "." + netName → value
 	mems map[string][]uint64 // inst.Path + "." + memName → words
 
+	// keys interns the joined "inst.Path.name" strings for every net
+	// and memory, built once while walking the tree at construction.
+	// Evaluation reads nets far more often than anything else, so
+	// rebuilding the key by concatenation on every read used to be a
+	// per-cycle allocation hot spot.
+	keys map[*elab.Instance]map[string]string
+
 	pendMask map[string]uint64 // per-net pending nonblocking write mask
 	pendVal  map[string]uint64
 	pendMems []memUpdate
+}
+
+// netKey returns the interned map key for a net or memory of an
+// instance, falling back to concatenation for names outside the
+// elaborated tables (which only happens on error paths).
+func (r *RTLSim) netKey(inst *elab.Instance, name string) string {
+	if k, ok := r.keys[inst][name]; ok {
+		return k
+	}
+	return inst.Path + "." + name
 }
 
 type memUpdate struct {
@@ -35,22 +52,29 @@ func NewRTLSim(top *elab.Instance) (*RTLSim, error) {
 		top:      top,
 		vals:     map[string]uint64{},
 		mems:     map[string][]uint64{},
+		keys:     map[*elab.Instance]map[string]string{},
 		pendMask: map[string]uint64{},
 		pendVal:  map[string]uint64{},
 	}
 	var walk func(inst *elab.Instance) error
 	walk = func(inst *elab.Instance) error {
+		km := make(map[string]string, len(inst.Nets)+len(inst.Mems))
+		r.keys[inst] = km
 		for name, n := range inst.Nets {
 			if n.Width > 64 {
 				return fmt.Errorf("sim: net %s.%s is %d bits wide; the RTL interpreter supports at most 64", inst.Path, name, n.Width)
 			}
-			r.vals[inst.Path+"."+name] = 0
+			key := inst.Path + "." + name
+			km[name] = key
+			r.vals[key] = 0
 		}
 		for name, m := range inst.Mems {
 			if m.Width > 64 {
 				return fmt.Errorf("sim: memory %s.%s is %d bits wide; the RTL interpreter supports at most 64", inst.Path, name, m.Width)
 			}
-			r.mems[inst.Path+"."+name] = make([]uint64, m.Depth)
+			key := inst.Path + "." + name
+			km[name] = key
+			r.mems[key] = make([]uint64, m.Depth)
 		}
 		for _, c := range inst.Children {
 			if err := walk(c.Inst); err != nil {
@@ -78,7 +102,7 @@ func (r *RTLSim) SetInput(name string, val uint64) error {
 	if !ok || !n.IsPort || n.Dir != hdl.Input {
 		return fmt.Errorf("sim: no input port %q on %s", name, r.top.Module.Name)
 	}
-	r.vals[r.top.Path+"."+name] = val & mask(n.Width)
+	r.vals[r.netKey(r.top, name)] = val & mask(n.Width)
 	return nil
 }
 
@@ -88,7 +112,7 @@ func (r *RTLSim) Output(name string) (uint64, error) {
 	if !ok || !n.IsPort || n.Dir != hdl.Output {
 		return 0, fmt.Errorf("sim: no output port %q on %s", name, r.top.Module.Name)
 	}
-	return r.vals[r.top.Path+"."+name] & mask(n.Width), nil
+	return r.vals[r.netKey(r.top, name)] & mask(n.Width), nil
 }
 
 // Peek reads any net by hierarchical name ("top.u0.state").
@@ -186,7 +210,7 @@ func (r *RTLSim) sweep(inst *elab.Instance) (bool, error) {
 		}
 		for _, p := range c.Inst.Module.Ports {
 			pn := c.Inst.Nets[p.Name]
-			key := c.Inst.Path + "." + p.Name
+			key := r.netKey(c.Inst, p.Name)
 			b, ok := boundPorts[p.Name]
 			switch p.Dir {
 			case hdl.Input:
@@ -216,7 +240,7 @@ func (r *RTLSim) sweep(inst *elab.Instance) (bool, error) {
 				continue
 			}
 			pn := c.Inst.Nets[p.Name]
-			v := r.vals[c.Inst.Path+"."+p.Name] & mask(pn.Width)
+			v := r.vals[r.netKey(c.Inst, p.Name)] & mask(pn.Width)
 			slots, err := r.lvalueSlots(inst, c.Env, b.Value, nil)
 			if err != nil {
 				return false, fmt.Errorf("sim: %s: output port %s: %w", c.Pos, p.Name, err)
@@ -427,7 +451,7 @@ func (r *RTLSim) execAssign(inst *elab.Instance, env *elab.Env, st *execState, v
 					return err
 				}
 				st.pendMems = append(st.pendMems, memUpdate{
-					key:  inst.Path + "." + m.Name,
+					key:  r.netKey(inst, m.Name),
 					addr: addr - uint64(m.MinIdx),
 					val:  data & mask(m.Width),
 				})
@@ -507,7 +531,7 @@ func (r *RTLSim) lvalueSlots(inst *elab.Instance, env *elab.Env, e hdl.Expr, st 
 		for i := range bits {
 			bits[i] = i
 		}
-		return slotSet{parts: []slotPart{{key: inst.Path + "." + n.Name, declWidth: n.Width, bits: bits}}, width: n.Width}, nil
+		return slotSet{parts: []slotPart{{key: r.netKey(inst, n.Name), declWidth: n.Width, bits: bits}}, width: n.Width}, nil
 	case *hdl.Index:
 		base, ok := v.Base.(*hdl.Ident)
 		if !ok {
@@ -527,7 +551,7 @@ func (r *RTLSim) lvalueSlots(inst *elab.Instance, env *elab.Env, e hdl.Expr, st 
 			// writes X; we have no X).
 			return slotSet{parts: nil, width: 1}, nil
 		}
-		return slotSet{parts: []slotPart{{key: inst.Path + "." + n.Name, declWidth: n.Width, bits: []int{int(bit)}}}, width: 1}, nil
+		return slotSet{parts: []slotPart{{key: r.netKey(inst, n.Name), declWidth: n.Width, bits: []int{int(bit)}}}, width: 1}, nil
 	case *hdl.PartSelect:
 		base, ok := v.Base.(*hdl.Ident)
 		if !ok {
@@ -553,7 +577,7 @@ func (r *RTLSim) lvalueSlots(inst *elab.Instance, env *elab.Env, e hdl.Expr, st 
 		for i := lo; i <= hi; i++ {
 			bits = append(bits, int(i))
 		}
-		return slotSet{parts: []slotPart{{key: inst.Path + "." + n.Name, declWidth: n.Width, bits: bits}}, width: len(bits)}, nil
+		return slotSet{parts: []slotPart{{key: r.netKey(inst, n.Name), declWidth: n.Width, bits: bits}}, width: len(bits)}, nil
 	case *hdl.Concat:
 		var out slotSet
 		for i := len(v.Parts) - 1; i >= 0; i-- {

@@ -227,6 +227,20 @@ func MinimizeMultistart(f func([]float64) float64, starts [][]float64, opt Nelde
 // by the lowest start index — exactly the sequential selection rule —
 // so the returned optimum is bit-identical to the sequential path.
 func MinimizeMultistartP(f func([]float64) float64, starts [][]float64, opt NelderMeadOptions, workers int) MinimizeResult {
+	return MinimizeMultistartFunc(func() func([]float64) float64 { return f }, starts, opt, workers)
+}
+
+// MinimizeMultistartFunc is MinimizeMultistartP with a per-worker
+// objective factory: newF is called at most once per pool worker, and
+// the returned objective serves every restart that worker runs. An
+// objective may therefore own mutable scratch buffers (reused across
+// evaluations) without any synchronization — the pool guarantees calls
+// with the same worker id never overlap. The reduction is the same
+// deterministic lowest-value / lowest-start-index rule as
+// MinimizeMultistartP, and because each restart is an independent
+// Minimize, results are bit-identical for every worker count provided
+// the factory's objectives are pure functions of their argument.
+func MinimizeMultistartFunc(newF func() func([]float64) float64, starts [][]float64, opt NelderMeadOptions, workers int) MinimizeResult {
 	if len(starts) == 0 {
 		panic("stats: MinimizeMultistart: no starting points")
 	}
@@ -235,8 +249,9 @@ func MinimizeMultistartP(f func([]float64) float64, starts [][]float64, opt Neld
 			panic(fmt.Sprintf("stats: MinimizeMultistart: start %d has dimension %d, want %d", i, len(s), len(starts[0])))
 		}
 	}
-	results, _ := parallel.Map(workers, len(starts), func(i int) (MinimizeResult, error) {
-		return Minimize(f, starts[i], opt), nil
+	objs := parallel.NewLocal(workers, newF)
+	results, _ := parallel.MapWorker(workers, len(starts), func(worker, i int) (MinimizeResult, error) {
+		return Minimize(objs.Get(worker), starts[i], opt), nil
 	})
 	best := MinimizeResult{F: math.Inf(1)}
 	totalEvals := 0

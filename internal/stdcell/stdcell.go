@@ -52,7 +52,19 @@ type Library struct {
 // Ratios follow typical 180 nm vendor data: an inverter is the unit
 // cell; NAND/NOR are ~1.3×, AND/OR ~1.7× (extra output inverter),
 // XOR/XNOR ~2.5×, MUX ~2.3×, DFF ~6×, latch ~3.5×.
+//
+// The returned library is a shared read-only instance (callers never
+// mutate libraries; anyone needing a variant builds their own): the
+// default is resolved once per synthesis call on the measurement hot
+// path, so constructing the cell table fresh each time was a measurable
+// allocation cost.
 func Default180nm() *Library {
+	return default180
+}
+
+var default180 = newDefault180nm()
+
+func newDefault180nm() *Library {
 	return &Library{
 		Name: "generic180",
 		Cells: map[netlist.CellType]Params{

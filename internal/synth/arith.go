@@ -6,7 +6,7 @@ import "repro/internal/netlist"
 // sum bits (width = len(a)) and the carry out. a and b must be the
 // same width.
 func (s *synthesizer) addVec(a, b []netlist.NetID, cin netlist.NetID) ([]netlist.NetID, netlist.NetID) {
-	sum := make([]netlist.NetID, len(a))
+	sum := s.idSlice(len(a))
 	c := cin
 	for i := range a {
 		axb := s.b.Xor(a[i], b[i])
@@ -18,7 +18,7 @@ func (s *synthesizer) addVec(a, b []netlist.NetID, cin netlist.NetID) ([]netlist
 
 // subVec builds a - b as a + ~b + 1, truncated to len(a).
 func (s *synthesizer) subVec(a, b []netlist.NetID) []netlist.NetID {
-	nb := make([]netlist.NetID, len(b))
+	nb := s.idSlice(len(b))
 	for i := range b {
 		nb[i] = s.b.Not(b[i])
 	}
@@ -28,7 +28,7 @@ func (s *synthesizer) subVec(a, b []netlist.NetID) []netlist.NetID {
 
 // negVec builds two's-complement negation.
 func (s *synthesizer) negVec(a []netlist.NetID) []netlist.NetID {
-	zero := make([]netlist.NetID, len(a))
+	zero := s.idSlice(len(a))
 	for i := range zero {
 		zero[i] = s.b.Const0()
 	}
@@ -48,13 +48,13 @@ func (s *synthesizer) subConst(a []netlist.NetID, k int64) []netlist.NetID {
 // for each set bit j of b, add (a << j).
 func (s *synthesizer) mulVec(a, b []netlist.NetID) []netlist.NetID {
 	w := len(a)
-	acc := make([]netlist.NetID, w)
+	acc := s.idSlice(w)
 	for i := range acc {
 		acc[i] = s.b.Const0()
 	}
 	for j := 0; j < w && j < len(b); j++ {
 		// Partial product: (a << j) AND-gated by b[j].
-		pp := make([]netlist.NetID, w)
+		pp := s.idSlice(w)
 		for i := 0; i < w; i++ {
 			if i < j {
 				pp[i] = s.b.Const0()
@@ -69,7 +69,7 @@ func (s *synthesizer) mulVec(a, b []netlist.NetID) []netlist.NetID {
 
 // eqVec builds the equality bit of two equal-width vectors.
 func (s *synthesizer) eqVec(a, b []netlist.NetID) netlist.NetID {
-	bits := make([]netlist.NetID, len(a))
+	bits := s.idSlice(len(a))
 	for i := range a {
 		bits[i] = s.b.Xnor(a[i], b[i])
 	}
@@ -78,7 +78,7 @@ func (s *synthesizer) eqVec(a, b []netlist.NetID) netlist.NetID {
 
 // ltVec builds the unsigned a < b bit: the borrow out of a - b.
 func (s *synthesizer) ltVec(a, b []netlist.NetID) netlist.NetID {
-	nb := make([]netlist.NetID, len(b))
+	nb := s.idSlice(len(b))
 	for i := range b {
 		nb[i] = s.b.Not(b[i])
 	}
@@ -89,7 +89,7 @@ func (s *synthesizer) ltVec(a, b []netlist.NetID) netlist.NetID {
 // shlConst shifts left by a constant, filling with zeros.
 func (s *synthesizer) shlConst(a []netlist.NetID, k int) []netlist.NetID {
 	w := len(a)
-	out := make([]netlist.NetID, w)
+	out := s.idSlice(w)
 	for i := 0; i < w; i++ {
 		if i < k {
 			out[i] = s.b.Const0()
@@ -103,7 +103,7 @@ func (s *synthesizer) shlConst(a []netlist.NetID, k int) []netlist.NetID {
 // shrConst shifts right by a constant, filling with zeros.
 func (s *synthesizer) shrConst(a []netlist.NetID, k int) []netlist.NetID {
 	w := len(a)
-	out := make([]netlist.NetID, w)
+	out := s.idSlice(w)
 	for i := 0; i < w; i++ {
 		if i+k < w {
 			out[i] = a[i+k]
@@ -135,7 +135,7 @@ func (s *synthesizer) shiftVar(a []netlist.NetID, amt []netlist.NetID, left bool
 		} else {
 			shifted = s.shrConst(cur, 1<<uint(i))
 		}
-		next := make([]netlist.NetID, w)
+		next := s.idSlice(w)
 		for j := 0; j < w; j++ {
 			next[j] = s.b.Mux(amt[i], cur[j], shifted[j])
 		}
@@ -144,7 +144,7 @@ func (s *synthesizer) shiftVar(a []netlist.NetID, amt []netlist.NetID, left bool
 	// If any higher amount bit is set, the result is zero.
 	if len(amt) > stages {
 		high := s.reduceOr(amt[stages:])
-		out := make([]netlist.NetID, w)
+		out := s.idSlice(w)
 		for j := 0; j < w; j++ {
 			out[j] = s.b.Mux(high, cur[j], s.b.Const0())
 		}
@@ -155,7 +155,11 @@ func (s *synthesizer) shiftVar(a []netlist.NetID, amt []netlist.NetID, left bool
 
 // muxTreeSelect picks bits[idx] with a binary mux tree.
 func (s *synthesizer) muxTreeSelect(bitsIn []netlist.NetID, idx []netlist.NetID) netlist.NetID {
-	level := append([]netlist.NetID(nil), bitsIn...)
+	if len(bitsIn) == 0 {
+		return s.b.Const0()
+	}
+	level := s.idSlice(len(bitsIn))
+	copy(level, bitsIn)
 	for i := 0; len(level) > 1; i++ {
 		var sel netlist.NetID
 		if i < len(idx) {
@@ -163,19 +167,17 @@ func (s *synthesizer) muxTreeSelect(bitsIn []netlist.NetID, idx []netlist.NetID)
 		} else {
 			sel = s.b.Const0()
 		}
-		next := make([]netlist.NetID, 0, (len(level)+1)/2)
+		k := 0
 		for j := 0; j < len(level); j += 2 {
 			if j+1 < len(level) {
-				next = append(next, s.b.Mux(sel, level[j], level[j+1]))
+				level[k] = s.b.Mux(sel, level[j], level[j+1])
 			} else {
 				// Odd tail: selecting past the end yields 0.
-				next = append(next, s.b.Mux(sel, level[j], s.b.Const0()))
+				level[k] = s.b.Mux(sel, level[j], s.b.Const0())
 			}
+			k++
 		}
-		level = next
-	}
-	if len(level) == 0 {
-		return s.b.Const0()
+		level = level[:k]
 	}
 	return level[0]
 }
@@ -196,20 +198,27 @@ func (s *synthesizer) reduceXor(bits []netlist.NetID) netlist.NetID {
 }
 
 func (s *synthesizer) reduceTree(bits []netlist.NetID, f func(a, b netlist.NetID) netlist.NetID, empty netlist.NetID) netlist.NetID {
-	if len(bits) == 0 {
+	switch len(bits) {
+	case 0:
 		return empty
+	case 1:
+		return bits[0]
 	}
-	level := append([]netlist.NetID(nil), bits...)
+	// Reduce in place over one copy: the write index trails the read
+	// index, so each level overwrites the slots it has already consumed.
+	level := s.idSlice(len(bits))
+	copy(level, bits)
 	for len(level) > 1 {
-		next := make([]netlist.NetID, 0, (len(level)+1)/2)
+		k := 0
 		for j := 0; j < len(level); j += 2 {
 			if j+1 < len(level) {
-				next = append(next, f(level[j], level[j+1]))
+				level[k] = f(level[j], level[j+1])
 			} else {
-				next = append(next, level[j])
+				level[k] = level[j]
 			}
+			k++
 		}
-		level = next
+		level = level[:k]
 	}
 	return level[0]
 }

@@ -187,7 +187,7 @@ func (s *synthesizer) exprAt(inst *elab.Instance, env *elab.Env, st *procState, 
 		if err != nil {
 			return nil, err
 		}
-		out := make([]netlist.NetID, w)
+		out := s.idSlice(w)
 		for i := 0; i < w; i++ {
 			out[i] = s.b.Mux(c, f[i], t[i])
 		}
@@ -295,19 +295,25 @@ func (s *synthesizer) indexRead(inst *elab.Instance, env *elab.Env, st *procStat
 			addr = s.subConst(addr, m.MinIdx)
 		}
 		rb := s.ramFor(inst.Path, m)
-		out := make([]netlist.NetID, m.Width)
-		buf := make([]byte, 0, len(inst.Path)+len(m.Name)+12)
-		buf = append(buf, inst.Path...)
-		buf = append(buf, '.')
-		buf = append(buf, m.Name...)
-		buf = append(buf, ".rd"...)
-		buf = strconv.AppendInt(buf, int64(len(rb.reads)), 10)
-		stem := len(buf)
-		for i := range out {
-			buf = append(buf[:stem], '[')
-			buf = strconv.AppendInt(buf, int64(i), 10)
-			buf = append(buf, ']')
-			out[i] = s.b.NewNet(string(buf))
+		out := s.idSlice(m.Width)
+		if s.b.NoNames() {
+			for i := range out {
+				out[i] = s.b.NewNetPref("", true)
+			}
+		} else {
+			buf := make([]byte, 0, len(inst.Path)+len(m.Name)+12)
+			buf = append(buf, inst.Path...)
+			buf = append(buf, '.')
+			buf = append(buf, m.Name...)
+			buf = append(buf, ".rd"...)
+			buf = strconv.AppendInt(buf, int64(len(rb.reads)), 10)
+			stem := len(buf)
+			for i := range out {
+				buf = append(buf[:stem], '[')
+				buf = strconv.AppendInt(buf, int64(i), 10)
+				buf = append(buf, ']')
+				out[i] = s.b.NewNet(string(buf))
+			}
 		}
 		rb.reads = append(rb.reads, netlist.RAMReadPort{Addr: addr, Out: out})
 		return out, nil
@@ -371,7 +377,7 @@ func (s *synthesizer) extend(bits []netlist.NetID, w int) []netlist.NetID {
 	if len(bits) > w {
 		return bits[:w]
 	}
-	out := make([]netlist.NetID, w)
+	out := s.idSlice(w)
 	copy(out, bits)
 	for i := len(bits); i < w; i++ {
 		out[i] = s.b.Const0()
@@ -386,7 +392,7 @@ func (s *synthesizer) unary(inst *elab.Instance, env *elab.Env, st *procState, v
 		if err != nil {
 			return nil, err
 		}
-		out := make([]netlist.NetID, w)
+		out := s.idSlice(w)
 		for i := range out {
 			out[i] = s.b.Not(x[i])
 		}
@@ -443,7 +449,7 @@ func (s *synthesizer) binary(inst *elab.Instance, env *elab.Env, st *procState, 
 		if err != nil {
 			return nil, err
 		}
-		out := make([]netlist.NetID, w)
+		out := s.idSlice(w)
 		for i := 0; i < w; i++ {
 			out[i] = f(l[i], r[i])
 		}
@@ -535,7 +541,7 @@ func (s *synthesizer) binary(inst *elab.Instance, env *elab.Env, st *procState, 
 		if v.Op == hdl.OpDiv {
 			return s.shrConst(l, sh), nil
 		}
-		out := make([]netlist.NetID, w)
+		out := s.idSlice(w)
 		for i := 0; i < w; i++ {
 			if i < sh {
 				out[i] = l[i]

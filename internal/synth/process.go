@@ -55,14 +55,14 @@ func (st *procState) readVals(name string) ([]netlist.NetID, bool) {
 
 // clone copies the branch-sensitive parts of the state. Memory writes
 // and memOf stay shared (they carry their own enable conditions).
-func (st *procState) clone() *procState {
+func (st *procState) clone(s *synthesizer) *procState {
 	c := &procState{
 		inst:    st.inst,
 		clocked: st.clocked,
-		vals:    cloneBitsMap(st.vals),
-		condB:   cloneBitsMap(st.condB),
-		nb:      cloneBitsMap(st.nb),
-		condNB:  cloneBitsMap(st.condNB),
+		vals:    s.cloneBitsMap(st.vals),
+		condB:   s.cloneBitsMap(st.condB),
+		nb:      s.cloneBitsMap(st.nb),
+		condNB:  s.cloneBitsMap(st.condNB),
 		intvars: map[string]int64{},
 		memc:    st.memc, // shared: sites carry their own enables
 	}
@@ -72,10 +72,15 @@ func (st *procState) clone() *procState {
 	return c
 }
 
-func cloneBitsMap(m map[string][]netlist.NetID) map[string][]netlist.NetID {
+// cloneBitsMap copies a signal→bits table; the value slices come from
+// the workspace arena when one is attached (branch clones are the hot
+// consumer — every if/case arm in a clocked process makes four).
+func (s *synthesizer) cloneBitsMap(m map[string][]netlist.NetID) map[string][]netlist.NetID {
 	out := make(map[string][]netlist.NetID, len(m))
 	for k, v := range m {
-		out[k] = append([]netlist.NetID(nil), v...)
+		c := s.idSlice(len(v))
+		copy(c, v)
+		out[k] = c
 	}
 	return out
 }
@@ -91,20 +96,20 @@ func (s *synthesizer) mergeStates(st, thenSt, elseSt *procState, cond netlist.Ne
 			cT, cE := condT[name], condE[name]
 			if !okT {
 				bT = declared
-				cT = make([]netlist.NetID, len(declared))
+				cT = s.idSlice(len(declared))
 				for i := range cT {
 					cT[i] = s.b.Const0()
 				}
 			}
 			if !okE {
 				bE = declared
-				cE = make([]netlist.NetID, len(declared))
+				cE = s.idSlice(len(declared))
 				for i := range cE {
 					cE[i] = s.b.Const0()
 				}
 			}
-			mergedV := make([]netlist.NetID, len(declared))
-			mergedC := make([]netlist.NetID, len(declared))
+			mergedV := s.idSlice(len(declared))
+			mergedC := s.idSlice(len(declared))
 			for i := range declared {
 				mergedV[i] = s.b.Mux(cond, bE[i], bT[i])
 				mergedC[i] = s.b.Mux(cond, cE[i], cT[i])
@@ -280,11 +285,11 @@ func (s *synthesizer) execStmt(inst *elab.Instance, env *elab.Env, st *procState
 		if err != nil {
 			return err
 		}
-		thenSt := st.clone()
+		thenSt := st.clone(s)
 		if err := s.execStmt(inst, env, thenSt, v.Then, s.b.And(path, c)); err != nil {
 			return err
 		}
-		elseSt := st.clone()
+		elseSt := st.clone(s)
 		if v.Else != nil {
 			if err := s.execStmt(inst, env, elseSt, v.Else, s.b.And(path, s.b.Not(c))); err != nil {
 				return err
@@ -364,11 +369,11 @@ func (s *synthesizer) execCase(inst *elab.Instance, env *elab.Env, st *procState
 			}
 			match = s.b.Or(match, s.eqVec(subj, lb))
 		}
-		thenSt := st.clone()
+		thenSt := st.clone(s)
 		if err := s.execStmt(inst, env, thenSt, item.Body, s.b.And(path, match)); err != nil {
 			return err
 		}
-		elseSt := st.clone()
+		elseSt := st.clone(s)
 		if err := exec(elseSt, idx+1, s.b.And(path, s.b.Not(match))); err != nil {
 			return err
 		}
@@ -510,11 +515,13 @@ func (s *synthesizer) procTargets(inst *elab.Instance, env *elab.Env, st *procSt
 		if !ok {
 			return procTargets{}, fmt.Errorf("assignment to undeclared signal %q", v.Name)
 		}
-		bits := make([]int, n.Width)
+		bits := s.intSlice(n.Width)
 		for i := range bits {
 			bits[i] = i
 		}
-		return procTargets{parts: []procTarget{{name: n.Name, bits: bits}}}, nil
+		t := s.tgtSlice(1)
+		t[0] = procTarget{name: n.Name, bits: bits}
+		return procTargets{parts: t}, nil
 
 	case *hdl.Index:
 		base, ok := v.Base.(*hdl.Ident)
@@ -530,7 +537,11 @@ func (s *synthesizer) procTargets(inst *elab.Instance, env *elab.Env, st *procSt
 			if bit < 0 || bit >= int64(n.Width) {
 				return procTargets{}, fmt.Errorf("bit index %d out of range for %q", idx, base.Name)
 			}
-			return procTargets{parts: []procTarget{{name: n.Name, bits: []int{int(bit)}}}}, nil
+			bits := s.intSlice(1)
+			bits[0] = int(bit)
+			t := s.tgtSlice(1)
+			t[0] = procTarget{name: n.Name, bits: bits}
+			return procTargets{parts: t}, nil
 		}
 		// Variable index: write every bit, each gated by idx == position.
 		iw, err := s.naturalWidth(inst, env, st, v.Idx)
@@ -541,13 +552,15 @@ func (s *synthesizer) procTargets(inst *elab.Instance, env *elab.Env, st *procSt
 		if err != nil {
 			return procTargets{}, err
 		}
-		bits := make([]int, n.Width)
-		conds := make([]netlist.NetID, n.Width)
+		bits := s.intSlice(n.Width)
+		conds := s.idSlice(n.Width)
 		for i := 0; i < n.Width; i++ {
 			bits[i] = i
 			conds[i] = s.eqVec(idxBits, s.constBits(int64(i)+n.LSB, iw))
 		}
-		return procTargets{parts: []procTarget{{name: n.Name, bits: bits, bitConds: conds, shared: true}}}, nil
+		t := s.tgtSlice(1)
+		t[0] = procTarget{name: n.Name, bits: bits, bitConds: conds, shared: true}
+		return procTargets{parts: t}, nil
 
 	case *hdl.PartSelect:
 		base, ok := v.Base.(*hdl.Ident)
@@ -570,11 +583,13 @@ func (s *synthesizer) procTargets(inst *elab.Instance, env *elab.Env, st *procSt
 		if lo > hi || lo < 0 || hi >= int64(n.Width) {
 			return procTargets{}, fmt.Errorf("part select [%d:%d] out of range for %q", msb, lsb, base.Name)
 		}
-		bits := make([]int, 0, hi-lo+1)
-		for i := lo; i <= hi; i++ {
-			bits = append(bits, int(i))
+		bits := s.intSlice(int(hi - lo + 1))
+		for i := range bits {
+			bits[i] = int(lo) + i
 		}
-		return procTargets{parts: []procTarget{{name: n.Name, bits: bits}}}, nil
+		t := s.tgtSlice(1)
+		t[0] = procTarget{name: n.Name, bits: bits}
+		return procTargets{parts: t}, nil
 
 	case *hdl.Concat:
 		var parts []procTarget
@@ -600,8 +615,10 @@ func (s *synthesizer) writeBitCond(inst *elab.Instance, st *procState, name stri
 	}
 	if _, ok := vals[name]; !ok {
 		declared := s.netBits(inst, name)
-		vals[name] = append([]netlist.NetID(nil), declared...)
-		zero := make([]netlist.NetID, len(declared))
+		cp := s.idSlice(len(declared))
+		copy(cp, declared)
+		vals[name] = cp
+		zero := s.idSlice(len(declared))
 		for i := range zero {
 			zero[i] = s.b.Const0()
 		}

@@ -53,7 +53,11 @@ func SynthesizeInstance(inst *elab.Instance, report *elab.Report, opts LowerOpti
 	if err != nil {
 		return nil, err
 	}
-	opt, stats, err := netlist.Optimize(raw)
+	var nws *netlist.Workspace
+	if opts.Workspace != nil {
+		nws = &opts.Workspace.NL
+	}
+	opt, stats, err := netlist.OptimizeWS(raw, nws)
 	if err != nil {
 		return nil, err
 	}
@@ -80,6 +84,13 @@ type LowerOptions struct {
 	// switch exists for the golden tests that prove it and for
 	// debugging.
 	DisableTemplates bool
+	// Workspace, when non-nil, supplies reusable scratch for the whole
+	// lowering+optimization run and switches lowering to nameless mode:
+	// per-net debug names are never built (ports, RAM macros, and
+	// everything Netlist.Hash covers keep their real names). The result
+	// is bit-identical to a fresh named lowering followed by TrimNames.
+	// The workspace must not be used concurrently.
+	Workspace *Workspace
 }
 
 // LowerStats reports what the lowering did beyond the netlist itself.
@@ -102,20 +113,34 @@ func Lower(top *elab.Instance) (*netlist.Netlist, error) {
 // from templates.
 func LowerOpts(top *elab.Instance, opts LowerOptions) (*netlist.Netlist, LowerStats, error) {
 	s := &synthesizer{
-		b:      netlist.NewBuilder(),
-		sigs:   map[*elab.Instance]map[string][]netlist.NetID{},
-		rams:   map[ramKey]*ramBuild{},
-		tmpl:   map[string]*template{},
 		dedup:  opts.DedupInstances,
 		noTmpl: opts.DisableTemplates,
 	}
-	// Allocate and register top-level ports.
+	if ws := opts.Workspace; ws != nil {
+		ws.Reset()
+		s.ws = ws
+		s.b = netlist.NewBuilderWS(&ws.NL, true)
+		s.sigs, s.rams, s.tmpl = ws.sigs, ws.rams, ws.tmpl
+	} else {
+		s.b = netlist.NewBuilder()
+		s.sigs = map[sigRef][]netlist.NetID{}
+		s.rams = map[ramKey]*ramBuild{}
+		s.tmpl = map[string]*template{}
+	}
+	// Allocate and register top-level ports. Port-bit names are part of
+	// the hashed netlist identity, so they are built in nameless mode
+	// too (hand-rolled: fmt.Sprintf here was a top allocation site).
+	var buf []byte
 	for _, p := range top.PortNets() {
 		bits := s.netBits(top, p.Name)
 		for i, nid := range bits {
 			bitName := p.Name
 			if p.Width > 1 {
-				bitName = fmt.Sprintf("%s[%d]", p.Name, int64(i)+p.LSB)
+				buf = append(buf[:0], p.Name...)
+				buf = append(buf, '[')
+				buf = strconv.AppendInt(buf, int64(i)+p.LSB, 10)
+				buf = append(buf, ']')
+				bitName = s.internName(buf)
 			}
 			switch p.Dir {
 			case hdl.Input:
@@ -163,7 +188,8 @@ type ramWrite struct {
 
 type synthesizer struct {
 	b       *netlist.Builder
-	sigs    map[*elab.Instance]map[string][]netlist.NetID
+	ws      *Workspace
+	sigs    map[sigRef][]netlist.NetID
 	rams    map[ramKey]*ramBuild
 	tmpl    map[string]*template
 	dedup   bool
@@ -172,36 +198,80 @@ type synthesizer struct {
 	stamped int
 }
 
+// internName returns buf's contents as a string, served from the
+// workspace's intern table when one is attached (the map lookup on a
+// []byte key does not allocate; only a never-before-seen name does).
+func (s *synthesizer) internName(buf []byte) string {
+	if s.ws == nil {
+		return string(buf)
+	}
+	if n, ok := s.ws.names[string(buf)]; ok {
+		return n
+	}
+	n := string(buf)
+	s.ws.names[n] = n
+	return n
+}
+
+// idSlice returns an n-element NetID slice — arena-carved under a
+// workspace, freshly allocated otherwise.
+func (s *synthesizer) idSlice(n int) []netlist.NetID {
+	if s.ws != nil {
+		return s.ws.ids(n)
+	}
+	return make([]netlist.NetID, n)
+}
+
+// intSlice and tgtSlice are idSlice's analogues for procedural-LHS
+// resolution scratch (bit position lists and target parts).
+func (s *synthesizer) intSlice(n int) []int {
+	if s.ws != nil {
+		return s.ws.ints.Take(n)
+	}
+	return make([]int, n)
+}
+
+func (s *synthesizer) tgtSlice(n int) []procTarget {
+	if s.ws != nil {
+		return s.ws.tgts.Take(n)
+	}
+	return make([]procTarget, n)
+}
+
 // netBits returns (allocating on first use) the bit nets of a declared
 // net, LSB first.
 func (s *synthesizer) netBits(inst *elab.Instance, name string) []netlist.NetID {
-	tbl, ok := s.sigs[inst]
-	if !ok {
-		tbl = map[string][]netlist.NetID{}
-		s.sigs[inst] = tbl
-	}
-	if bits, ok := tbl[name]; ok {
+	k := sigRef{inst: inst, name: name}
+	if bits, ok := s.sigs[k]; ok {
 		return bits
 	}
 	n := inst.Nets[name]
 	if n == nil {
 		panic(fmt.Sprintf("synth: internal: unknown net %s in %s", name, inst.Path))
 	}
-	// Hand-rolled name formatting: this runs once per bit of every
-	// signal in the design and fmt.Sprintf dominated lowering time.
-	bits := make([]netlist.NetID, n.Width)
-	buf := make([]byte, 0, len(inst.Path)+len(name)+8)
-	buf = append(buf, inst.Path...)
-	buf = append(buf, '.')
-	buf = append(buf, name...)
-	stem := len(buf)
-	for i := range bits {
-		buf = append(buf[:stem], '[')
-		buf = strconv.AppendInt(buf, int64(i)+n.LSB, 10)
-		buf = append(buf, ']')
-		bits[i] = s.b.NewNet(string(buf))
+	bits := s.idSlice(n.Width)
+	if s.b.NoNames() {
+		// Nameless mode skips debug-name formatting entirely but keeps
+		// the named preference bit that steers alias representatives.
+		for i := range bits {
+			bits[i] = s.b.NewNetPref("", true)
+		}
+	} else {
+		// Hand-rolled name formatting: this runs once per bit of every
+		// signal in the design and fmt.Sprintf dominated lowering time.
+		buf := make([]byte, 0, len(inst.Path)+len(name)+8)
+		buf = append(buf, inst.Path...)
+		buf = append(buf, '.')
+		buf = append(buf, name...)
+		stem := len(buf)
+		for i := range bits {
+			buf = append(buf[:stem], '[')
+			buf = strconv.AppendInt(buf, int64(i)+n.LSB, 10)
+			buf = append(buf, ']')
+			bits[i] = s.b.NewNet(string(buf))
+		}
 	}
-	tbl[name] = bits
+	s.sigs[k] = bits
 	return bits
 }
 
@@ -487,9 +557,17 @@ func (s *synthesizer) finalizeRAMs() error {
 	// (instance path, memory name) order so the netlist's RAM order —
 	// and with it every order-sensitive float accumulation downstream
 	// (areas, leakage, dynamic power) — is identical on every run.
-	keys := make([]ramKey, 0, len(s.rams))
+	var keys []ramKey
+	if s.ws != nil {
+		keys = s.ws.ramKeys[:0]
+	} else {
+		keys = make([]ramKey, 0, len(s.rams))
+	}
 	for k := range s.rams {
 		keys = append(keys, k)
+	}
+	if s.ws != nil {
+		s.ws.ramKeys = keys
 	}
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].path != keys[j].path {
@@ -527,7 +605,7 @@ func (s *synthesizer) finalizeRAMs() error {
 // constBits returns the bit nets of a constant value at the given
 // width (LSB first).
 func (s *synthesizer) constBits(v int64, width int) []netlist.NetID {
-	out := make([]netlist.NetID, width)
+	out := s.idSlice(width)
 	for i := 0; i < width; i++ {
 		out[i] = s.b.ConstBit((uint64(v)>>uint(i))&1 == 1)
 	}

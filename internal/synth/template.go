@@ -55,7 +55,9 @@ import (
 // order. -1 passes Nil through.
 type template struct {
 	numPort   int
-	bodyNames []string // debug names for stamped body nets (shared)
+	numBody   int
+	bodyNames []string // debug names for stamped body nets (nil in nameless mode)
+	bodyNamed []bool   // named-preference flag of each body net
 	cells     []netlist.Cell
 	aliases   [][2]int32
 	rams      []tmplRAM
@@ -192,12 +194,19 @@ func (s *synthesizer) endRecord(f recFrame, key string, valid bool) {
 
 	t := &template{
 		numPort:      numPort,
-		bodyNames:    make([]string, n1-n0),
+		numBody:      n1 - n0,
+		bodyNamed:    make([]bool, n1-n0),
 		dedupedDelta: s.deduped - f.startDedup,
 		stampedDelta: s.stamped - f.startStamp,
 	}
-	for i := range t.bodyNames {
-		t.bodyNames[i] = s.b.NetNameAt(netlist.NetID(n0 + i))
+	for i := range t.bodyNamed {
+		t.bodyNamed[i] = s.b.NetNamedAt(netlist.NetID(n0 + i))
+	}
+	if !s.b.NoNames() {
+		t.bodyNames = make([]string, t.numBody)
+		for i := range t.bodyNames {
+			t.bodyNames[i] = s.b.NetNameAt(netlist.NetID(n0 + i))
+		}
 	}
 	rawCells := s.b.CellsFrom(f.startCell)
 	t.cells = make([]netlist.Cell, len(rawCells))
@@ -243,7 +252,7 @@ func (s *synthesizer) endRecord(f recFrame, key string, valid bool) {
 // instance (names are cosmetic and excluded from Netlist.Hash).
 func (s *synthesizer) stampChild(child *elab.Child, t *template) error {
 	inst := child.Inst
-	m := make([]netlist.NetID, 2+t.numPort+len(t.bodyNames))
+	m := s.idSlice(2 + t.numPort + t.numBody)
 	m[0], m[1] = s.b.Const0(), s.b.Const1()
 	i := 2
 	for _, port := range inst.Module.Ports {
@@ -255,8 +264,12 @@ func (s *synthesizer) stampChild(child *elab.Child, t *template) error {
 	if i != 2+t.numPort {
 		return fmt.Errorf("synth: stamping %s: port bit count %d does not match template %d", inst.Path, i-2, t.numPort)
 	}
-	for _, name := range t.bodyNames {
-		m[i] = s.b.NewNet(name)
+	for i2 := 0; i2 < t.numBody; i2++ {
+		name := ""
+		if t.bodyNames != nil {
+			name = t.bodyNames[i2]
+		}
+		m[i] = s.b.NewNetPref(name, t.bodyNamed[i2])
 		i++
 	}
 	get := func(c netlist.NetID) netlist.NetID {
@@ -272,7 +285,7 @@ func (s *synthesizer) stampChild(child *elab.Child, t *template) error {
 		return m[c]
 	}
 	getIDs := func(cs []int32) []netlist.NetID {
-		out := make([]netlist.NetID, len(cs))
+		out := s.idSlice(len(cs))
 		for j, c := range cs {
 			out[j] = get32(c)
 		}

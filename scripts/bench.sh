@@ -18,7 +18,11 @@
 # shows the typical run. Custom metrics (sigma_eps,
 # speedup_vs_sequential, ...) are deterministic outputs, so the value
 # from the first run is recorded as-is. -benchmem adds allocation
-# figures, recorded as "bytes/op" and "allocs/op".
+# figures, recorded as "bytes/op" and "allocs/op" — these take the
+# MINIMUM across the runs, same convention as ns/op: the repetitions
+# share one process, so the first run pays the one-time warm-up of the
+# process-wide workspace pool (DESIGN.md §12) and later runs measure
+# the steady state, which is the trajectory the JSON tracks.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -52,18 +56,21 @@ BEGIN {
 	if (!(name in runs)) {
 		order[nnames++] = name
 		runs[name] = 0
-		extras[name] = ""
 		iters[name] = $2
 	}
 	runs[name]++
 	samples[name, runs[name]] = $3 + 0
 	if ($2 + 0 > iters[name] + 0) iters[name] = $2
-	if (extras[name] == "") {
-		for (i = 5; i + 1 <= NF; i += 2) {
-			unit = $(i + 1)
-			gsub(/"/, "", unit)
-			if (unit == "B/op") unit = "bytes/op"
-			extras[name] = extras[name] sprintf(", \"%s\": %s", unit, $i)
+	for (i = 5; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/"/, "", unit)
+		if (unit == "B/op") unit = "bytes/op"
+		if (!((name, unit) in eval)) {
+			nunits[name]++
+			units[name, nunits[name]] = unit
+			eval[name, unit] = $i + 0
+		} else if ((unit == "bytes/op" || unit == "allocs/op") && $i + 0 < eval[name, unit]) {
+			eval[name, unit] = $i + 0
 		}
 	}
 }
@@ -83,9 +90,14 @@ END {
 		min = v[1]
 		if (n % 2) median = v[(n + 1) / 2]
 		else median = (v[n / 2] + v[n / 2 + 1]) / 2
+		ex = ""
+		for (u = 1; u <= nunits[name]; u++) {
+			unit = units[name, u]
+			ex = ex sprintf(", \"%s\": %s", unit, eval[name, unit])
+		}
 		if (k) printf ","
 		printf "\n    {\"name\": \"%s\", \"iters\": %s, \"runs\": %d, \"ns/op\": %s, \"ns/op_median\": %s%s}", \
-			name, iters[name], n, min, median, extras[name]
+			name, iters[name], n, min, median, ex
 	}
 	printf "\n  ]\n}\n"
 }

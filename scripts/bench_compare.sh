@@ -7,9 +7,17 @@
 #   TOLERANCE=25 scripts/bench_compare.sh old.json new.json
 #
 # Exits non-zero if any benchmark present in both files regressed by
-# more than TOLERANCE percent (default 10) in ns/op, or if any
-# speedup_vs_sequential metric dropped. Benchmarks present in only one file are reported but do not
-# fail the comparison. Speedup gates are skipped when either file
+# more than TOLERANCE percent (default 10) in ns/op, by more than
+# ALLOC_TOLERANCE percent (default TOLERANCE) in allocs/op or
+# bytes/op, or if any speedup_vs_sequential metric dropped. Allocation
+# gates carry an absolute noise floor (ALLOC_FLOOR allocs, default 512;
+# BYTES_FLOOR bytes, default 65536): a regression only counts when the
+# delta also exceeds the floor, because small benchmarks jitter by a
+# handful of allocations (sync.Pool refills, map growth landing on a
+# different iteration) that a pure ratio gate would flag spuriously.
+# Unlike ns/op, allocation counts are load-independent, so their gate
+# stays strict even on noisy shared runners. Benchmarks present in only
+# one file are reported but do not fail the comparison. Speedup gates are skipped when either file
 # recorded gomaxprocs 1: a single-core runner cannot show parallel
 # speedup (it measures pure scheduling overhead, ~0.95x), so gating on
 # it would trip spuriously. Sub-10µs benchmarks are reported but never
@@ -24,6 +32,9 @@ fi
 old="$1"
 new="$2"
 tolerance="${TOLERANCE:-10}"
+alloc_tolerance="${ALLOC_TOLERANCE:-$tolerance}"
+alloc_floor="${ALLOC_FLOOR:-512}"
+bytes_floor="${BYTES_FLOOR:-65536}"
 [ -r "$old" ] || { echo "bench_compare: cannot read $old" >&2; exit 2; }
 [ -r "$new" ] || { echo "bench_compare: cannot read $new" >&2; exit 2; }
 
@@ -32,7 +43,7 @@ tolerance="${TOLERANCE:-10}"
 extract() {
 	awk '
 	/"name":/ {
-		name = ""; ns = ""; sp = ""; gmp = "-"
+		name = ""; ns = ""; sp = ""; gmp = "-"; al = "-"; by = "-"
 		if (match($0, /"name": "[^"]*"/)) {
 			name = substr($0, RSTART + 9, RLENGTH - 10)
 		}
@@ -45,7 +56,13 @@ extract() {
 		if (match($0, /"gomaxprocs": [0-9.eE+-]+/)) {
 			gmp = substr($0, RSTART + 14, RLENGTH - 14)
 		}
-		if (name != "" && ns != "") printf "%s %s %s %s\n", name, ns, (sp == "" ? "-" : sp), gmp
+		if (match($0, /"allocs\/op": [0-9.eE+-]+/)) {
+			al = substr($0, RSTART + 13, RLENGTH - 13)
+		}
+		if (match($0, /"bytes\/op": [0-9.eE+-]+/)) {
+			by = substr($0, RSTART + 12, RLENGTH - 12)
+		}
+		if (name != "" && ns != "") printf "%s %s %s %s %s %s\n", name, ns, (sp == "" ? "-" : sp), gmp, al, by
 	}
 	' "$1"
 }
@@ -56,8 +73,20 @@ trap 'rm -f "$tmp_old" "$tmp_new"' EXIT
 extract "$old" > "$tmp_old"
 extract "$new" > "$tmp_new"
 
-awk -v oldfile="$old" -v newfile="$new" -v tol="$tolerance" '
-NR == FNR { ns[$1] = $2; sp[$1] = $3; gmp[$1] = $4; next }
+awk -v oldfile="$old" -v newfile="$new" -v tol="$tolerance" \
+	-v atol="$alloc_tolerance" -v afloor="$alloc_floor" -v bfloor="$bytes_floor" '
+# allocgate prints and gates one allocation-family metric (allocs/op or
+# bytes/op): a regression needs both the ratio above the tolerance AND
+# an absolute delta above the noise floor.
+function allocgate(name, o, n, unit, floor,    ratio, flag) {
+	ratio = (o > 0) ? n / o : 1
+	flag = "ok"
+	if (ratio > 1 + atol / 100 && n - o > floor) { flag = "REGRESSION"; bad++ }
+	else if (ratio > 1 + atol / 100) flag = "noisy"
+	else if (ratio < 1 - atol / 100 && o - n > floor) flag = "improved"
+	printf "  %-9s %-50s %12.0f -> %12.0f %s (%+.1f%%)\n", flag, name, o, n, unit, (ratio - 1) * 100
+}
+NR == FNR { ns[$1] = $2; sp[$1] = $3; gmp[$1] = $4; al[$1] = $5; by[$1] = $6; next }
 {
 	name = $1
 	if (!(name in ns)) {
@@ -74,6 +103,8 @@ NR == FNR { ns[$1] = $2; sp[$1] = $3; gmp[$1] = $4; next }
 	}
 	else if (ratio < 0.90) flag = "improved"
 	printf "  %-9s %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n", flag, name, o, n, (ratio - 1) * 100
+	if (al[name] != "-" && $5 != "-") allocgate(name, al[name] + 0, $5 + 0, "allocs/op", afloor + 0)
+	if (by[name] != "-" && $6 != "-") allocgate(name, by[name] + 0, $6 + 0, "bytes/op", bfloor + 0)
 	if (sp[name] != "-" && $3 != "-") {
 		if ((gmp[name] != "-" && gmp[name] + 0 == 1) || ($4 != "-" && $4 + 0 == 1)) {
 			printf "  skipped   %-50s speedup_vs_sequential gate (gomaxprocs 1)\n", name

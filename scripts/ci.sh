@@ -19,10 +19,19 @@
 # For deliberate A/B measurements, run bench.sh twice on a quiet
 # machine with a higher BENCHCOUNT and compare at the strict default.
 #
+# A GOGC smoke stage runs cold Figure 6 once with the default GOGC and
+# once with GOGC=off and prints both times: the gap is the GC's share
+# of the cold path, the number the worker-workspace arenas (DESIGN.md
+# §12) exist to keep small. It is informational — on a shared runner
+# the two single-shot times are too noisy to gate on — but a gap that
+# suddenly grows to 2× in CI output is the early warning that an
+# allocation regression slipped past the count-based gates.
+#
 # Usage:
 #   scripts/ci.sh                      # tier-1 + fuzz smoke + cover + bench gate
 #   SKIP_BENCH=1 scripts/ci.sh         # skip the bench baseline diff
 #   SKIP_FUZZ=1 scripts/ci.sh          # skip the fuzz smoke stage
+#   SKIP_GOGC=1 scripts/ci.sh          # skip the GOGC sensitivity smoke
 #   FUZZTIME=30s scripts/ci.sh         # longer fuzz smoke (default 10s)
 #   BENCHCOUNT=10 scripts/ci.sh        # more bench repetitions (default 5)
 #   BENCH_TOLERANCE=10 scripts/ci.sh   # stricter regression gate
@@ -59,6 +68,28 @@ else
 	cat "$cover_out"
 	rm -f "$cover_out"
 	exit 1
+fi
+
+if [ "${SKIP_GOGC:-0}" != "1" ]; then
+	# GC-sensitivity smoke: cold Figure 6 with and without the
+	# collector. Single shot each (-benchtime 1x -count 1); extract
+	# ns/op and the alloc columns from the benchmark line.
+	echo "== GOGC sensitivity smoke (cold Figure 6) =="
+	gogc_line() {
+		GOGC="$1" go test -run '^$' -bench '^BenchmarkFigure6$' -benchtime 1x -benchmem . |
+			awk '/^BenchmarkFigure6/ {
+				ns = $3; allocs = "?"; bytes = "?"
+				for (i = 5; i + 1 <= NF; i += 2) {
+					if ($(i + 1) == "B/op") bytes = $i
+					if ($(i + 1) == "allocs/op") allocs = $i
+				}
+				printf "%.1f ms/op, %s allocs/op, %s B/op", ns / 1e6, allocs, bytes
+			}'
+	}
+	def="$(gogc_line "")"
+	off="$(gogc_line off)"
+	echo "  GOGC=default  $def"
+	echo "  GOGC=off      $off"
 fi
 
 if [ "${SKIP_BENCH:-0}" = "1" ]; then
