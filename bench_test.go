@@ -10,6 +10,8 @@
 package repro
 
 import (
+	"bytes"
+	"encoding/gob"
 	"math"
 	"runtime"
 	"testing"
@@ -17,6 +19,7 @@ import (
 
 	"repro/internal/accounting"
 	"repro/internal/cache"
+	"repro/internal/codec"
 	"repro/internal/cones"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -571,6 +574,118 @@ func BenchmarkMinimizeParamsCorpus(b *testing.B) {
 			}
 		}
 	}
+}
+
+// benchNetlist synthesizes the representative netlist the cache codec
+// benchmarks serialize (IVM-Memory: large, RAM-bearing, so both the
+// cell tables and the macro encoding are exercised).
+func benchNetlist(b *testing.B) *netlist.Netlist {
+	b.Helper()
+	c, err := designs.ByLabel("IVM-Memory")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := designs.Design(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := synth.Synthesize(d, c.Top, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Optimized
+}
+
+// BenchmarkCacheEncode compares serializing one representative cached
+// netlist with the binary codec (raw and flate-compressed entries)
+// against the gob encoding the cache used through schema 2. Entry sizes
+// are reported so the bench run doubles as a size-regression check.
+func BenchmarkCacheEncode(b *testing.B) {
+	nl := benchNetlist(b)
+	key := cache.Key("bench-encode")
+	b.Run("codec-raw", func(b *testing.B) {
+		b.ReportAllocs()
+		var payload, entry []byte
+		for i := 0; i < b.N; i++ {
+			payload = codec.AppendNetlist(payload[:0], nl)
+			entry = codec.EncodeEntry(entry[:0], cache.SchemaVersion, key, payload, -1)
+			if i == 0 {
+				b.ReportMetric(float64(len(entry)), "entry_bytes")
+			}
+		}
+	})
+	b.Run("codec-flate", func(b *testing.B) {
+		b.ReportAllocs()
+		var payload, entry []byte
+		for i := 0; i < b.N; i++ {
+			payload = codec.AppendNetlist(payload[:0], nl)
+			entry = codec.EncodeEntry(entry[:0], cache.SchemaVersion, key, payload, 0)
+			if i == 0 {
+				b.ReportMetric(float64(len(entry)), "entry_bytes")
+			}
+		}
+	})
+	b.Run("gob", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := gob.NewEncoder(&buf).Encode(nl); err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(buf.Len()), "entry_bytes")
+			}
+		}
+	})
+}
+
+// BenchmarkCacheDecode is the warm-path kernel: one representative
+// entry decoded per iteration, codec (raw and compressed) vs gob.
+func BenchmarkCacheDecode(b *testing.B) {
+	nl := benchNetlist(b)
+	key := cache.Key("bench-decode")
+	payload := codec.AppendNetlist(nil, nl)
+	entryRaw := codec.EncodeEntry(nil, cache.SchemaVersion, key, payload, -1)
+	entryFlate := codec.EncodeEntry(nil, cache.SchemaVersion, key, payload, 0)
+	var gobBuf bytes.Buffer
+	if err := gob.NewEncoder(&gobBuf).Encode(nl); err != nil {
+		b.Fatal(err)
+	}
+	wantHash := nl.Hash()
+
+	decodeEntry := func(b *testing.B, entry []byte) {
+		b.Helper()
+		b.ReportAllocs()
+		var scratch []byte
+		for i := 0; i < b.N; i++ {
+			payload, _, err := codec.DecodeEntry(entry, cache.SchemaVersion, key, &scratch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := codec.DecodeNetlist(codec.NewReader(payload))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 && got.Hash() != wantHash {
+				b.Fatal("decode changed the netlist")
+			}
+		}
+	}
+	b.Run("codec-raw", func(b *testing.B) { decodeEntry(b, entryRaw) })
+	b.Run("codec-flate", func(b *testing.B) { decodeEntry(b, entryFlate) })
+	b.Run("gob", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var got netlist.Netlist
+			if err := gob.NewDecoder(bytes.NewReader(gobBuf.Bytes())).Decode(&got); err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 && got.Hash() != wantHash {
+				b.Fatal("decode changed the netlist")
+			}
+		}
+	})
 }
 
 // BenchmarkNLMEFit times a single mixed-effects calibration.

@@ -14,6 +14,9 @@
 //	-cache-dir DIR   cache measurements on disk (default
 //	                 $UCOMPLEXITY_CACHE; results are identical with
 //	                 and without the cache)
+//	-cache-stats     report the cache's on-disk footprint (entries,
+//	                 bytes, compression ratio) and this run's decode
+//	                 cost on stderr
 //	-cpuprofile FILE write a CPU profile of the run
 //	-memprofile FILE write a heap profile of the run
 //	-alloc-stats     report runtime.MemStats deltas (allocations,
@@ -47,12 +50,13 @@ func main() {
 	noAccounting := flag.Bool("no-accounting", false, "disable the accounting procedure")
 	asCSV := flag.Bool("csv", false, "emit CSV database rows")
 	cacheDir := flag.String("cache-dir", cache.DefaultDir(), "measurement cache directory (default $"+cache.EnvVar+"; empty = no cache)")
+	cacheStats := flag.Bool("cache-stats", false, "report cache disk footprint and decode cost on stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write heap profile to file")
 	allocStats := flag.Bool("alloc-stats", false, "report runtime.MemStats deltas for the run on stderr")
 	flag.Parse()
 
-	if err := profiledRun(*top, *builtin, !*noAccounting, *asCSV, *cacheDir, *cpuProfile, *memProfile, *allocStats, flag.Args()); err != nil {
+	if err := profiledRun(*top, *builtin, !*noAccounting, *asCSV, *cacheDir, *cacheStats, *cpuProfile, *memProfile, *allocStats, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "ucmetrics:", err)
 		os.Exit(1)
 	}
@@ -62,7 +66,7 @@ func main() {
 // profiles (same shape as ucpaper's) and the -alloc-stats MemStats
 // delta line used to sanity-check steady-state allocation behaviour
 // without a benchmark harness.
-func profiledRun(top, builtin string, useAccounting, asCSV bool, cacheDir, cpuProfile, memProfile string, allocStats bool, files []string) error {
+func profiledRun(top, builtin string, useAccounting, asCSV bool, cacheDir string, cacheStats bool, cpuProfile, memProfile string, allocStats bool, files []string) error {
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
 		if err != nil {
@@ -93,7 +97,7 @@ func profiledRun(top, builtin string, useAccounting, asCSV bool, cacheDir, cpuPr
 	if allocStats {
 		runtime.ReadMemStats(&before)
 	}
-	err := run(top, builtin, useAccounting, asCSV, cacheDir, files)
+	err := run(top, builtin, useAccounting, asCSV, cacheDir, cacheStats, files)
 	if allocStats {
 		var after runtime.MemStats
 		runtime.ReadMemStats(&after)
@@ -113,7 +117,7 @@ type target struct {
 	effort  float64
 }
 
-func run(top, builtin string, useAccounting, asCSV bool, cacheDir string, files []string) error {
+func run(top, builtin string, useAccounting, asCSV bool, cacheDir string, cacheStats bool, files []string) error {
 	opts := measure.Options{}
 	if cacheDir != "" {
 		c, err := cache.Open(cacheDir)
@@ -121,6 +125,11 @@ func run(top, builtin string, useAccounting, asCSV bool, cacheDir string, files 
 			return err
 		}
 		opts.Cache = c
+		if cacheStats {
+			defer printCacheStats(c)
+		}
+	} else if cacheStats {
+		return fmt.Errorf("-cache-stats needs a cache (-cache-dir or $%s)", cache.EnvVar)
 	}
 
 	var d *hdl.Design
@@ -197,6 +206,22 @@ func run(top, builtin string, useAccounting, asCSV bool, cacheDir string, files 
 		return dataset.WriteCSV(os.Stdout, rows)
 	}
 	return nil
+}
+
+// printCacheStats reports the on-disk footprint (one directory scan)
+// and this run's warm-path decode accounting on stderr.
+func printCacheStats(c *cache.Cache) {
+	s := c.Stats()
+	ds, err := c.DiskStats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ucmetrics: cache-stats:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cache-stats: %d entries, %d bytes on disk (%s)\n", ds.Entries, ds.Bytes, c.Dir())
+	if s.BytesStored > 0 {
+		fmt.Fprintf(os.Stderr, "cache-stats: read %d stored bytes -> %d raw bytes (%.2fx compression), decode %.3f ms\n",
+			s.BytesStored, s.BytesRaw, float64(s.BytesRaw)/float64(s.BytesStored), float64(s.DecodeNanos)/1e6)
+	}
 }
 
 func printResult(project, top string, res *measure.ComponentResult) {

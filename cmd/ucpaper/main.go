@@ -16,6 +16,9 @@
 //	                              are identical with and without it)
 //	ucpaper -cache-verify         recompute every cache hit and fail
 //	                              on any mismatch
+//	ucpaper -cache-stats          report the cache's on-disk footprint
+//	                              (entries, bytes, compression ratio)
+//	                              and warm-path decode cost on stderr
 //	ucpaper -elab-stats           report the session elaboration
 //	                              cache's subtree hit/miss/reuse
 //	                              counters on stderr
@@ -53,6 +56,7 @@ func main() {
 	par := flag.Int("parallel", 0, "worker pool bound: 0 = GOMAXPROCS, 1 = sequential (results are identical)")
 	cacheDir := flag.String("cache-dir", cache.DefaultDir(), "measurement cache directory (default $"+cache.EnvVar+"; empty = no cache)")
 	cacheVerify := flag.Bool("cache-verify", false, "recompute every cache hit and compare (consistency check)")
+	cacheStats := flag.Bool("cache-stats", false, "report cache disk footprint and decode cost on stderr")
 	elabStats := flag.Bool("elab-stats", false, "report session elaboration-cache counters on stderr")
 	sessionStats := flag.Bool("session-stats", false, "report measurement-session signature sharing on stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
@@ -62,13 +66,13 @@ func main() {
 	if !*aicbic && !*extension && *tableN == 0 && *figureN == 0 {
 		*all = true
 	}
-	if err := realMain(*tableN, *figureN, *aicbic, *extension, *all, *par, *cacheDir, *cacheVerify, *elabStats, *sessionStats, *cpuProfile, *memProfile); err != nil {
+	if err := realMain(*tableN, *figureN, *aicbic, *extension, *all, *par, *cacheDir, *cacheVerify, *cacheStats, *elabStats, *sessionStats, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "ucpaper:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(tableN, figureN int, aicbic, extension, all bool, par int, cacheDir string, cacheVerify, elabStats, sessionStats bool, cpuProfile, memProfile string) error {
+func realMain(tableN, figureN int, aicbic, extension, all bool, par int, cacheDir string, cacheVerify, cacheStats, elabStats, sessionStats bool, cpuProfile, memProfile string) error {
 	opts := paper.Opts{Concurrency: par}
 	// The corpus-measuring experiments share one session so a run that
 	// prints several of them parses the corpus once and synthesizes
@@ -98,9 +102,14 @@ func realMain(tableN, figureN int, aicbic, extension, all bool, par int, cacheDi
 		defer func() {
 			s := c.Stats()
 			fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d verified (%s)\n", s.Hits, s.Misses, s.VerifyChecks, cacheDir)
+			if cacheStats {
+				printCacheStats(c)
+			}
 		}()
 	} else if cacheVerify {
 		return fmt.Errorf("-cache-verify needs a cache (-cache-dir or $%s)", cache.EnvVar)
+	} else if cacheStats {
+		return fmt.Errorf("-cache-stats needs a cache (-cache-dir or $%s)", cache.EnvVar)
 	}
 	if elabStats {
 		rec := &elab.StatsRecorder{}
@@ -139,6 +148,22 @@ func realMain(tableN, figureN int, aicbic, extension, all bool, par int, cacheDi
 	}
 
 	return run(tableN, figureN, aicbic, extension, all, opts)
+}
+
+// printCacheStats reports the on-disk footprint (one directory scan)
+// and this run's warm-path decode accounting on stderr.
+func printCacheStats(c *cache.Cache) {
+	s := c.Stats()
+	ds, err := c.DiskStats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ucpaper: cache-stats:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cache-stats: %d entries, %d bytes on disk (%s)\n", ds.Entries, ds.Bytes, c.Dir())
+	if s.BytesStored > 0 {
+		fmt.Fprintf(os.Stderr, "cache-stats: read %d stored bytes -> %d raw bytes (%.2fx compression), decode %.3f ms\n",
+			s.BytesStored, s.BytesRaw, float64(s.BytesRaw)/float64(s.BytesStored), float64(s.DecodeNanos)/1e6)
+	}
 }
 
 func run(tableN, figureN int, aicbic, extension, all bool, opts paper.Opts) error {

@@ -107,7 +107,7 @@ func TestCacheCorruptedComponentEntryRecomputes(t *testing.T) {
 	}
 	first := measureExec(t, measure.Options{Cache: ch})
 
-	entries, err := filepath.Glob(filepath.Join(dir, "*.gob"))
+	entries, err := filepath.Glob(filepath.Join(dir, "*.ucx"))
 	if err != nil || len(entries) != 1 {
 		t.Fatalf("entries = %v (err %v), want exactly one", entries, err)
 	}

@@ -1,10 +1,14 @@
 // Package cache implements a content-addressed, versioned, on-disk
-// cache for synthesis-derived results. Entries are gob-encoded files
-// named by a SHA-256 key the caller derives from the content that
-// determines the result — the structural fingerprint of the source
-// design, the synthesis parameter signature, and the measurement
-// options — plus the cache schema version, so a schema bump silently
-// invalidates every old entry instead of misreading it.
+// cache for synthesis-derived results. Entries are binary-encoded
+// files (internal/codec's versioned pointer-free encoding — explicit
+// per-type encoders, no reflection) named by a SHA-256 key the caller
+// derives from the content that determines the result — the
+// structural fingerprint of the source design, the synthesis
+// parameter signature, and the measurement options — plus the cache
+// schema version, so a schema bump silently invalidates every old
+// entry instead of misreading it. Each entry carries a CRC-32C over
+// its payload and large payloads are flate-compressed per entry
+// (recorded in the entry header).
 //
 // The cache is safe for concurrent use. Lookups of the same key are
 // single-flighted: when several workers (e.g. an internal/parallel
@@ -18,25 +22,40 @@ package cache
 import (
 	"crypto/sha256"
 	"encoding/binary"
-	"encoding/gob"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
 )
 
 // SchemaVersion is the on-disk format version. It participates in both
 // the key derivation and the per-entry header, so bumping it orphans
 // every existing entry (they are never decoded, only ignored).
-const SchemaVersion = 2
+// Version 3 is the binary codec format; versions 1-2 were gob.
+const SchemaVersion = 3
+
+// CompressThreshold is the encoded payload size at which entries are
+// flate-compressed on write (forwarded to codec.EncodeEntry, which
+// records the choice in the entry header and keeps the compressed form
+// only when it is actually smaller).
+const CompressThreshold = codec.DefaultCompressThreshold
 
 // EnvVar names the environment variable the commands consult for a
 // default cache directory when no -cache-dir flag is given.
 const EnvVar = "UCOMPLEXITY_CACHE"
+
+// entryExt is the cache-entry file suffix ("ucx" binary entries;
+// schema 1-2 wrote ".gob" files, which a v3 cache never touches).
+const entryExt = ".ucx"
 
 // DefaultDir returns the cache directory from the environment ("" when
 // unset, meaning caching is off).
@@ -54,6 +73,21 @@ type Stats struct {
 	DecodeErrors     int64 // corrupt/truncated/stale entries discarded
 	VerifyChecks     int64 // hits recomputed in verify mode
 	VerifyMismatches int64
+	// Decode-path accounting, accumulated over successful reads:
+	// DecodeNanos is wall time spent reading + decoding entries,
+	// BytesStored counts on-disk entry bytes read, BytesRaw counts the
+	// payload bytes after decompression (BytesRaw/BytesStored > 1 means
+	// compression is earning its decode pass).
+	DecodeNanos int64
+	BytesStored int64
+	BytesRaw    int64
+}
+
+// DiskStats summarizes the entries currently on disk (one directory
+// scan; see Cache.DiskStats).
+type DiskStats struct {
+	Entries int
+	Bytes   int64
 }
 
 // Cache is one on-disk cache directory.
@@ -65,6 +99,7 @@ type Cache struct {
 	flights map[string]*flight
 
 	hits, misses, puts, decodeErrs, verifyChecks, verifyMismatches atomic.Int64
+	decodeNanos, bytesStored, bytesRaw                             atomic.Int64
 }
 
 type flight struct {
@@ -105,7 +140,33 @@ func (c *Cache) Stats() Stats {
 		DecodeErrors:     c.decodeErrs.Load(),
 		VerifyChecks:     c.verifyChecks.Load(),
 		VerifyMismatches: c.verifyMismatches.Load(),
+		DecodeNanos:      c.decodeNanos.Load(),
+		BytesStored:      c.bytesStored.Load(),
+		BytesRaw:         c.bytesRaw.Load(),
 	}
+}
+
+// DiskStats scans the cache directory and reports how many entries it
+// holds and their total size. It is an observability call (the
+// -cache-stats flags), not a hot-path one.
+func (c *Cache) DiskStats() (DiskStats, error) {
+	var ds DiskStats
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return ds, fmt.Errorf("cache: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), entryExt) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // entry deleted between ReadDir and Info
+		}
+		ds.Entries++
+		ds.Bytes += info.Size()
+	}
+	return ds, nil
 }
 
 // Key derives a cache key from the parts that determine a result.
@@ -125,38 +186,74 @@ func Key(parts ...string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// header is decoded before the payload; a mismatch in any field means
-// the entry belongs to a different format and is ignored.
-type header struct {
-	Magic  string
-	Schema int
-	Key    string
+func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+entryExt) }
+
+// scratch is the per-read decode workspace: the raw file bytes and the
+// decompression output live in two reusable buffers, so a warm sweep's
+// steady state reads entry after entry without allocating either. The
+// buffers only hold bytes between Get and the typed decode — decoded
+// values copy out of them (a codec.Codec contract) — so pooling them
+// process-wide is safe.
+type scratch struct {
+	file []byte
+	raw  []byte
 }
 
-const magic = "ucx-cache"
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
-func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".gob") }
-
-// Get decodes the entry for key into out. It returns false on any
-// miss: no entry, a truncated or corrupt file, or a schema mismatch
-// (damaged entries are deleted so they are not re-read every time).
-func Get[T any](c *Cache, key string, out *T) bool {
+// readEntry reads and envelope-decodes one entry file into sc,
+// returning the payload (aliasing sc's buffers). A missing file
+// returns os.ErrNotExist; any other failure means a damaged entry.
+func (c *Cache) readEntry(key string, sc *scratch) ([]byte, codec.EntryInfo, error) {
 	f, err := os.Open(c.path(key))
 	if err != nil {
-		return false
+		return nil, codec.EntryInfo{}, err
 	}
 	defer f.Close()
-	dec := gob.NewDecoder(f)
-	var h header
-	if err := dec.Decode(&h); err != nil || h.Magic != magic || h.Schema != SchemaVersion || h.Key != key {
-		c.discard(key)
-		return false
+	st, err := f.Stat()
+	if err != nil {
+		return nil, codec.EntryInfo{}, err
 	}
-	if err := dec.Decode(out); err != nil {
-		c.discard(key)
-		return false
+	size := int(st.Size())
+	if cap(sc.file) < size {
+		sc.file = make([]byte, size)
 	}
-	return true
+	sc.file = sc.file[:size]
+	if _, err := io.ReadFull(f, sc.file); err != nil {
+		return nil, codec.EntryInfo{}, err
+	}
+	return codec.DecodeEntry(sc.file, SchemaVersion, key, &sc.raw)
+}
+
+// Get decodes the entry for key with cd. It returns false on any miss:
+// no entry, a truncated or corrupt file, a CRC or schema mismatch, or
+// a payload cd rejects (damaged entries are deleted so they are not
+// re-read every time).
+func Get[T any](c *Cache, key string, cd codec.Codec[T]) (T, bool) {
+	var zero T
+	start := time.Now()
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	payload, info, err := c.readEntry(key, sc)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			c.discard(key)
+		}
+		return zero, false
+	}
+	r := codec.NewReader(payload)
+	v, err := cd.Decode(r)
+	if err == nil {
+		err = r.Finish()
+	}
+	if err != nil {
+		c.discard(key)
+		return zero, false
+	}
+	c.decodeNanos.Add(time.Since(start).Nanoseconds())
+	c.bytesStored.Add(int64(info.StoredLen))
+	c.bytesRaw.Add(int64(info.RawLen))
+	return v, true
 }
 
 // Fetch is Get with stats accounting: a successful decode counts as a
@@ -165,15 +262,17 @@ func Get[T any](c *Cache, key string, out *T) bool {
 // the planner's eventual Do/DoEq on the same key records the miss when
 // it computes. In verify mode callers should skip Fetch and go through
 // Do/DoEq so hits are recomputed and compared.
-func Fetch[T any](c *Cache, key string, out *T) bool {
+func Fetch[T any](c *Cache, key string, cd codec.Codec[T]) (T, bool) {
 	if c == nil {
-		return false
+		var zero T
+		return zero, false
 	}
-	if !Get(c, key, out) {
-		return false
+	v, ok := Get(c, key, cd)
+	if !ok {
+		return v, false
 	}
 	c.hits.Add(1)
-	return true
+	return v, true
 }
 
 func (c *Cache) discard(key string) {
@@ -183,19 +282,22 @@ func (c *Cache) discard(key string) {
 
 // Put writes the entry for key atomically (temp file + rename), so a
 // concurrent reader or a crash never observes a partial entry.
-func Put[T any](c *Cache, key string, val T) error {
+func Put[T any](c *Cache, key string, cd codec.Codec[T], val T) error {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	payload := cd.Append(sc.raw[:0], val)
+	sc.raw = payload[:0]
+	entry := codec.EncodeEntry(sc.file[:0], SchemaVersion, key, payload, CompressThreshold)
+	sc.file = entry[:0]
+
 	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
 	if err != nil {
 		return fmt.Errorf("cache: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	enc := gob.NewEncoder(tmp)
-	if err := enc.Encode(header{Magic: magic, Schema: SchemaVersion, Key: key}); err == nil {
-		err = enc.Encode(val)
-	}
-	if err != nil {
+	if _, err := tmp.Write(entry); err != nil {
 		tmp.Close()
-		return fmt.Errorf("cache: encode %s: %w", key, err)
+		return fmt.Errorf("cache: write %s: %w", key, err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("cache: %w", err)
@@ -215,14 +317,14 @@ func Put[T any](c *Cache, key string, val T) error {
 // In verify mode a hit recomputes anyway and compares the two results
 // with reflect.DeepEqual, returning ErrVerifyMismatch on disagreement;
 // use DoEq when the cached type needs a domain-specific comparison.
-func Do[T any](c *Cache, key string, compute func() (T, error)) (T, bool, error) {
-	return DoEq(c, key, compute, nil)
+func Do[T any](c *Cache, key string, cd codec.Codec[T], compute func() (T, error)) (T, bool, error) {
+	return DoEq(c, key, cd, compute, nil)
 }
 
 // DoEq is Do with an explicit verify-mode comparator: eq receives the
 // cached and the recomputed value and returns a description of the
 // first difference ("" when equal). A nil eq means reflect.DeepEqual.
-func DoEq[T any](c *Cache, key string, compute func() (T, error), eq func(cached, fresh T) string) (T, bool, error) {
+func DoEq[T any](c *Cache, key string, cd codec.Codec[T], compute func() (T, error), eq func(cached, fresh T) string) (T, bool, error) {
 	var zero T
 	if c == nil {
 		v, err := compute()
@@ -252,8 +354,7 @@ func DoEq[T any](c *Cache, key string, compute func() (T, error), eq func(cached
 		c.mu.Unlock()
 	}()
 
-	var cached T
-	if Get(c, key, &cached) {
+	if cached, ok := Get(c, key, cd); ok {
 		c.hits.Add(1)
 		if c.Verifying() {
 			c.verifyChecks.Add(1)
@@ -287,7 +388,7 @@ func DoEq[T any](c *Cache, key string, compute func() (T, error), eq func(cached
 	// A failed write is not fatal — the caller still has the value —
 	// but it is counted as a decode error so a read-only or full cache
 	// directory is visible in the stats.
-	if err := Put(c, key, v); err != nil {
+	if err := Put(c, key, cd, v); err != nil {
 		c.decodeErrs.Add(1)
 	}
 	f.val = v

@@ -1,17 +1,53 @@
 package cache
 
 import (
-	"encoding/gob"
+	"bytes"
+	"compress/flate"
 	"errors"
+	"hash/crc32"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/codec"
 )
 
 type payload struct {
 	Name   string
 	Values []int
+}
+
+// payloadCodec is the test type's explicit binary codec — the same
+// shape every real cached type (measure records, metrics) provides.
+var payloadCodec = codec.Codec[payload]{
+	Name: "test.payload",
+	Append: func(dst []byte, p payload) []byte {
+		dst = codec.AppendString(dst, p.Name)
+		dst = codec.AppendUvarint(dst, uint64(len(p.Values)))
+		for _, v := range p.Values {
+			dst = codec.AppendVarint(dst, int64(v))
+		}
+		return dst
+	},
+	Decode: func(r *codec.Reader) (payload, error) {
+		var p payload
+		p.Name = r.String()
+		if n := r.Count(1); n > 0 {
+			p.Values = make([]int, n)
+			for i := range p.Values {
+				p.Values[i] = int(r.Varint())
+			}
+		}
+		return p, r.Err()
+	},
+}
+
+var intCodec = codec.Codec[int]{
+	Name:   "test.int",
+	Append: func(dst []byte, v int) []byte { return codec.AppendVarint(dst, int64(v)) },
+	Decode: func(r *codec.Reader) (int, error) { return int(r.Varint()), r.Err() },
 }
 
 func open(t *testing.T) *Cache {
@@ -39,18 +75,86 @@ func TestPutGetRoundtrip(t *testing.T) {
 	c := open(t)
 	key := Key("roundtrip")
 	want := payload{Name: "n", Values: []int{1, 2, 3}}
-	if err := Put(c, key, want); err != nil {
+	if err := Put(c, key, payloadCodec, want); err != nil {
 		t.Fatal(err)
 	}
-	var got payload
-	if !Get(c, key, &got) {
+	got, ok := Get(c, key, payloadCodec)
+	if !ok {
 		t.Fatal("miss after put")
 	}
 	if got.Name != want.Name || len(got.Values) != 3 || got.Values[2] != 3 {
 		t.Errorf("got %+v, want %+v", got, want)
 	}
-	if Get(c, Key("other"), &got) {
+	if _, ok := Get(c, Key("other"), payloadCodec); ok {
 		t.Error("hit on a key never put")
+	}
+}
+
+// TestCompressedRoundtrip pins the block-compression path: an entry
+// above the threshold must land on disk smaller than its payload,
+// decode back identically, and be visible in the byte counters.
+func TestCompressedRoundtrip(t *testing.T) {
+	c := open(t)
+	key := Key("compressed")
+	want := payload{Name: strings.Repeat("wide-bus-net-name/", 64)}
+	for i := 0; i < 4*CompressThreshold; i++ {
+		want.Values = append(want.Values, i%7)
+	}
+	if err := Put(c, key, payloadCodec, want); err != nil {
+		t.Fatal(err)
+	}
+	encoded := payloadCodec.Append(nil, want)
+	if len(encoded) < CompressThreshold {
+		t.Fatalf("test payload encodes to %d bytes, below the %d threshold", len(encoded), CompressThreshold)
+	}
+	info, err := os.Stat(c.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() >= int64(len(encoded)) {
+		t.Errorf("compressed entry is %d bytes on disk for a %d-byte payload", info.Size(), len(encoded))
+	}
+	got, ok := Get(c, key, payloadCodec)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if got.Name != want.Name || len(got.Values) != len(want.Values) {
+		t.Errorf("decode mismatch: %d values, want %d", len(got.Values), len(want.Values))
+	}
+	for i := range got.Values {
+		if got.Values[i] != want.Values[i] {
+			t.Fatalf("value %d = %d, want %d", i, got.Values[i], want.Values[i])
+		}
+	}
+	s := c.Stats()
+	if s.BytesRaw <= s.BytesStored {
+		t.Errorf("byte counters show no compression win: raw %d, stored %d", s.BytesRaw, s.BytesStored)
+	}
+	if s.DecodeNanos <= 0 {
+		t.Error("decode time not accounted")
+	}
+}
+
+func TestDiskStats(t *testing.T) {
+	c := open(t)
+	for i, name := range []string{"a", "b", "c"} {
+		if err := Put(c, Key(name), payloadCodec, payload{Name: name, Values: []int{i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray non-entry file must not be counted.
+	if err := os.WriteFile(c.dir+"/README", []byte("not an entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := c.DiskStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Entries != 3 {
+		t.Errorf("DiskStats entries = %d, want 3", ds.Entries)
+	}
+	if ds.Bytes <= 0 {
+		t.Errorf("DiskStats bytes = %d, want > 0", ds.Bytes)
 	}
 }
 
@@ -62,11 +166,11 @@ func TestDoComputesOnceThenHits(t *testing.T) {
 		calls++
 		return payload{Name: "v"}, nil
 	}
-	v, hit, err := Do(c, key, compute)
+	v, hit, err := Do(c, key, payloadCodec, compute)
 	if err != nil || hit || v.Name != "v" {
 		t.Fatalf("first Do: v=%+v hit=%v err=%v", v, hit, err)
 	}
-	v, hit, err = Do(c, key, compute)
+	v, hit, err = Do(c, key, payloadCodec, compute)
 	if err != nil || !hit || v.Name != "v" {
 		t.Fatalf("second Do: v=%+v hit=%v err=%v", v, hit, err)
 	}
@@ -80,38 +184,83 @@ func TestDoComputesOnceThenHits(t *testing.T) {
 }
 
 func TestNilCacheJustComputes(t *testing.T) {
-	v, hit, err := Do(nil, Key("k"), func() (int, error) { return 7, nil })
+	v, hit, err := Do(nil, Key("k"), intCodec, func() (int, error) { return 7, nil })
 	if v != 7 || hit || err != nil {
 		t.Errorf("nil cache: v=%d hit=%v err=%v", v, hit, err)
 	}
 }
 
+// TestCorruptedEntryFallsBackToRecompute drives every decode-failure
+// surface of the v3 entry format — file-level damage, payload
+// truncation, a flipped payload byte under an intact CRC field, a
+// stale schema, a declared decompressed size past the bomb cap, and
+// trailing garbage after a valid value — and asserts each one degrades
+// to a recompute that repairs the entry, never an error or a bogus
+// hit.
 func TestCorruptedEntryFallsBackToRecompute(t *testing.T) {
 	c := open(t)
 	key := Key("corrupt")
-	if err := Put(c, key, payload{Name: "good"}); err != nil {
-		t.Fatal(err)
-	}
-	corruptions := map[string]func(path string) error{
-		"garbage": func(p string) error { return os.WriteFile(p, []byte("not gob at all"), 0o644) },
-		"truncated": func(p string) error {
+	corruptions := map[string]func(p string) error{
+		"garbage": func(p string) error { return os.WriteFile(p, []byte("not an entry at all"), 0o644) },
+		"empty":   func(p string) error { return os.WriteFile(p, nil, 0o644) },
+		"truncated-payload": func(p string) error {
 			data, err := os.ReadFile(p)
 			if err != nil {
 				return err
 			}
-			return os.WriteFile(p, data[:len(data)/2], 0o644)
+			return os.WriteFile(p, data[:len(data)-3], 0o644)
 		},
-		"empty": func(p string) error { return os.WriteFile(p, nil, 0o644) },
+		"bad-crc": func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			data[len(data)-1] ^= 0x40 // flip a payload bit; header CRC now disagrees
+			return os.WriteFile(p, data, 0o644)
+		},
+		"stale-schema": func(p string) error {
+			entry := codec.EncodeEntry(nil, SchemaVersion+1, key,
+				payloadCodec.Append(nil, payload{Name: "future"}), -1)
+			return os.WriteFile(p, entry, 0o644)
+		},
+		"compression-bomb": func(p string) error {
+			// Hand-assemble an envelope whose header declares a
+			// decompressed size past the cap; the reader must reject it
+			// before allocating anything.
+			var fl bytes.Buffer
+			w, err := flate.NewWriter(&fl, flate.BestSpeed)
+			if err != nil {
+				return err
+			}
+			w.Write(make([]byte, 1024))
+			w.Close()
+			entry := []byte(codec.EntryMagic)
+			entry = codec.AppendUvarint(entry, SchemaVersion)
+			entry = codec.AppendByte(entry, codec.CompressFlate)
+			entry = codec.AppendString(entry, key)
+			entry = codec.AppendUvarint(entry, codec.MaxDecodedLen+1)
+			entry = codec.AppendUint32(entry, crc32.Checksum(fl.Bytes(), crc32.MakeTable(crc32.Castagnoli)))
+			entry = append(entry, fl.Bytes()...)
+			return os.WriteFile(p, entry, 0o644)
+		},
+		"trailing-garbage": func(p string) error {
+			// A valid payload followed by extra bytes re-framed into a
+			// consistent envelope: the typed decode must insist the
+			// payload is consumed exactly.
+			body := payloadCodec.Append(nil, payload{Name: "good"})
+			body = append(body, 0xEE, 0xEE)
+			return os.WriteFile(p, codec.EncodeEntry(nil, SchemaVersion, key, body, -1), 0o644)
+		},
 	}
 	for name, corrupt := range corruptions {
 		t.Run(name, func(t *testing.T) {
-			if err := Put(c, key, payload{Name: "good"}); err != nil {
+			if err := Put(c, key, payloadCodec, payload{Name: "good", Values: []int{1, 2, 3}}); err != nil {
 				t.Fatal(err)
 			}
 			if err := corrupt(c.path(key)); err != nil {
 				t.Fatal(err)
 			}
-			v, hit, err := Do(c, key, func() (payload, error) { return payload{Name: "recomputed"}, nil })
+			v, hit, err := Do(c, key, payloadCodec, func() (payload, error) { return payload{Name: "recomputed"}, nil })
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -119,9 +268,12 @@ func TestCorruptedEntryFallsBackToRecompute(t *testing.T) {
 				t.Errorf("corrupt entry served as hit: v=%+v hit=%v", v, hit)
 			}
 			// The recompute must repair the entry.
-			var got payload
-			if !Get(c, key, &got) || got.Name != "recomputed" {
+			got, ok := Get(c, key, payloadCodec)
+			if !ok || got.Name != "recomputed" {
 				t.Errorf("entry not repaired after recompute: %+v", got)
+			}
+			if err := os.Remove(c.path(key)); err != nil {
+				t.Fatal(err)
 			}
 		})
 	}
@@ -136,24 +288,36 @@ func TestSchemaVersionBumpInvalidates(t *testing.T) {
 	// Hand-write an entry with a future schema version at today's key:
 	// the reader must ignore it (as it must ignore stale entries after
 	// a real bump, whose keys also change).
-	f, err := os.Create(c.path(key))
-	if err != nil {
+	entry := codec.EncodeEntry(nil, SchemaVersion+1, key,
+		payloadCodec.Append(nil, payload{Name: "future"}), -1)
+	if err := os.WriteFile(c.path(key), entry, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	enc := gob.NewEncoder(f)
-	if err := enc.Encode(header{Magic: magic, Schema: SchemaVersion + 1, Key: key}); err != nil {
-		t.Fatal(err)
-	}
-	if err := enc.Encode(payload{Name: "future"}); err != nil {
-		t.Fatal(err)
-	}
-	f.Close()
-	var got payload
-	if Get(c, key, &got) {
+	if _, ok := Get(c, key, payloadCodec); ok {
 		t.Fatalf("entry with schema %d decoded by reader at schema %d", SchemaVersion+1, SchemaVersion)
 	}
 	if _, err := os.Stat(c.path(key)); !errors.Is(err, os.ErrNotExist) {
 		t.Error("stale-schema entry not deleted")
+	}
+}
+
+// TestKeyEchoMismatch covers a renamed entry file: the envelope echoes
+// the key it was written under, so serving it under another name must
+// fail and delete the misplaced file.
+func TestKeyEchoMismatch(t *testing.T) {
+	c := open(t)
+	orig, moved := Key("original"), Key("moved")
+	if err := Put(c, orig, payloadCodec, payload{Name: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(c.path(orig), c.path(moved)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Get(c, moved, payloadCodec); ok {
+		t.Error("entry served under a key it was not written for")
+	}
+	if _, err := os.Stat(c.path(moved)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("misplaced entry not deleted")
 	}
 }
 
@@ -170,7 +334,7 @@ func TestSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, hit, err := Do(c, key, func() (payload, error) {
+			v, hit, err := Do(c, key, payloadCodec, func() (payload, error) {
 				calls.Add(1)
 				<-gate // hold the flight open until everyone has joined
 				return payload{Name: "shared"}, nil
@@ -197,11 +361,11 @@ func TestDoErrorNotCached(t *testing.T) {
 	c := open(t)
 	key := Key("err")
 	boom := errors.New("boom")
-	_, _, err := Do(c, key, func() (int, error) { return 0, boom })
+	_, _, err := Do(c, key, intCodec, func() (int, error) { return 0, boom })
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
-	v, hit, err := Do(c, key, func() (int, error) { return 42, nil })
+	v, hit, err := Do(c, key, intCodec, func() (int, error) { return 42, nil })
 	if err != nil || hit || v != 42 {
 		t.Errorf("after failed compute: v=%d hit=%v err=%v", v, hit, err)
 	}
@@ -211,16 +375,16 @@ func TestVerifyMode(t *testing.T) {
 	c := open(t)
 	c.SetVerify(true)
 	key := Key("verify")
-	if err := Put(c, key, payload{Name: "stored", Values: []int{1}}); err != nil {
+	if err := Put(c, key, payloadCodec, payload{Name: "stored", Values: []int{1}}); err != nil {
 		t.Fatal(err)
 	}
-	v, hit, err := Do(c, key, func() (payload, error) {
+	v, hit, err := Do(c, key, payloadCodec, func() (payload, error) {
 		return payload{Name: "stored", Values: []int{1}}, nil
 	})
 	if err != nil || !hit || v.Name != "stored" {
 		t.Fatalf("matching verify: v=%+v hit=%v err=%v", v, hit, err)
 	}
-	_, _, err = Do(c, key, func() (payload, error) {
+	_, _, err = Do(c, key, payloadCodec, func() (payload, error) {
 		return payload{Name: "different", Values: []int{1}}, nil
 	})
 	if !errors.Is(err, ErrVerifyMismatch) {
@@ -236,7 +400,7 @@ func TestDoEqComparator(t *testing.T) {
 	c := open(t)
 	c.SetVerify(true)
 	key := Key("doeq")
-	if err := Put(c, key, payload{Name: "x", Values: []int{1}}); err != nil {
+	if err := Put(c, key, payloadCodec, payload{Name: "x", Values: []int{1}}); err != nil {
 		t.Fatal(err)
 	}
 	// Comparator that only inspects Name: a Values difference passes.
@@ -246,13 +410,13 @@ func TestDoEqComparator(t *testing.T) {
 		}
 		return ""
 	}
-	_, hit, err := DoEq(c, key, func() (payload, error) {
+	_, hit, err := DoEq(c, key, payloadCodec, func() (payload, error) {
 		return payload{Name: "x", Values: []int{999}}, nil
 	}, eq)
 	if err != nil || !hit {
 		t.Fatalf("comparator verify: hit=%v err=%v", hit, err)
 	}
-	_, _, err = DoEq(c, key, func() (payload, error) {
+	_, _, err = DoEq(c, key, payloadCodec, func() (payload, error) {
 		return payload{Name: "y"}, nil
 	}, eq)
 	if !errors.Is(err, ErrVerifyMismatch) {

@@ -1,0 +1,210 @@
+package codec_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/designs"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// equalNetlists reports the first difference between two netlists,
+// comparing debug names by NetName semantics (so a nil and an empty
+// name table with no names compare equal, matching reader behavior).
+func equalNetlists(t *testing.T, a, b *netlist.Netlist) {
+	t.Helper()
+	if a.Hash() != b.Hash() {
+		t.Fatal("structural hash differs")
+	}
+	if a.Nets != b.Nets || a.Const0 != b.Const0 || a.Const1 != b.Const1 {
+		t.Fatalf("header differs: nets %d/%d consts %d,%d/%d,%d",
+			a.Nets, b.Nets, a.Const0, a.Const1, b.Const0, b.Const1)
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell count %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d: %+v vs %+v", i, a.Cells[i], b.Cells[i])
+		}
+	}
+	if len(a.RAMs) != len(b.RAMs) {
+		t.Fatalf("RAM count %d vs %d", len(a.RAMs), len(b.RAMs))
+	}
+	for i := range a.RAMs {
+		x, y := a.RAMs[i], b.RAMs[i]
+		if x.Name != y.Name || x.Width != y.Width || x.Depth != y.Depth || x.Clk != y.Clk ||
+			len(x.WritePorts) != len(y.WritePorts) || len(x.ReadPorts) != len(y.ReadPorts) {
+			t.Fatalf("RAM %d shape differs", i)
+		}
+	}
+	for id := 0; id < a.Nets; id++ {
+		if an, bn := a.NetName(netlist.NetID(id)), b.NetName(netlist.NetID(id)); an != bn {
+			t.Fatalf("net %d name %q vs %q", id, an, bn)
+		}
+	}
+}
+
+// TestNetlistRoundtripCorpus is the round-trip property test over the
+// full 18-component corpus: decode(encode(x)) must reproduce every
+// field — including the packed debug names — and preserve the
+// structural hash the cache keys derivatives by. Each netlist is also
+// round-tripped again after TrimNames (the form the session cache
+// actually stores).
+func TestNetlistRoundtripCorpus(t *testing.T) {
+	for _, c := range designs.All() {
+		c := c
+		t.Run(c.Label(), func(t *testing.T) {
+			d, err := designs.Design(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := synth.Synthesize(d, c.Top, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, nl := range []*netlist.Netlist{res.Raw, res.Optimized} {
+				buf := codec.AppendNetlist(nil, nl)
+				r := codec.NewReader(buf)
+				got, err := codec.DecodeNetlist(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := r.Finish(); err != nil {
+					t.Fatal(err)
+				}
+				equalNetlists(t, nl, got)
+
+				// Re-encoding the decoded netlist must be byte-stable:
+				// the encoder is canonical, so one logical netlist has
+				// exactly one encoding.
+				buf2 := codec.AppendNetlist(nil, got)
+				if string(buf) != string(buf2) {
+					t.Error("re-encode of decoded netlist differs")
+				}
+			}
+
+			trimmed := res.Optimized
+			trimmed.TrimNames()
+			buf := codec.AppendNetlist(nil, trimmed)
+			got, err := codec.DecodeNetlist(codec.NewReader(buf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalNetlists(t, trimmed, got)
+			if got.NetNameOff != nil {
+				t.Error("trimmed netlist decoded with a name table")
+			}
+		})
+	}
+}
+
+// TestDecodeNetlistRejectsStructuralDamage mutates real encodings in
+// ways the primitive layer cannot catch (valid varints, wrong
+// semantics) and checks the structural validation rejects them.
+func TestDecodeNetlistRejectsStructuralDamage(t *testing.T) {
+	d, err := designs.Design(mustComponent(t, "RAT-Standard"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := synth.Synthesize(d, "rat_standard", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := codec.AppendNetlist(nil, res.Optimized)
+
+	decode := func(buf []byte) error {
+		r := codec.NewReader(buf)
+		_, err := codec.DecodeNetlist(r)
+		if err == nil {
+			err = r.Finish()
+		}
+		return err
+	}
+	if err := decode(good); err != nil {
+		t.Fatalf("pristine encoding rejected: %v", err)
+	}
+
+	// Truncations at every prefix must error, never panic.
+	for cut := 0; cut < len(good); cut += 97 {
+		if err := decode(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		} else if !errors.Is(err, codec.ErrCorrupt) {
+			t.Fatalf("truncation at %d: error %v does not wrap ErrCorrupt", cut, err)
+		}
+	}
+
+	// A wrong structure version byte.
+	bad := append([]byte{}, good...)
+	bad[0] = 99
+	if decode(bad) == nil {
+		t.Error("wrong structure version accepted")
+	}
+}
+
+func mustComponent(t *testing.T, label string) designs.Component {
+	t.Helper()
+	c, err := designs.ByLabel(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// seedNetlist hand-builds a small netlist exercising every encoder
+// feature (cells of several types, a RAM with both port kinds, top
+// ports, debug names) — kept tiny so fuzz execs stay fast.
+func seedNetlist() *netlist.Netlist {
+	n := &netlist.Netlist{Const0: 0, Const1: 1}
+	n.SetNetNames([]string{"0", "1", "clk", "a", "b", "and", "ff", ""})
+	clk, a, b := netlist.NetID(2), netlist.NetID(3), netlist.NetID(4)
+	n.Cells = []netlist.Cell{
+		{Type: netlist.And2, In: [3]netlist.NetID{a, b, netlist.Nil}, Clk: netlist.Nil, Out: 5},
+		{Type: netlist.DFF, In: [3]netlist.NetID{5, netlist.Nil, netlist.Nil}, Clk: clk, Out: 6},
+		{Type: netlist.Inv, In: [3]netlist.NetID{6, netlist.Nil, netlist.Nil}, Clk: netlist.Nil, Out: 7},
+	}
+	n.RAMs = []*netlist.RAM{{
+		Name: "mem", Width: 2, Depth: 2, Clk: clk,
+		WritePorts: []netlist.RAMWritePort{{En: a, Addr: []netlist.NetID{b}, Data: []netlist.NetID{5, 6}}},
+		ReadPorts:  []netlist.RAMReadPort{{Addr: []netlist.NetID{b}, Out: []netlist.NetID{7, 6}}},
+	}}
+	n.Inputs = []netlist.PortBit{{Name: "clk", Net: clk}, {Name: "a", Net: a}, {Name: "b", Net: b}}
+	n.Outputs = []netlist.PortBit{{Name: "q", Net: 7}}
+	return n
+}
+
+// FuzzDecodeNetlist feeds arbitrary bytes through the netlist decoder.
+// The contract: error or a Validate-clean netlist, never a panic, never
+// an out-of-range net ID that would crash a downstream kernel — and a
+// successful decode must re-encode/re-decode to the same structure.
+func FuzzDecodeNetlist(f *testing.F) {
+	seed := seedNetlist()
+	f.Add(codec.AppendNetlist(nil, seed))
+	seed.TrimNames()
+	f.Add(codec.AppendNetlist(nil, seed))
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := codec.NewReader(data)
+		nl, err := codec.DecodeNetlist(r)
+		if err != nil {
+			if !errors.Is(err, codec.ErrCorrupt) {
+				t.Errorf("decode error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		if err := nl.Validate(); err != nil {
+			t.Errorf("decoder returned an invalid netlist: %v", err)
+		}
+		buf := codec.AppendNetlist(nil, nl)
+		again, err := codec.DecodeNetlist(codec.NewReader(buf))
+		if err != nil {
+			t.Errorf("re-decode of re-encoded netlist failed: %v", err)
+			return
+		}
+		if again.Hash() != nl.Hash() {
+			t.Error("hash changed across re-encode")
+		}
+	})
+}

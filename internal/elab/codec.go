@@ -1,0 +1,111 @@
+package elab
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/hdl"
+)
+
+// Binary codec for report fragments — the position-invariant
+// elaboration signatures the session cache keys subtrees by. Reports
+// are what a measurement service would replicate between nodes next to
+// cached netlists (a compatibility verdict needs the report, not the
+// instance tree), so they share the cache's wire encoding. Constructs
+// are written in sorted key order and branch sets in sorted arm order:
+// identical reports encode to identical bytes regardless of map
+// iteration order.
+
+const reportVersion = 1
+
+// AppendReport appends the binary encoding of rep (which must be
+// non-nil; an empty report encodes as a zero construct count).
+func AppendReport(dst []byte, rep *Report) []byte {
+	dst = codec.AppendByte(dst, reportVersion)
+	keys := make([]ConstructKey, 0, len(rep.Constructs))
+	for k := range rep.Constructs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Col < b.Pos.Col
+	})
+	dst = codec.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		c := rep.Constructs[k]
+		dst = codec.AppendString(dst, k.Kind)
+		dst = codec.AppendString(dst, k.Pos.File)
+		dst = codec.AppendVarint(dst, int64(k.Pos.Line))
+		dst = codec.AppendVarint(dst, int64(k.Pos.Col))
+		dst = codec.AppendString(dst, c.Kind)
+		dst = codec.AppendBool(dst, c.Alive)
+		dst = codec.AppendBool(dst, c.NonConst)
+		arms := make([]string, 0, len(c.Branches))
+		for arm := range c.Branches {
+			arms = append(arms, arm)
+		}
+		sort.Strings(arms)
+		dst = codec.AppendUvarint(dst, uint64(len(arms)))
+		for _, arm := range arms {
+			dst = codec.AppendString(dst, arm)
+			dst = codec.AppendBool(dst, c.Branches[arm])
+		}
+	}
+	return dst
+}
+
+// DecodeReport reads one report from r, erroring (never panicking) on
+// malformed input. Maps stay nil when empty, matching how elaboration
+// builds them lazily.
+func DecodeReport(r *codec.Reader) (*Report, error) {
+	if v := r.Byte(); r.Err() == nil && v != reportVersion {
+		return nil, fmt.Errorf("%w: report structure version %d, want %d", codec.ErrCorrupt, v, reportVersion)
+	}
+	rep := &Report{}
+	n := r.Count(8)
+	if n > 0 {
+		rep.Constructs = make(map[ConstructKey]Construct, n)
+	}
+	for i := 0; i < n; i++ {
+		var k ConstructKey
+		var c Construct
+		k.Kind = r.String()
+		k.Pos = hdl.Pos{File: r.String(), Line: int(r.Varint()), Col: int(r.Varint())}
+		c.Kind = r.String()
+		c.Alive = r.Bool()
+		c.NonConst = r.Bool()
+		arms := r.Count(2)
+		if arms > 0 {
+			c.Branches = make(map[string]bool, arms)
+		}
+		for j := 0; j < arms; j++ {
+			arm := r.String()
+			c.Branches[arm] = r.Bool()
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		rep.Constructs[k] = c
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// ReportCodec is the Codec binding for *Report.
+var ReportCodec = codec.Codec[*Report]{
+	Name:   "elab.Report",
+	Append: AppendReport,
+	Decode: DecodeReport,
+}

@@ -1,0 +1,74 @@
+package elab
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/hdl"
+)
+
+func TestReportCodecRoundtrip(t *testing.T) {
+	rep := &Report{Constructs: map[ConstructKey]Construct{
+		{Kind: "if", Pos: hdl.Pos{File: "a.v", Line: 10, Col: 3}}: {
+			Kind: "if", Alive: true, NonConst: true,
+			Branches: map[string]bool{"then": true, "else": false},
+		},
+		{Kind: "case", Pos: hdl.Pos{File: "a.v", Line: 20, Col: 1}}: {
+			Kind: "case", Alive: false,
+			Branches: map[string]bool{"0": true, "1": true, "default": false},
+		},
+		{Kind: "if", Pos: hdl.Pos{File: "b.v", Line: 2, Col: 2}}: {
+			Kind: "if",
+		},
+	}}
+	buf := AppendReport(nil, rep)
+	r := codec.NewReader(buf)
+	got, err := DecodeReport(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Constructs, rep.Constructs) {
+		t.Errorf("round-trip changed the report:\n got %+v\nwant %+v", got.Constructs, rep.Constructs)
+	}
+	// Map iteration order must not leak into the encoding.
+	for i := 0; i < 8; i++ {
+		if string(AppendReport(nil, rep)) != string(buf) {
+			t.Fatal("report encoding not deterministic")
+		}
+	}
+}
+
+func TestReportCodecEmpty(t *testing.T) {
+	buf := AppendReport(nil, &Report{})
+	got, err := DecodeReport(codec.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Constructs != nil {
+		t.Errorf("empty report decoded with a non-nil map: %v", got.Constructs)
+	}
+}
+
+func TestReportCodecHostileInput(t *testing.T) {
+	rep := &Report{Constructs: map[ConstructKey]Construct{
+		{Kind: "if", Pos: hdl.Pos{File: "x.v", Line: 1, Col: 1}}: {
+			Kind: "if", Alive: true, Branches: map[string]bool{"then": true},
+		},
+	}}
+	buf := AppendReport(nil, rep)
+	for cut := 0; cut < len(buf); cut++ {
+		r := codec.NewReader(buf[:cut])
+		if _, err := DecodeReport(r); err == nil {
+			if err := r.Finish(); err == nil {
+				t.Fatalf("truncation at %d accepted", cut)
+			}
+		} else if !errors.Is(err, codec.ErrCorrupt) {
+			t.Fatalf("truncation at %d: %v does not wrap ErrCorrupt", cut, err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package measure
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/elab"
+	"repro/internal/netlist"
+)
+
+// Binary codecs for the two types the disk cache persists: the full
+// component record (metrics + accounting details + the optimized
+// netlist timing analysis reuses) and the bare metric vector of
+// measure.Module. Explicit field-by-field encoders over
+// internal/codec's primitives — what encoding/gob did by reflection,
+// without the reflection. Each payload opens with its own structure
+// version byte so the layout can evolve under one cache schema.
+
+const (
+	metricsVersion = 1
+	recordVersion  = 1
+)
+
+// metricsCodec persists *Metrics (the measure.Module cache entries).
+var metricsCodec = codec.Codec[*Metrics]{
+	Name: "measure.Metrics",
+	Append: func(dst []byte, m *Metrics) []byte {
+		dst = codec.AppendByte(dst, metricsVersion)
+		return appendMetrics(dst, m)
+	},
+	Decode: func(r *codec.Reader) (*Metrics, error) {
+		if v := r.Byte(); r.Err() == nil && v != metricsVersion {
+			return nil, fmt.Errorf("%w: metrics structure version %d, want %d", codec.ErrCorrupt, v, metricsVersion)
+		}
+		return decodeMetrics(r)
+	},
+}
+
+func appendMetrics(dst []byte, m *Metrics) []byte {
+	dst = codec.AppendVarint(dst, int64(m.Stmts))
+	dst = codec.AppendVarint(dst, int64(m.LoC))
+	dst = codec.AppendVarint(dst, int64(m.FanInLC))
+	dst = codec.AppendVarint(dst, int64(m.FanInLCExact))
+	dst = codec.AppendVarint(dst, int64(m.Nets))
+	dst = codec.AppendVarint(dst, int64(m.Cells))
+	dst = codec.AppendVarint(dst, int64(m.FFs))
+	dst = codec.AppendFloat64(dst, m.FreqMHz)
+	dst = codec.AppendFloat64(dst, m.AreaL)
+	dst = codec.AppendFloat64(dst, m.AreaS)
+	dst = codec.AppendFloat64(dst, m.PowerD)
+	return codec.AppendFloat64(dst, m.PowerS)
+}
+
+func decodeMetrics(r *codec.Reader) (*Metrics, error) {
+	m := &Metrics{
+		Stmts:        int(r.Varint()),
+		LoC:          int(r.Varint()),
+		FanInLC:      int(r.Varint()),
+		FanInLCExact: int(r.Varint()),
+		Nets:         int(r.Varint()),
+		Cells:        int(r.Varint()),
+		FFs:          int(r.Varint()),
+		FreqMHz:      r.Float64(),
+		AreaL:        r.Float64(),
+		AreaS:        r.Float64(),
+		PowerD:       r.Float64(),
+		PowerS:       r.Float64(),
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// recordCodec persists *componentRecord — the shape both
+// MeasureComponent and Session.MeasureAll store and serve. The
+// MinimizedParams map is written in sorted key order so identical
+// records encode to identical bytes (the cache's verify mode and the
+// golden tests rely on byte-stable encodes).
+var recordCodec = codec.Codec[*componentRecord]{
+	Name: "measure.componentRecord",
+	Append: func(dst []byte, rec *componentRecord) []byte {
+		dst = codec.AppendByte(dst, recordVersion)
+		dst = codec.AppendBool(dst, rec.Metrics != nil)
+		if rec.Metrics != nil {
+			dst = appendMetrics(dst, rec.Metrics)
+		}
+		dst = codec.AppendUvarint(dst, uint64(len(rec.UniqueModules)))
+		for _, name := range rec.UniqueModules {
+			dst = codec.AppendString(dst, name)
+		}
+		dst = codec.AppendUvarint(dst, uint64(len(rec.MinimizedParams)))
+		names := make([]string, 0, len(rec.MinimizedParams))
+		for name := range rec.MinimizedParams {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			dst = codec.AppendString(dst, name)
+			dst = codec.AppendVarint(dst, rec.MinimizedParams[name])
+		}
+		dst = codec.AppendVarint(dst, int64(rec.InstanceCount))
+		dst = codec.AppendVarint(dst, int64(rec.DedupedInstances))
+		dst = codec.AppendVarint(dst, int64(rec.ElabCacheHits))
+		dst = codec.AppendVarint(dst, int64(rec.ElabCacheMisses))
+		dst = codec.AppendVarint(dst, int64(rec.ElabStats.Hits))
+		dst = codec.AppendVarint(dst, int64(rec.ElabStats.Misses))
+		dst = codec.AppendVarint(dst, int64(rec.ElabStats.InstancesReused))
+		dst = codec.AppendBool(dst, rec.Optimized != nil)
+		if rec.Optimized != nil {
+			dst = codec.AppendNetlist(dst, rec.Optimized)
+		}
+		return dst
+	},
+	Decode: func(r *codec.Reader) (*componentRecord, error) {
+		if v := r.Byte(); r.Err() == nil && v != recordVersion {
+			return nil, fmt.Errorf("%w: record structure version %d, want %d", codec.ErrCorrupt, v, recordVersion)
+		}
+		rec := &componentRecord{}
+		if r.Bool() {
+			m, err := decodeMetrics(r)
+			if err != nil {
+				return nil, err
+			}
+			rec.Metrics = m
+		}
+		if n := r.Count(1); n > 0 {
+			rec.UniqueModules = make([]string, n)
+			for i := range rec.UniqueModules {
+				rec.UniqueModules[i] = r.String()
+			}
+		}
+		if n := r.Count(2); n > 0 {
+			rec.MinimizedParams = make(map[string]int64, n)
+			for i := 0; i < n; i++ {
+				name := r.String()
+				rec.MinimizedParams[name] = r.Varint()
+				if r.Err() != nil {
+					return nil, r.Err()
+				}
+			}
+		}
+		rec.InstanceCount = int(r.Varint())
+		rec.DedupedInstances = int(r.Varint())
+		rec.ElabCacheHits = int(r.Varint())
+		rec.ElabCacheMisses = int(r.Varint())
+		rec.ElabStats = elab.CacheStats{
+			Hits:            int(r.Varint()),
+			Misses:          int(r.Varint()),
+			InstancesReused: int(r.Varint()),
+		}
+		var opt *netlist.Netlist
+		if r.Bool() && r.Err() == nil {
+			var err error
+			opt, err = codec.DecodeNetlist(r)
+			if err != nil {
+				return nil, err
+			}
+		}
+		rec.Optimized = opt
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return rec, nil
+	},
+}

@@ -62,7 +62,7 @@ func MeasureComponent(design *hdl.Design, top string, useAccounting bool, opts O
 	if opts.Cache == nil {
 		return measureComponent(design, top, useAccounting, opts)
 	}
-	rec, _, err := cache.DoEq(opts.Cache, componentKey(design, top, useAccounting, opts), func() (*componentRecord, error) {
+	rec, _, err := cache.DoEq(opts.Cache, componentKey(design, top, useAccounting, opts), recordCodec, func() (*componentRecord, error) {
 		res, err := measureComponent(design, top, useAccounting, opts)
 		if err != nil {
 			return nil, err

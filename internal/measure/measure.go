@@ -178,7 +178,7 @@ func Module(design *hdl.Design, top string, overrides map[string]int64, opts Opt
 	key := cache.Key(append([]string{
 		"measure-module", design.Fingerprint(), synth.ParamSignature(top, overrides),
 	}, opts.CacheKeyParts()...)...)
-	m, _, err := cache.Do(opts.Cache, key, compute)
+	m, _, err := cache.Do(opts.Cache, key, metricsCodec, compute)
 	return m, err
 }
 

@@ -229,12 +229,11 @@ func (s *Session) MeasureAll(units []Unit, opts Options) ([]*ComponentResult, er
 // shared table.
 func (s *Session) planUnit(u Unit, opts Options, inner int, ecache *elab.Cache) *plan {
 	if opts.Cache != nil && !opts.Cache.Verifying() {
-		var rec componentRecord
-		if cache.Fetch(opts.Cache, componentKey(s.design, u.Top, u.UseAccounting, opts), &rec) {
+		if rec, ok := cache.Fetch(opts.Cache, componentKey(s.design, u.Top, u.UseAccounting, opts), recordCodec); ok {
 			s.mu.Lock()
 			s.stats.Components++
 			s.mu.Unlock()
-			return &plan{rec: &rec}
+			return &plan{rec: rec}
 		}
 	}
 
@@ -432,14 +431,8 @@ func (s *Session) synthesizeFlight(f *sigFlight, top string, overrides map[strin
 	// instance tree, and report would pin every signature's full
 	// elaboration for the session's lifetime, and that live-heap growth
 	// costs more in garbage-collector mark time across a batch than the
-	// fields are worth (no downstream consumer reads them). The retained
-	// netlist's derived tables rebuild on demand, so they are released
-	// too.
-	slim := *synres
-	slim.Raw, slim.Top, slim.Report = nil, nil, nil
-	slim.Optimized.TrimDerived()
-	slim.Optimized.TrimNames()
-	f.res = &slim
+	// fields are worth.
+	f.res = synres.Slim()
 }
 
 // sourceCounts memoizes one module's software metrics for the life of
@@ -512,7 +505,7 @@ func (s *Session) assembleUnit(u Unit, p *plan, opts Options) (*ComponentResult,
 	// Same key and codec as the per-component path: a cold batch
 	// populates the entries MeasureComponent would, and in verify mode
 	// the batch result is compared against the stored record.
-	rec, _, err := cache.DoEq(opts.Cache, componentKey(s.design, u.Top, u.UseAccounting, opts), func() (*componentRecord, error) {
+	rec, _, err := cache.DoEq(opts.Cache, componentKey(s.design, u.Top, u.UseAccounting, opts), recordCodec, func() (*componentRecord, error) {
 		return recordOf(res), nil
 	}, compareRecords)
 	if err != nil {

@@ -1,0 +1,92 @@
+package netlist
+
+import "fmt"
+
+// Validate checks the structural invariants every netlist built by
+// Builder.Build or Optimize satisfies: all net references (cell pins,
+// RAM ports, top-level ports, constants) are Nil or inside [0, Nets),
+// cell types are known, and the packed debug-name tables are either
+// absent or exactly one monotone offset run per net. It exists for
+// decoders of untrusted bytes (internal/codec rebuilds netlists from
+// disk and must hand downstream kernels — which index by NetID without
+// bounds checks — only netlists as well-formed as freshly built ones)
+// and runs on every cache hit, so the happy path is comparisons only —
+// no formatting until a check actually fails.
+func (n *Netlist) Validate() error {
+	ok := func(id NetID) bool { return id == Nil || (id >= 0 && int(id) < n.Nets) }
+	okRun := func(ids []NetID) bool {
+		for _, id := range ids {
+			if !ok(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if n.Nets < 0 {
+		return fmt.Errorf("netlist: negative net count %d", n.Nets)
+	}
+	if !ok(n.Const0) || !ok(n.Const1) {
+		return fmt.Errorf("netlist: constant nets %d,%d outside range [0,%d)", n.Const0, n.Const1, n.Nets)
+	}
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		if c.Type >= numCellTypes {
+			return fmt.Errorf("netlist: cell %d has unknown type %d", i, c.Type)
+		}
+		if c.Out == Nil {
+			return fmt.Errorf("netlist: cell %d has no output net", i)
+		}
+		if !ok(c.In[0]) || !ok(c.In[1]) || !ok(c.In[2]) || !ok(c.Clk) || !ok(c.Out) {
+			return fmt.Errorf("netlist: cell %d references a net outside range [0,%d)", i, n.Nets)
+		}
+	}
+	for ri, r := range n.RAMs {
+		if r == nil {
+			return fmt.Errorf("netlist: RAM %d is nil", ri)
+		}
+		if r.Width < 0 || r.Depth < 0 {
+			return fmt.Errorf("netlist: RAM %d has negative shape %dx%d", ri, r.Width, r.Depth)
+		}
+		if !ok(r.Clk) {
+			return fmt.Errorf("netlist: RAM %d clock outside range [0,%d)", ri, n.Nets)
+		}
+		for pi, wp := range r.WritePorts {
+			if !ok(wp.En) || !okRun(wp.Addr) || !okRun(wp.Data) {
+				return fmt.Errorf("netlist: RAM %d write port %d references a net outside range [0,%d)", ri, pi, n.Nets)
+			}
+		}
+		for pi, rp := range r.ReadPorts {
+			if !okRun(rp.Addr) || !okRun(rp.Out) {
+				return fmt.Errorf("netlist: RAM %d read port %d references a net outside range [0,%d)", ri, pi, n.Nets)
+			}
+		}
+	}
+	for _, p := range n.Inputs {
+		if !ok(p.Net) {
+			return fmt.Errorf("netlist: input port %s references net %d outside range [0,%d)", p.Name, p.Net, n.Nets)
+		}
+	}
+	for _, p := range n.Outputs {
+		if !ok(p.Net) {
+			return fmt.Errorf("netlist: output port %s references net %d outside range [0,%d)", p.Name, p.Net, n.Nets)
+		}
+	}
+	if len(n.NetNameOff) > 0 || len(n.NetNameData) > 0 {
+		if len(n.NetNameOff) != n.Nets+1 {
+			return fmt.Errorf("netlist: name offset table has %d entries for %d nets", len(n.NetNameOff), n.Nets)
+		}
+		if n.NetNameOff[0] != 0 {
+			return fmt.Errorf("netlist: name offset table starts at %d, not 0", n.NetNameOff[0])
+		}
+		for i := 1; i < len(n.NetNameOff); i++ {
+			if n.NetNameOff[i] < n.NetNameOff[i-1] {
+				return fmt.Errorf("netlist: name offsets decrease at net %d", i-1)
+			}
+		}
+		if int(n.NetNameOff[len(n.NetNameOff)-1]) != len(n.NetNameData) {
+			return fmt.Errorf("netlist: name offsets end at %d, data is %d bytes",
+				n.NetNameOff[len(n.NetNameOff)-1], len(n.NetNameData))
+		}
+	}
+	return nil
+}

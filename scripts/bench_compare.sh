@@ -22,7 +22,11 @@
 # speedup (it measures pure scheduling overhead, ~0.95x), so gating on
 # it would trip spuriously. Sub-10µs benchmarks are reported but never
 # fail the gate either: at that scale a count-based -benchtime
-# measures timer and scheduler noise, not the code under test.
+# measures timer and scheduler noise, not the code under test. The
+# CacheDecode/CacheEncode codec micro-benchmarks get a lower 1µs
+# exemption floor instead: the warm path is decode-bound, so a decode
+# regression is exactly what the gate exists to catch, and their
+# single-buffer kernels time stably well below 10µs.
 set -eu
 
 if [ "$#" -ne 2 ]; then
@@ -98,7 +102,8 @@ NR == FNR { ns[$1] = $2; sp[$1] = $3; gmp[$1] = $4; al[$1] = $5; by[$1] = $6; ne
 	ratio = (o > 0) ? n / o : 1
 	flag = "ok"
 	if (ratio > 1 + tol / 100) {
-		if (o < 10000 && n < 10000) flag = "noisy"
+		floor = (name ~ /^Cache(Decode|Encode)\//) ? 1000 : 10000
+		if (o < floor && n < floor) flag = "noisy"
 		else { flag = "REGRESSION"; bad++ }
 	}
 	else if (ratio < 0.90) flag = "improved"
