@@ -12,8 +12,10 @@ package repro
 import (
 	"bytes"
 	"encoding/gob"
+	"maps"
 	"math"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -27,6 +29,7 @@ import (
 	"repro/internal/elab"
 	"repro/internal/fpga"
 	"repro/internal/hdl"
+	"repro/internal/measure"
 	"repro/internal/netlist"
 	"repro/internal/nlme"
 	"repro/internal/paper"
@@ -343,6 +346,178 @@ func BenchmarkFigure6WarmCache(b *testing.B) {
 	}
 	b.ReportMetric(res.Without["FanInLC"]/res.With["FanInLC"], "faninlc_sigma_inflation")
 	b.ReportMetric(float64(s.Hits-before.Hits)/float64(b.N), "cache_hits_per_op")
+}
+
+// ---------------------------------------------------------------
+// Incremental remeasurement (dependency-graph edit loop)
+// ---------------------------------------------------------------
+
+// corpusUnits returns the 18 accounting units of the Figure 6 corpus —
+// the unit batch the incremental benchmarks remeasure.
+func corpusUnits() []measure.Unit {
+	var units []measure.Unit
+	for _, c := range designs.All() {
+		units = append(units, measure.Unit{Top: c.Top, UseAccounting: true})
+	}
+	return units
+}
+
+// anchorBaseline measures the batch on d (untimed) and anchors the
+// remeasurement baseline on it.
+func anchorBaseline(b *testing.B, d *hdl.Design, units []measure.Unit, opts measure.Options) *measure.Baseline {
+	b.Helper()
+	sess := measure.NewSession(d)
+	res, err := sess.MeasureAll(units, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseline, err := sess.Baseline(units, res, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return baseline
+}
+
+// remeasureWarmup rolls the baseline through one untimed remeasure per
+// design so the timed loop starts in steady state: module hashes
+// memoized on both design objects and both dependency graphs already
+// on disk (a -benchtime 1x run would otherwise time those one-off
+// costs instead of the edit loop).
+func remeasureWarmup(b *testing.B, baseline *measure.Baseline, ds [2]*hdl.Design, units []measure.Unit, opts measure.Options) *measure.Baseline {
+	b.Helper()
+	for _, d := range []*hdl.Design{ds[1], ds[0]} {
+		_, next, _, err := measure.NewSession(d).Remeasure(baseline, units, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseline = next
+	}
+	return baseline
+}
+
+// BenchmarkIncrementalEdit times the edit loop the dependency graph
+// exists for: one component-local edit of the corpus (RAT-Standard's
+// table read inverted), remeasured against the rolling baseline with a
+// warm disk cache. Each iteration diffs the per-module source hashes,
+// finds the one-unit dirty cone, re-measures it (a warm component
+// fetch), and serves the other 17 units from the baseline. The
+// speedup_vs_warm_whole_unit metric compares this against re-measuring
+// every unit through the warm cache — the path an edit loop pays
+// without the graph — and the gate in scripts/bench_compare.sh holds
+// it at >= 5x. Parsing is excluded from both sides, consistent with
+// the warm-cache benches.
+func BenchmarkIncrementalEdit(b *testing.B) {
+	b.ReportAllocs()
+	baseSrc := designs.Sources()
+	const anchor = "= table_mem[raddr[AW-1:0]];"
+	editSrc := maps.Clone(baseSrc)
+	if !strings.Contains(editSrc["RAT-Standard.v"], anchor) {
+		b.Fatalf("edit script stale: RAT-Standard.v does not contain %q", anchor)
+	}
+	editSrc["RAT-Standard.v"] = strings.Replace(editSrc["RAT-Standard.v"], anchor,
+		"= ~table_mem[raddr[AW-1:0]];", 1)
+	var ds [2]*hdl.Design
+	for i, src := range []map[string]string{baseSrc, editSrc} {
+		d, err := hdl.ParseDesign(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds[i] = d
+	}
+	units := corpusUnits()
+	ch, err := cache.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := measure.Options{Cache: ch}
+
+	// Warm the cache with both variants, then take the whole-unit warm
+	// reference: a full MeasureAll with every entry already on disk.
+	for _, d := range ds {
+		if _, err := measure.NewSession(d).MeasureAll(units, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const refRounds = 3
+	refStart := time.Now()
+	for r := 0; r < refRounds; r++ {
+		if _, err := measure.NewSession(ds[r%2]).MeasureAll(units, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	warmWhole := time.Since(refStart) / refRounds
+
+	// Rolling baseline anchored on the base design; the timed loop
+	// alternates edit/revert so every iteration sees a real diff.
+	baseline := anchorBaseline(b, ds[0], units, opts)
+	baseline = remeasureWarmup(b, baseline, ds, units, opts)
+	var st measure.RemeasureStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess := measure.NewSession(ds[(i+1)%2])
+		_, next, stats, err := sess.Remeasure(baseline, units, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseline, st = next, stats
+	}
+	b.StopTimer()
+	if st.DirtyUnits != 1 || st.CleanUnits != len(units)-1 {
+		b.Fatalf("dirty cone wrong: %d dirty / %d clean units (want 1 / %d)",
+			st.DirtyUnits, st.CleanUnits, len(units)-1)
+	}
+	if par := b.Elapsed() / time.Duration(b.N); par > 0 {
+		b.ReportMetric(float64(warmWhole)/float64(par), "speedup_vs_warm_whole_unit")
+	}
+	b.ReportMetric(float64(st.DirtyUnits), "dirty_units_per_op")
+	b.ReportMetric(float64(st.CleanUnits), "clean_units_per_op")
+}
+
+// BenchmarkRemeasureNoop times the no-change fast path: the corpus
+// re-parsed without any edit and remeasured against the baseline. The
+// diff must find an empty dirty cone and every unit must be served
+// from the baseline — the floor of the watch loop in ucmetrics -watch.
+func BenchmarkRemeasureNoop(b *testing.B) {
+	b.ReportAllocs()
+	src := designs.Sources()
+	// Two separate parses of identical sources: alternating them makes
+	// every iteration hash a design object the baseline graph was not
+	// built from, as a real watch loop would after a save.
+	var ds [2]*hdl.Design
+	for i := range ds {
+		d, err := hdl.ParseDesign(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds[i] = d
+	}
+	units := corpusUnits()
+	ch, err := cache.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := measure.Options{Cache: ch}
+	if _, err := measure.NewSession(ds[0]).MeasureAll(units, opts); err != nil {
+		b.Fatal(err)
+	}
+	baseline := anchorBaseline(b, ds[0], units, opts)
+	baseline = remeasureWarmup(b, baseline, ds, units, opts)
+	var st measure.RemeasureStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess := measure.NewSession(ds[(i+1)%2])
+		_, next, stats, err := sess.Remeasure(baseline, units, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseline, st = next, stats
+	}
+	b.StopTimer()
+	if st.DirtyUnits != 0 || st.CleanUnits != len(units) {
+		b.Fatalf("noop remeasure not clean: %d dirty / %d clean units (want 0 / %d)",
+			st.DirtyUnits, st.CleanUnits, len(units))
+	}
+	b.ReportMetric(float64(st.CleanUnits), "clean_units_per_op")
 }
 
 // ---------------------------------------------------------------

@@ -6,17 +6,31 @@
 //	ucmetrics -top <module> file.v [more.v ...]   measure your own design
 //	ucmetrics -builtin <Project-Name>             measure a bundled synthetic component
 //	ucmetrics -builtin all                        measure the whole corpus
+//	ucmetrics -diff -top <module> OLD NEW         remeasure an edit incrementally
+//	ucmetrics -watch -top <module> file.v [...]   remeasure on every file change
 //
 // Flags:
 //
 //	-no-accounting   disable the Section 2.2 accounting procedure
 //	-csv             emit the measurement as a CSV database row
+//	-diff            OLD and NEW are two versions of a design (each a
+//	                 µHDL file or a directory of .v files): measure OLD
+//	                 as the baseline, diff the dependency graphs, and
+//	                 re-measure only the subtrees the edit dirtied,
+//	                 printing per-metric deltas
+//	-watch           keep the measured design warm: poll the source
+//	                 files and incrementally remeasure on every change,
+//	                 printing deltas per iteration
+//	-watch-interval  poll period for -watch (default 500ms)
+//	-session-stats   report the dirty/clean module and unit partition
+//	                 of each incremental remeasure on stderr, plus the
+//	                 session sharing summary
 //	-cache-dir DIR   cache measurements on disk (default
 //	                 $UCOMPLEXITY_CACHE; results are identical with
 //	                 and without the cache)
 //	-cache-stats     report the cache's on-disk footprint (entries,
-//	                 bytes, compression ratio) and this run's decode
-//	                 cost on stderr
+//	                 bytes, compression ratio, per-kind rows) and this
+//	                 run's decode cost on stderr
 //	-cpuprofile FILE write a CPU profile of the run
 //	-memprofile FILE write a heap profile of the run
 //	-alloc-stats     report runtime.MemStats deltas (allocations,
@@ -26,16 +40,22 @@
 // the whole corpus is parsed once and each distinct (module,
 // parameters) signature is synthesized exactly once across the 18
 // components. A session summary (components measured, signatures
-// planned / synthesized / shared) is reported on stderr.
+// planned / synthesized / shared) is reported on stderr. The -diff and
+// -watch modes run the incremental remeasurement layer: a dependency
+// graph recorded at the baseline marks the transitive dirty cone of an
+// edit, clean subtrees are served from the baseline results, and only
+// dirty units are re-planned and re-synthesized.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/dataset"
@@ -44,19 +64,41 @@ import (
 	"repro/internal/measure"
 )
 
+// config carries the parsed command line.
+type config struct {
+	top           string
+	builtin       string
+	useAccounting bool
+	asCSV         bool
+	diff          bool
+	watch         bool
+	interval      time.Duration
+	sessionStats  bool
+	cacheDir      string
+	cacheStats    bool
+	files         []string
+}
+
 func main() {
-	top := flag.String("top", "", "top module to measure")
-	builtin := flag.String("builtin", "", "bundled component label (e.g. IVM-Rename) or 'all'")
+	var cfg config
+	flag.StringVar(&cfg.top, "top", "", "top module to measure")
+	flag.StringVar(&cfg.builtin, "builtin", "", "bundled component label (e.g. IVM-Rename) or 'all'")
 	noAccounting := flag.Bool("no-accounting", false, "disable the accounting procedure")
-	asCSV := flag.Bool("csv", false, "emit CSV database rows")
-	cacheDir := flag.String("cache-dir", cache.DefaultDir(), "measurement cache directory (default $"+cache.EnvVar+"; empty = no cache)")
-	cacheStats := flag.Bool("cache-stats", false, "report cache disk footprint and decode cost on stderr")
+	flag.BoolVar(&cfg.asCSV, "csv", false, "emit CSV database rows")
+	flag.BoolVar(&cfg.diff, "diff", false, "incrementally remeasure NEW against OLD (two positional paths)")
+	flag.BoolVar(&cfg.watch, "watch", false, "poll the sources and incrementally remeasure on change")
+	flag.DurationVar(&cfg.interval, "watch-interval", 500*time.Millisecond, "poll period for -watch")
+	flag.BoolVar(&cfg.sessionStats, "session-stats", false, "report dirty/clean partitions and session sharing on stderr")
+	flag.StringVar(&cfg.cacheDir, "cache-dir", cache.DefaultDir(), "measurement cache directory (default $"+cache.EnvVar+"; empty = no cache)")
+	flag.BoolVar(&cfg.cacheStats, "cache-stats", false, "report cache disk footprint and decode cost on stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write heap profile to file")
 	allocStats := flag.Bool("alloc-stats", false, "report runtime.MemStats deltas for the run on stderr")
 	flag.Parse()
+	cfg.useAccounting = !*noAccounting
+	cfg.files = flag.Args()
 
-	if err := profiledRun(*top, *builtin, !*noAccounting, *asCSV, *cacheDir, *cacheStats, *cpuProfile, *memProfile, *allocStats, flag.Args()); err != nil {
+	if err := profiledRun(cfg, *cpuProfile, *memProfile, *allocStats); err != nil {
 		fmt.Fprintln(os.Stderr, "ucmetrics:", err)
 		os.Exit(1)
 	}
@@ -66,7 +108,7 @@ func main() {
 // profiles (same shape as ucpaper's) and the -alloc-stats MemStats
 // delta line used to sanity-check steady-state allocation behaviour
 // without a benchmark harness.
-func profiledRun(top, builtin string, useAccounting, asCSV bool, cacheDir string, cacheStats bool, cpuProfile, memProfile string, allocStats bool, files []string) error {
+func profiledRun(cfg config, cpuProfile, memProfile string, allocStats bool) error {
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
 		if err != nil {
@@ -97,7 +139,7 @@ func profiledRun(top, builtin string, useAccounting, asCSV bool, cacheDir string
 	if allocStats {
 		runtime.ReadMemStats(&before)
 	}
-	err := run(top, builtin, useAccounting, asCSV, cacheDir, cacheStats, files)
+	err := run(cfg)
 	if allocStats {
 		var after runtime.MemStats
 		runtime.ReadMemStats(&after)
@@ -117,25 +159,34 @@ type target struct {
 	effort  float64
 }
 
-func run(top, builtin string, useAccounting, asCSV bool, cacheDir string, cacheStats bool, files []string) error {
+func run(cfg config) error {
 	opts := measure.Options{}
-	if cacheDir != "" {
-		c, err := cache.Open(cacheDir)
+	if cfg.cacheDir != "" {
+		c, err := cache.Open(cfg.cacheDir)
 		if err != nil {
 			return err
 		}
 		opts.Cache = c
-		if cacheStats {
+		if cfg.cacheStats {
 			defer printCacheStats(c)
 		}
-	} else if cacheStats {
+	} else if cfg.cacheStats {
 		return fmt.Errorf("-cache-stats needs a cache (-cache-dir or $%s)", cache.EnvVar)
+	}
+
+	switch {
+	case cfg.diff && cfg.watch:
+		return fmt.Errorf("-diff and -watch are mutually exclusive")
+	case cfg.diff:
+		return runDiff(cfg, opts)
+	case cfg.watch:
+		return runWatch(cfg, opts)
 	}
 
 	var d *hdl.Design
 	var targets []target
 	switch {
-	case builtin == "all":
+	case cfg.builtin == "all":
 		full, err := designs.FullDesign()
 		if err != nil {
 			return err
@@ -144,8 +195,8 @@ func run(top, builtin string, useAccounting, asCSV bool, cacheDir string, cacheS
 		for _, c := range designs.All() {
 			targets = append(targets, target{c.Project, c.Top, c.Effort})
 		}
-	case builtin != "":
-		c, err := designs.ByLabel(builtin)
+	case cfg.builtin != "":
+		c, err := designs.ByLabel(cfg.builtin)
 		if err != nil {
 			return err
 		}
@@ -155,29 +206,24 @@ func run(top, builtin string, useAccounting, asCSV bool, cacheDir string, cacheS
 		}
 		targets = []target{{c.Project, c.Top, c.Effort}}
 	default:
-		if top == "" || len(files) == 0 {
+		if cfg.top == "" || len(cfg.files) == 0 {
 			return fmt.Errorf("need -top and at least one source file (or -builtin)")
 		}
-		sources := map[string]string{}
-		for _, f := range files {
-			data, err := os.ReadFile(f)
-			if err != nil {
-				return err
-			}
-			sources[f] = string(data)
+		sources, err := loadSources(cfg.files)
+		if err != nil {
+			return err
 		}
-		var err error
 		d, err = hdl.ParseDesign(sources)
 		if err != nil {
 			return err
 		}
-		targets = []target{{"user", top, 0}}
+		targets = []target{{"user", cfg.top, 0}}
 	}
 
 	sess := measure.NewSession(d)
 	units := make([]measure.Unit, len(targets))
 	for i, t := range targets {
-		units[i] = measure.Unit{Top: t.top, UseAccounting: useAccounting}
+		units[i] = measure.Unit{Top: t.top, UseAccounting: cfg.useAccounting}
 	}
 	results, err := sess.MeasureAll(units, opts)
 	if err != nil {
@@ -192,7 +238,7 @@ func run(top, builtin string, useAccounting, asCSV bool, cacheDir string, cacheS
 			Effort:  t.effort,
 			Metrics: results[i].Metrics.MetricMap(),
 		}
-		if !asCSV {
+		if !cfg.asCSV {
 			printResult(t.project, t.top, results[i])
 		}
 	}
@@ -202,14 +248,262 @@ func run(top, builtin string, useAccounting, asCSV bool, cacheDir string, cacheS
 	fmt.Fprintf(os.Stderr, "session: %d components measured, %d signatures planned, %d synthesized, %d shared; elab cache %d hits, %d misses\n",
 		s.Components, s.Planned, s.Synthesized, s.Shared, e.Hits, e.Misses)
 
-	if asCSV {
+	if cfg.asCSV {
 		return dataset.WriteCSV(os.Stdout, rows)
 	}
 	return nil
 }
 
-// printCacheStats reports the on-disk footprint (one directory scan)
-// and this run's warm-path decode accounting on stderr.
+// loadSources reads a set of paths into a source map. A directory
+// contributes every .v file directly inside it; other paths are read
+// as single files.
+func loadSources(paths []string) (map[string]string, error) {
+	sources := map[string]string{}
+	add := func(p string) error {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		sources[p] = string(data)
+		return nil
+	}
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			if err := add(p); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".v" {
+				continue
+			}
+			if err := add(filepath.Join(p, e.Name())); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("no source files under %v", paths)
+	}
+	return sources, nil
+}
+
+// measureBaseline measures the units on one parsed design and anchors
+// a remeasurement baseline on the result.
+func measureBaseline(sources map[string]string, units []measure.Unit, opts measure.Options) ([]*measure.ComponentResult, *measure.Baseline, error) {
+	d, err := hdl.ParseDesign(sources)
+	if err != nil {
+		return nil, nil, err
+	}
+	sess := measure.NewSession(d)
+	res, err := sess.MeasureAll(units, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err := sess.Baseline(units, res, opts)
+	return res, base, err
+}
+
+// runDiff measures OLD as the baseline and incrementally remeasures
+// NEW against it, printing per-unit metric deltas.
+func runDiff(cfg config, opts measure.Options) error {
+	if cfg.top == "" || len(cfg.files) != 2 {
+		return fmt.Errorf("-diff needs -top and exactly two paths (old and new)")
+	}
+	units := []measure.Unit{{Top: cfg.top, UseAccounting: cfg.useAccounting}}
+
+	oldSrc, err := loadSources(cfg.files[:1])
+	if err != nil {
+		return err
+	}
+	oldRes, base, err := measureBaseline(oldSrc, units, opts)
+	if err != nil {
+		return fmt.Errorf("old %s: %w", cfg.files[0], err)
+	}
+
+	newSrc, err := loadSources(cfg.files[1:])
+	if err != nil {
+		return err
+	}
+	// The new design keeps the old design's file names where contents
+	// moved, but keying is content-based (per-module hashes), so file
+	// naming does not matter to the diff.
+	d, err := hdl.ParseDesign(newSrc)
+	if err != nil {
+		return fmt.Errorf("new %s: %w", cfg.files[1], err)
+	}
+	sess := measure.NewSession(d)
+	newRes, _, stats, err := sess.Remeasure(base, units, opts)
+	if err != nil {
+		return fmt.Errorf("new %s: %w", cfg.files[1], err)
+	}
+
+	printRemeasure(units, oldRes, newRes, stats)
+	if cfg.sessionStats {
+		printSessionStats(sess, stats)
+	}
+	return nil
+}
+
+// runWatch measures the design once, then polls the source paths and
+// incrementally remeasures on every modification, printing deltas.
+func runWatch(cfg config, opts measure.Options) error {
+	if cfg.top == "" || len(cfg.files) == 0 {
+		return fmt.Errorf("-watch needs -top and at least one source path")
+	}
+	units := []measure.Unit{{Top: cfg.top, UseAccounting: cfg.useAccounting}}
+
+	sources, err := loadSources(cfg.files)
+	if err != nil {
+		return err
+	}
+	res, base, err := measureBaseline(sources, units, opts)
+	if err != nil {
+		return err
+	}
+	printResult("watch", cfg.top, res[0])
+	stamps := sourceStamps(cfg.files)
+
+	for {
+		time.Sleep(cfg.interval)
+		next := sourceStamps(cfg.files)
+		if stampsEqual(stamps, next) {
+			continue
+		}
+		stamps = next
+		sources, err := loadSources(cfg.files)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ucmetrics: watch:", err)
+			continue
+		}
+		d, err := hdl.ParseDesign(sources)
+		if err != nil {
+			// Mid-edit sources often do not parse; keep the baseline and
+			// wait for the next change.
+			fmt.Fprintln(os.Stderr, "ucmetrics: watch:", err)
+			continue
+		}
+		sess := measure.NewSession(d)
+		newRes, nextBase, stats, err := sess.Remeasure(base, units, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ucmetrics: watch:", err)
+			continue
+		}
+		printRemeasure(units, res, newRes, stats)
+		if cfg.sessionStats {
+			printSessionStats(sess, stats)
+		}
+		res, base = newRes, nextBase
+	}
+}
+
+// sourceStamps snapshots the watched paths' modification times (files
+// directly named plus .v files one level under named directories). A
+// vanished path records a zero time, so deletions register as changes.
+func sourceStamps(paths []string) map[string]time.Time {
+	stamps := map[string]time.Time{}
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			stamps[p] = time.Time{}
+			continue
+		}
+		if !info.IsDir() {
+			stamps[p] = info.ModTime()
+			continue
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			stamps[p] = time.Time{}
+			continue
+		}
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".v" {
+				continue
+			}
+			fi, err := e.Info()
+			if err != nil {
+				continue
+			}
+			stamps[filepath.Join(p, e.Name())] = fi.ModTime()
+		}
+	}
+	return stamps
+}
+
+func stampsEqual(a, b map[string]time.Time) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || !bv.Equal(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// printRemeasure reports one incremental remeasurement: the module
+// edits the dependency diff found and, per unit, the metric deltas
+// against the previous results.
+func printRemeasure(units []measure.Unit, oldRes, newRes []*measure.ComponentResult, stats measure.RemeasureStats) {
+	if len(stats.ChangedModules) > 0 {
+		fmt.Printf("changed modules: %v\n", stats.ChangedModules)
+	}
+	if len(stats.AddedModules) > 0 {
+		fmt.Printf("added modules:   %v\n", stats.AddedModules)
+	}
+	if len(stats.RemovedModules) > 0 {
+		fmt.Printf("removed modules: %v\n", stats.RemovedModules)
+	}
+	for i, u := range units {
+		om, nm := oldRes[i].Metrics.MetricMap(), newRes[i].Metrics.MetricMap()
+		names := make([]string, 0, len(nm))
+		for name := range nm {
+			names = append(names, string(name))
+		}
+		sort.Strings(names)
+		changed := false
+		for _, name := range names {
+			k := dataset.Metric(name)
+			if om[k] != nm[k] {
+				if !changed {
+					fmt.Printf("%s (accounting=%t):\n", u.Top, u.UseAccounting)
+					changed = true
+				}
+				fmt.Printf("  %-14s %12g -> %-12g (%+g)\n", name, om[k], nm[k], nm[k]-om[k])
+			}
+		}
+		if !changed {
+			fmt.Printf("%s (accounting=%t): metrics unchanged\n", u.Top, u.UseAccounting)
+		}
+	}
+}
+
+// printSessionStats reports the incremental partition — how much of
+// the design and the batch the edit actually dirtied — plus the
+// session sharing counters for the dirty part.
+func printSessionStats(sess *measure.Session, stats measure.RemeasureStats) {
+	fmt.Fprintf(os.Stderr, "session-stats: %d dirty / %d clean modules; %d dirty / %d clean units\n",
+		stats.DirtyModules, stats.CleanModules, stats.DirtyUnits, stats.CleanUnits)
+	s := sess.Stats()
+	e := sess.ElabStats()
+	fmt.Fprintf(os.Stderr, "session: %d components measured, %d signatures planned, %d synthesized, %d shared; elab cache %d hits, %d misses\n",
+		s.Components, s.Planned, s.Synthesized, s.Shared, e.Hits, e.Misses)
+}
+
+// printCacheStats reports the on-disk footprint (one directory scan),
+// this run's warm-path decode accounting, and the per-kind breakdown
+// on stderr.
 func printCacheStats(c *cache.Cache) {
 	s := c.Stats()
 	ds, err := c.DiskStats()
@@ -221,6 +515,9 @@ func printCacheStats(c *cache.Cache) {
 	if s.BytesStored > 0 {
 		fmt.Fprintf(os.Stderr, "cache-stats: read %d stored bytes -> %d raw bytes (%.2fx compression), decode %.3f ms\n",
 			s.BytesStored, s.BytesRaw, float64(s.BytesRaw)/float64(s.BytesStored), float64(s.DecodeNanos)/1e6)
+	}
+	for _, row := range cache.KindRows(ds, c.KindStats()) {
+		fmt.Fprintln(os.Stderr, "cache-stats:", row)
 	}
 }
 

@@ -164,6 +164,9 @@ func printCacheStats(c *cache.Cache) {
 		fmt.Fprintf(os.Stderr, "cache-stats: read %d stored bytes -> %d raw bytes (%.2fx compression), decode %.3f ms\n",
 			s.BytesStored, s.BytesRaw, float64(s.BytesRaw)/float64(s.BytesStored), float64(s.DecodeNanos)/1e6)
 	}
+	for _, row := range cache.KindRows(ds, c.KindStats()) {
+		fmt.Fprintln(os.Stderr, "cache-stats:", row)
+	}
 }
 
 func run(tableN, figureN int, aicbic, extension, all bool, opts paper.Opts) error {

@@ -29,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -40,8 +41,14 @@ import (
 // SchemaVersion is the on-disk format version. It participates in both
 // the key derivation and the per-entry header, so bumping it orphans
 // every existing entry (they are never decoded, only ignored).
-// Version 3 is the binary codec format; versions 1-2 were gob.
-const SchemaVersion = 3
+// Version 3 introduced the binary codec format (versions 1-2 were
+// gob); version 4 re-keys measurement entries from whole-design
+// fingerprints to per-subtree source hashes and adds signature-level
+// and dependency-graph entry kinds (the incremental remeasurement
+// layer) — the payload encodings are unchanged, but the key semantics
+// are not, so the bump keeps v3 entries from shadowing subtree-keyed
+// results.
+const SchemaVersion = 4
 
 // CompressThreshold is the encoded payload size at which entries are
 // flate-compressed on write (forwarded to codec.EncodeEntry, which
@@ -84,10 +91,24 @@ type Stats struct {
 }
 
 // DiskStats summarizes the entries currently on disk (one directory
-// scan; see Cache.DiskStats).
+// scan; see Cache.DiskStats). Kinds breaks the totals down by entry
+// kind (the KindKey prefix; plain Key entries group under "").
 type DiskStats struct {
 	Entries int
 	Bytes   int64
+	Kinds   map[string]KindDisk
+}
+
+// KindDisk is one kind's share of the on-disk footprint.
+type KindDisk struct {
+	Entries int
+	Bytes   int64
+}
+
+// KindCounters is one kind's share of the runtime activity counters:
+// hits and misses as counted by Fetch/Do/DoEq, puts as counted by Put.
+type KindCounters struct {
+	Hits, Misses, Puts int64
 }
 
 // Cache is one on-disk cache directory.
@@ -97,6 +118,9 @@ type Cache struct {
 
 	mu      sync.Mutex
 	flights map[string]*flight
+
+	kmu   sync.Mutex
+	kinds map[string]*KindCounters
 
 	hits, misses, puts, decodeErrs, verifyChecks, verifyMismatches atomic.Int64
 	decodeNanos, bytesStored, bytesRaw                             atomic.Int64
@@ -117,7 +141,7 @@ func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: %w", err)
 	}
-	return &Cache{dir: dir, flights: map[string]*flight{}}, nil
+	return &Cache{dir: dir, flights: map[string]*flight{}, kinds: map[string]*KindCounters{}}, nil
 }
 
 // Dir returns the cache directory.
@@ -147,10 +171,10 @@ func (c *Cache) Stats() Stats {
 }
 
 // DiskStats scans the cache directory and reports how many entries it
-// holds and their total size. It is an observability call (the
-// -cache-stats flags), not a hot-path one.
+// holds and their total size, broken down by entry kind. It is an
+// observability call (the -cache-stats flags), not a hot-path one.
 func (c *Cache) DiskStats() (DiskStats, error) {
-	var ds DiskStats
+	ds := DiskStats{Kinds: map[string]KindDisk{}}
 	entries, err := os.ReadDir(c.dir)
 	if err != nil {
 		return ds, fmt.Errorf("cache: %w", err)
@@ -165,8 +189,80 @@ func (c *Cache) DiskStats() (DiskStats, error) {
 		}
 		ds.Entries++
 		ds.Bytes += info.Size()
+		k := KindOf(strings.TrimSuffix(e.Name(), entryExt))
+		kd := ds.Kinds[k]
+		kd.Entries++
+		kd.Bytes += info.Size()
+		ds.Kinds[k] = kd
 	}
 	return ds, nil
+}
+
+// KindStats returns a snapshot of the per-kind runtime counters (keys
+// are KindKey kinds; plain Key traffic groups under "").
+func (c *Cache) KindStats() map[string]KindCounters {
+	c.kmu.Lock()
+	defer c.kmu.Unlock()
+	out := make(map[string]KindCounters, len(c.kinds))
+	for k, v := range c.kinds {
+		out[k] = *v
+	}
+	return out
+}
+
+// KindRows renders one human-readable line per entry kind — disk
+// footprint from a DiskStats scan joined with the run's KindStats
+// counters — sorted by kind name, for the commands' -cache-stats
+// output. Kinds with neither disk entries nor runtime traffic are
+// omitted; plain Key entries report as "plain".
+func KindRows(ds DiskStats, ks map[string]KindCounters) []string {
+	names := map[string]bool{}
+	for k := range ds.Kinds {
+		names[k] = true
+	}
+	for k := range ks {
+		names[k] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for k := range names {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	rows := make([]string, 0, len(sorted))
+	for _, k := range sorted {
+		kd, kc := ds.Kinds[k], ks[k]
+		if kd.Entries == 0 && kc == (KindCounters{}) {
+			continue
+		}
+		label := k
+		if label == "" {
+			label = "plain"
+		}
+		row := fmt.Sprintf("kind %-9s %4d entries, %8d bytes", label+":", kd.Entries, kd.Bytes)
+		if total := kc.Hits + kc.Misses; total > 0 {
+			row += fmt.Sprintf("; %d hits / %d misses (%.1f%% hit rate), %d puts",
+				kc.Hits, kc.Misses, 100*float64(kc.Hits)/float64(total), kc.Puts)
+		} else if kc.Puts > 0 {
+			row += fmt.Sprintf("; %d puts", kc.Puts)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// countKind folds one event into the key's kind counters.
+func (c *Cache) countKind(key string, hits, misses, puts int64) {
+	k := KindOf(key)
+	c.kmu.Lock()
+	kc := c.kinds[k]
+	if kc == nil {
+		kc = &KindCounters{}
+		c.kinds[k] = kc
+	}
+	kc.Hits += hits
+	kc.Misses += misses
+	kc.Puts += puts
+	c.kmu.Unlock()
 }
 
 // Key derives a cache key from the parts that determine a result.
@@ -184,6 +280,26 @@ func Key(parts ...string) string {
 		h.Write([]byte(p))
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// KindKey derives a cache key like Key but tagged with an entry kind:
+// the returned key is "<kind>-<hash>", so the kind survives into the
+// entry file name (per-kind disk stats read it back with KindOf) and
+// the runtime counters attribute hits/misses/puts to it. The kind is
+// also mixed into the hash, so identical parts under different kinds
+// are distinct entries. Kinds must be non-empty, filename-safe, and
+// free of '-' (the separator).
+func KindKey(kind string, parts ...string) string {
+	return kind + "-" + Key(append([]string{"kind=" + kind}, parts...)...)
+}
+
+// KindOf extracts the kind tag from a key: the prefix before the first
+// '-' for KindKey keys, "" for plain Key keys (bare hex).
+func KindOf(key string) string {
+	if kind, _, ok := strings.Cut(key, "-"); ok {
+		return kind
+	}
+	return ""
 }
 
 func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+entryExt) }
@@ -272,6 +388,7 @@ func Fetch[T any](c *Cache, key string, cd codec.Codec[T]) (T, bool) {
 		return v, false
 	}
 	c.hits.Add(1)
+	c.countKind(key, 1, 0, 0)
 	return v, true
 }
 
@@ -306,7 +423,23 @@ func Put[T any](c *Cache, key string, cd codec.Codec[T], val T) error {
 		return fmt.Errorf("cache: %w", err)
 	}
 	c.puts.Add(1)
+	c.countKind(key, 0, 0, 1)
 	return nil
+}
+
+// PutIfAbsent writes the entry only when no file for key exists yet,
+// reporting whether it wrote. Skipping is sound for every key in this
+// cache: keys are content-addressed, so an existing entry already
+// holds this value (the schema version pins the encoding), and a
+// damaged one is discarded at read time and re-stored by the next
+// write. Callers that re-store the same entry every round — a watch
+// loop re-anchoring its baseline graph — pay one stat instead of an
+// encode, compress, and atomic write.
+func PutIfAbsent[T any](c *Cache, key string, cd codec.Codec[T], val T) (bool, error) {
+	if _, err := os.Stat(c.path(key)); err == nil {
+		return false, nil
+	}
+	return true, Put(c, key, cd, val)
 }
 
 // Do returns the entry for key, computing and storing it on a miss.
@@ -356,6 +489,7 @@ func DoEq[T any](c *Cache, key string, cd codec.Codec[T], compute func() (T, err
 
 	if cached, ok := Get(c, key, cd); ok {
 		c.hits.Add(1)
+		c.countKind(key, 1, 0, 0)
 		if c.Verifying() {
 			c.verifyChecks.Add(1)
 			fresh, err := compute()
@@ -380,6 +514,7 @@ func DoEq[T any](c *Cache, key string, cd codec.Codec[T], compute func() (T, err
 	}
 
 	c.misses.Add(1)
+	c.countKind(key, 0, 1, 0)
 	v, err := compute()
 	if err != nil {
 		f.err = err

@@ -135,6 +135,132 @@ func TestCompressedRoundtrip(t *testing.T) {
 	}
 }
 
+// TestPutIfAbsent pins the skip-if-present contract: the second store
+// of a key is a no-op (no write, no put counted), and a discarded
+// entry is re-stored.
+func TestPutIfAbsent(t *testing.T) {
+	c := open(t)
+	key := Key("absent")
+	wrote, err := PutIfAbsent(c, key, intCodec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wrote {
+		t.Fatal("first PutIfAbsent did not write")
+	}
+	wrote, err = PutIfAbsent(c, key, intCodec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrote {
+		t.Error("PutIfAbsent rewrote an existing entry")
+	}
+	if got := c.Stats().Puts; got != 1 {
+		t.Errorf("puts = %d after a skipped store, want 1", got)
+	}
+	if v, ok := Get(c, key, intCodec); !ok || v != 7 {
+		t.Fatalf("Get = %d, %t after skipped store, want 7, true", v, ok)
+	}
+	c.discard(key)
+	if wrote, err = PutIfAbsent(c, key, intCodec, 7); err != nil || !wrote {
+		t.Fatalf("PutIfAbsent after discard = %t, %v, want a write", wrote, err)
+	}
+}
+
+func TestKindKey(t *testing.T) {
+	k := KindKey("sig", "a", "b")
+	if !strings.HasPrefix(k, "sig-") {
+		t.Errorf("KindKey = %q, want sig- prefix", k)
+	}
+	if KindOf(k) != "sig" {
+		t.Errorf("KindOf(%q) = %q, want sig", k, KindOf(k))
+	}
+	if KindOf(Key("a", "b")) != "" {
+		t.Error("plain keys should have empty kind")
+	}
+	// Same parts under different kinds are distinct entries.
+	if KindKey("sig", "a") == KindKey("component", "a") {
+		t.Error("kinds do not separate the key space")
+	}
+	// Kind tag must not collide with the kind-in-hash mixing.
+	if strings.TrimPrefix(KindKey("sig", "a"), "sig-") == Key("a") {
+		t.Error("kind not mixed into the hash")
+	}
+}
+
+// TestKindStats pins the per-kind observability: runtime counters
+// attribute hits/misses/puts to the key's kind, and the disk scan
+// splits the footprint the same way.
+func TestKindStats(t *testing.T) {
+	c := open(t)
+	sigKey := KindKey("sig", "s1")
+	compKey := KindKey("component", "c1")
+	plainKey := Key("p1")
+
+	compute := func() (payload, error) { return payload{Name: "v"}, nil }
+	for _, key := range []string{sigKey, compKey, plainKey} {
+		if _, hit, err := Do(c, key, payloadCodec, compute); err != nil || hit {
+			t.Fatalf("cold Do(%s): hit=%v err=%v", key, hit, err)
+		}
+	}
+	if _, hit, err := Do(c, sigKey, payloadCodec, compute); err != nil || !hit {
+		t.Fatalf("warm Do: hit=%v err=%v", hit, err)
+	}
+	if _, ok := Fetch(c, compKey, payloadCodec); !ok {
+		t.Fatal("Fetch miss after put")
+	}
+
+	ks := c.KindStats()
+	if got := ks["sig"]; got.Hits != 1 || got.Misses != 1 || got.Puts != 1 {
+		t.Errorf("sig counters = %+v, want 1/1/1", got)
+	}
+	if got := ks["component"]; got.Hits != 1 || got.Misses != 1 || got.Puts != 1 {
+		t.Errorf("component counters = %+v, want 1/1/1", got)
+	}
+	if got := ks[""]; got.Misses != 1 || got.Puts != 1 {
+		t.Errorf("plain-key counters = %+v, want 1 miss / 1 put", got)
+	}
+
+	ds, err := c.DiskStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Entries != 3 {
+		t.Fatalf("DiskStats entries = %d, want 3", ds.Entries)
+	}
+	for _, kind := range []string{"sig", "component", ""} {
+		kd := ds.Kinds[kind]
+		if kd.Entries != 1 || kd.Bytes <= 0 {
+			t.Errorf("disk kind %q = %+v, want 1 entry with bytes", kind, kd)
+		}
+	}
+}
+
+func TestKindRows(t *testing.T) {
+	ds := DiskStats{Kinds: map[string]KindDisk{
+		"sig": {Entries: 2, Bytes: 100},
+		"":    {Entries: 1, Bytes: 50},
+	}}
+	ks := map[string]KindCounters{
+		"sig":      {Hits: 3, Misses: 1, Puts: 1},
+		"depgraph": {Puts: 2},
+	}
+	rows := KindRows(ds, ks)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3: %v", len(rows), rows)
+	}
+	// Sorted by kind: "" (plain) < depgraph < sig.
+	if !strings.Contains(rows[0], "plain") {
+		t.Errorf("row 0 = %q, want plain kind first", rows[0])
+	}
+	if !strings.Contains(rows[1], "depgraph") || !strings.Contains(rows[1], "2 puts") {
+		t.Errorf("row 1 = %q, want depgraph puts", rows[1])
+	}
+	if !strings.Contains(rows[2], "75.0% hit rate") {
+		t.Errorf("row 2 = %q, want 75.0%% hit rate", rows[2])
+	}
+}
+
 func TestDiskStats(t *testing.T) {
 	c := open(t)
 	for i, name := range []string{"a", "b", "c"} {

@@ -1,0 +1,126 @@
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/codec"
+)
+
+// Binary persistence of a Graph through internal/codec: the graph is
+// stored alongside the measurement results in internal/cache (entry
+// kind "depgraph") so a later process — a ucmetrics -diff run, the
+// future service's hot endpoint — can diff an edited design against
+// the last recorded measurement without re-measuring the baseline.
+// The payload opens with a structure version byte (the cache schema
+// version frames the entry envelope); maps are written in sorted key
+// order so identical graphs encode to identical bytes.
+
+const graphVersion = 1
+
+// GraphCodec encodes and decodes *Graph for internal/cache. Decoded
+// graphs are validated (sorted modules, resolved edges, unique units)
+// before being returned, so a corrupt entry is a decode error — the
+// cache discards and recomputes it — never a wrong dirty cone.
+var GraphCodec = codec.Codec[*Graph]{
+	Name:   "depgraph.Graph",
+	Append: AppendGraph,
+	Decode: DecodeGraph,
+}
+
+// AppendGraph appends the binary encoding of g onto dst.
+func AppendGraph(dst []byte, g *Graph) []byte {
+	dst = codec.AppendByte(dst, graphVersion)
+	dst = codec.AppendString(dst, g.Fingerprint)
+	dst = codec.AppendString(dst, g.OptionsKey)
+	dst = codec.AppendUvarint(dst, uint64(len(g.Modules)))
+	for _, m := range g.Modules {
+		dst = codec.AppendString(dst, m.Name)
+		dst = codec.AppendString(dst, m.Hash)
+		dst = codec.AppendUvarint(dst, uint64(len(m.Children)))
+		for _, c := range m.Children {
+			dst = codec.AppendString(dst, c)
+		}
+	}
+	dst = codec.AppendUvarint(dst, uint64(len(g.Units)))
+	for _, u := range g.Units {
+		dst = codec.AppendString(dst, u.Top)
+		dst = codec.AppendBool(dst, u.UseAccounting)
+		dst = codec.AppendString(dst, u.SubtreeHash)
+		dst = codec.AppendString(dst, u.ParamSig)
+		dst = codec.AppendUvarint(dst, uint64(len(u.Params)))
+		names := make([]string, 0, len(u.Params))
+		for name := range u.Params {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			dst = codec.AppendString(dst, name)
+			dst = codec.AppendVarint(dst, u.Params[name])
+		}
+		dst = codec.AppendString(dst, u.NetlistHash)
+	}
+	return dst
+}
+
+// DecodeGraph decodes one Graph from r, validating structure. Every
+// failure wraps codec.ErrCorrupt (via the Reader's sticky error or an
+// explicit wrap here).
+func DecodeGraph(r *codec.Reader) (*Graph, error) {
+	if v := r.Byte(); r.Err() == nil && v != graphVersion {
+		return nil, fmt.Errorf("%w: depgraph structure version %d, want %d", codec.ErrCorrupt, v, graphVersion)
+	}
+	g := &Graph{
+		Fingerprint: r.String(),
+		OptionsKey:  r.String(),
+	}
+	if n := r.Count(2); n > 0 {
+		g.Modules = make([]Module, n)
+		for i := range g.Modules {
+			m := &g.Modules[i]
+			m.Name = r.String()
+			m.Hash = r.String()
+			if cn := r.Count(1); cn > 0 {
+				m.Children = make([]string, cn)
+				for j := range m.Children {
+					m.Children[j] = r.String()
+				}
+			}
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+		}
+	}
+	if n := r.Count(4); n > 0 {
+		g.Units = make([]Unit, n)
+		for i := range g.Units {
+			u := &g.Units[i]
+			u.Top = r.String()
+			u.UseAccounting = r.Bool()
+			u.SubtreeHash = r.String()
+			u.ParamSig = r.String()
+			if pn := r.Count(2); pn > 0 {
+				u.Params = make(map[string]int64, pn)
+				for j := 0; j < pn; j++ {
+					name := r.String()
+					u.Params[name] = r.Varint()
+					if r.Err() != nil {
+						return nil, r.Err()
+					}
+				}
+			}
+			u.NetlistHash = r.String()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", codec.ErrCorrupt, err)
+	}
+	g.reindex()
+	return g, nil
+}

@@ -1,0 +1,53 @@
+package depgraph_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/depgraph"
+)
+
+// FuzzDecodeGraph feeds hostile bytes to the persisted-graph decoder:
+// it must either return an error wrapping codec.ErrCorrupt or a graph
+// that passes validation and re-encodes byte-stably. It must never
+// panic — a damaged cache entry degrades to a recompute, not a crash.
+func FuzzDecodeGraph(f *testing.F) {
+	d, err := depgraph.Build(parse(f, graphSrc), "opts-v1")
+	if err != nil {
+		f.Fatal(err)
+	}
+	d.AddUnit(depgraph.Unit{
+		Top: "top_a", UseAccounting: true,
+		SubtreeHash: "st", ParamSig: "top_a;W=4",
+		Params:      map[string]int64{"W": 4},
+		NetlistHash: "nh",
+	})
+	f.Add(depgraph.AppendGraph(nil, d))
+	f.Add([]byte{1})
+	f.Add([]byte{2, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := codec.NewReader(data)
+		g, err := depgraph.DecodeGraph(r)
+		if err != nil {
+			if !errors.Is(err, codec.ErrCorrupt) {
+				t.Errorf("decode error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("decoder returned an invalid graph: %v", err)
+		}
+		buf := depgraph.AppendGraph(nil, g)
+		again, err := depgraph.DecodeGraph(codec.NewReader(buf))
+		if err != nil {
+			t.Errorf("re-decode of re-encoded graph failed: %v", err)
+			return
+		}
+		if !bytes.Equal(buf, depgraph.AppendGraph(nil, again)) {
+			t.Error("re-encode not byte-stable")
+		}
+	})
+}

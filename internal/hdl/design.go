@@ -14,8 +14,10 @@ type Design struct {
 	Files   []*SourceFile
 	modules map[string]*Module
 
-	mu          sync.Mutex
-	fingerprint string // memoized Fingerprint; reset by AddFile
+	mu           sync.Mutex
+	fingerprint  string            // memoized Fingerprint; reset by AddFile
+	moduleHashes map[string]string // memoized ModuleHash per module; reset by AddFile
+	subtreeHash  map[string]string // memoized SubtreeHash per top; reset by AddFile
 }
 
 // NewDesign builds a Design from parsed files, rejecting duplicate
@@ -41,6 +43,8 @@ func (d *Design) AddFile(f *SourceFile) error {
 	d.Files = append(d.Files, f)
 	d.mu.Lock()
 	d.fingerprint = ""
+	d.moduleHashes = nil
+	d.subtreeHash = nil
 	d.mu.Unlock()
 	return nil
 }
@@ -93,7 +97,7 @@ func (d *Design) ModuleNames() []string {
 }
 
 // Fingerprint returns a stable content hash of the design: every
-// module pretty-printed in name order and hashed with SHA-256. Two
+// module's ModuleHash mixed in name order and hashed with SHA-256. Two
 // designs with structurally identical module declarations fingerprint
 // identically regardless of file layout or declaration order. It is
 // the "source tree" part of the content-addressed cache keys in
@@ -102,7 +106,9 @@ func (d *Design) ModuleNames() []string {
 // The hash is memoized (and invalidated by AddFile): a measurement
 // session derives one disk-cache key per unit from the same design,
 // and re-formatting the whole corpus for every lookup would dominate
-// the warm path.
+// the warm path. The per-module hashes it is built from are shared
+// with SubtreeHash and internal/depgraph, so one formatting pass over
+// the design serves all three identity levels.
 func (d *Design) Fingerprint() string {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -111,11 +117,82 @@ func (d *Design) Fingerprint() string {
 	}
 	h := sha256.New()
 	for _, name := range d.ModuleNames() {
-		h.Write([]byte(Format(d.modules[name])))
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+		h.Write([]byte(d.moduleHashLocked(name)))
 		h.Write([]byte{0})
 	}
 	d.fingerprint = hex.EncodeToString(h.Sum(nil))
 	return d.fingerprint
+}
+
+// ModuleHash returns a stable content hash of one module declaration:
+// SHA-256 over its pretty-printed source. It is the leaf identity of
+// the incremental-remeasurement dependency graph (internal/depgraph):
+// two modules hash equal exactly when their formatted declarations are
+// byte-identical, which is the precision every downstream stage —
+// elaboration, synthesis, source metrics — keys off. Hashes are
+// memoized per module and invalidated by AddFile.
+func (d *Design) ModuleHash(name string) (string, error) {
+	if _, err := d.Module(name); err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.moduleHashLocked(name), nil
+}
+
+// moduleHashLocked computes (or serves memoized) the hash of a module
+// known to exist. Caller holds d.mu.
+func (d *Design) moduleHashLocked(name string) string {
+	if h, ok := d.moduleHashes[name]; ok {
+		return h
+	}
+	if d.moduleHashes == nil {
+		d.moduleHashes = map[string]string{}
+	}
+	sum := sha256.Sum256([]byte(Format(d.modules[name])))
+	h := hex.EncodeToString(sum[:])
+	d.moduleHashes[name] = h
+	return h
+}
+
+// SubtreeHash returns a stable content hash of the module subtree
+// rooted at top: the (name, ModuleHash) pairs of top's transitive
+// module set, mixed in sorted name order. Every measurement of top is
+// a pure function of exactly this subtree (elaboration, synthesis, and
+// the source metrics never read a module outside it), so SubtreeHash
+// is the correct "source" component of top's content-addressed cache
+// keys: an edit to a module outside the subtree leaves the hash — and
+// every cache entry keyed by it — untouched, which is what makes the
+// persistent cache survive unrelated edits. Memoized per top;
+// invalidated by AddFile.
+func (d *Design) SubtreeHash(top string) (string, error) {
+	d.mu.Lock()
+	if h, ok := d.subtreeHash[top]; ok {
+		d.mu.Unlock()
+		return h, nil
+	}
+	d.mu.Unlock()
+	modules, err := d.TransitiveModules(top)
+	if err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h := sha256.New()
+	for _, name := range modules {
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+		h.Write([]byte(d.moduleHashLocked(name)))
+		h.Write([]byte{0})
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	if d.subtreeHash == nil {
+		d.subtreeHash = map[string]string{}
+	}
+	d.subtreeHash[top] = sum
+	return sum, nil
 }
 
 // Instantiated returns the set of module names instantiated (directly)

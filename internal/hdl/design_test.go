@@ -1,0 +1,110 @@
+package hdl
+
+import (
+	"strings"
+	"testing"
+)
+
+const hashTestSrcA = `
+module leaf #(parameter W = 4) (input [W-1:0] a, output [W-1:0] y);
+  assign y = ~a;
+endmodule
+
+module mid (input [3:0] a, output [3:0] y);
+  leaf u0 (.a(a), .y(y));
+endmodule
+
+module top_a (input [3:0] a, output [3:0] y);
+  mid u0 (.a(a), .y(y));
+endmodule
+
+module top_b (input [3:0] a, output [3:0] y);
+  assign y = a;
+endmodule
+`
+
+func parseHashDesign(t *testing.T, src string) *Design {
+	t.Helper()
+	d, err := ParseDesign(map[string]string{"a.v": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestModuleHashStability: a module's hash depends only on its own
+// declaration — identical text hashes identically across designs, a
+// structural edit changes it, and formatting-only differences
+// (comments, whitespace) do not.
+func TestModuleHashStability(t *testing.T) {
+	d1 := parseHashDesign(t, hashTestSrcA)
+	d2 := parseHashDesign(t, "// a leading comment\n"+hashTestSrcA)
+	for _, name := range d1.ModuleNames() {
+		h1, err := d1.ModuleHash(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := d2.ModuleHash(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Errorf("module %s: hash differs across identical declarations", name)
+		}
+	}
+	edited := parseHashDesign(t, strings.Replace(hashTestSrcA, "assign y = ~a;", "assign y = a;", 1))
+	h1, _ := d1.ModuleHash("leaf")
+	h2, _ := edited.ModuleHash("leaf")
+	if h1 == h2 {
+		t.Error("edited leaf module kept its hash")
+	}
+	if _, err := d1.ModuleHash("no_such_module"); err == nil {
+		t.Error("ModuleHash of a missing module did not error")
+	}
+}
+
+// TestSubtreeHashScopesToReachableModules is the keying invariant the
+// incremental cache rests on: an edit to a module outside a top's
+// transitive subtree leaves that top's SubtreeHash unchanged, while an
+// edit anywhere inside the subtree — at any depth — changes it.
+func TestSubtreeHashScopesToReachableModules(t *testing.T) {
+	base := parseHashDesign(t, hashTestSrcA)
+	// Edit top_b: top_a's subtree (top_a, mid, leaf) is untouched.
+	editedB := parseHashDesign(t, strings.Replace(hashTestSrcA, "assign y = a;", "assign y = ~a;", 1))
+	ha1, err := base.SubtreeHash("top_a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha2, err := editedB.SubtreeHash("top_a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha1 != ha2 {
+		t.Error("edit outside the subtree changed top_a's SubtreeHash")
+	}
+	hb1, _ := base.SubtreeHash("top_b")
+	hb2, _ := editedB.SubtreeHash("top_b")
+	if hb1 == hb2 {
+		t.Error("edit to top_b did not change its SubtreeHash")
+	}
+	// Edit leaf: reachable from top_a at depth 2, not from top_b.
+	editedLeaf := parseHashDesign(t, strings.Replace(hashTestSrcA, "assign y = ~a;", "assign y = {a[0], a[3:1]};", 1))
+	ha3, _ := editedLeaf.SubtreeHash("top_a")
+	if ha1 == ha3 {
+		t.Error("deep leaf edit did not change top_a's SubtreeHash")
+	}
+	hb3, _ := editedLeaf.SubtreeHash("top_b")
+	if hb1 != hb3 {
+		t.Error("leaf edit changed top_b's SubtreeHash (leaf is unreachable from top_b)")
+	}
+	if _, err := base.SubtreeHash("no_such_module"); err == nil {
+		t.Error("SubtreeHash of a missing top did not error")
+	}
+	// Fingerprint covers the whole design: any module edit changes it.
+	if base.Fingerprint() == editedB.Fingerprint() {
+		t.Error("design edit did not change the Fingerprint")
+	}
+	if base.Fingerprint() != parseHashDesign(t, hashTestSrcA).Fingerprint() {
+		t.Error("identical designs fingerprint differently")
+	}
+}

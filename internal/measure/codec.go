@@ -20,6 +20,7 @@ import (
 const (
 	metricsVersion = 1
 	recordVersion  = 1
+	sigVersion     = 1
 )
 
 // metricsCodec persists *Metrics (the measure.Module cache entries).
@@ -71,6 +72,82 @@ func decodeMetrics(r *codec.Reader) (*Metrics, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// sigRecord is the cacheable outcome of synthesizing one signature —
+// one (top module, resolved parameters) design point: the
+// synthesis-derived metrics (source sums are added per unit at
+// assembly), the elaborated instance count, the dedup removals, and
+// the optimized netlist. It is the disk form of a Session flight-table
+// entry, keyed by the design point's subtree sources ("sig" entries),
+// so a remeasurement whose subtree is unchanged skips elaboration and
+// synthesis entirely even in a fresh process.
+type sigRecord struct {
+	Metrics       *Metrics
+	InstanceCount int
+	Deduped       int
+	Optimized     *netlist.Netlist
+}
+
+// sigRecordCodec persists *sigRecord (the "sig" cache entries).
+var sigRecordCodec = codec.Codec[*sigRecord]{
+	Name: "measure.sigRecord",
+	Append: func(dst []byte, rec *sigRecord) []byte {
+		dst = codec.AppendByte(dst, sigVersion)
+		dst = codec.AppendBool(dst, rec.Metrics != nil)
+		if rec.Metrics != nil {
+			dst = appendMetrics(dst, rec.Metrics)
+		}
+		dst = codec.AppendVarint(dst, int64(rec.InstanceCount))
+		dst = codec.AppendVarint(dst, int64(rec.Deduped))
+		dst = codec.AppendBool(dst, rec.Optimized != nil)
+		if rec.Optimized != nil {
+			dst = codec.AppendNetlist(dst, rec.Optimized)
+		}
+		return dst
+	},
+	Decode: func(r *codec.Reader) (*sigRecord, error) {
+		if v := r.Byte(); r.Err() == nil && v != sigVersion {
+			return nil, fmt.Errorf("%w: sig record structure version %d, want %d", codec.ErrCorrupt, v, sigVersion)
+		}
+		rec := &sigRecord{}
+		if r.Bool() {
+			m, err := decodeMetrics(r)
+			if err != nil {
+				return nil, err
+			}
+			rec.Metrics = m
+		}
+		rec.InstanceCount = int(r.Varint())
+		rec.Deduped = int(r.Varint())
+		if r.Bool() && r.Err() == nil {
+			opt, err := codec.DecodeNetlist(r)
+			if err != nil {
+				return nil, err
+			}
+			rec.Optimized = opt
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return rec, nil
+	},
+}
+
+// compareSigRecords is the verify-mode comparator for "sig" entries:
+// every field is result-determining, so all must match.
+func compareSigRecords(cached, fresh *sigRecord) string {
+	switch {
+	case *cached.Metrics != *fresh.Metrics:
+		return fmt.Sprintf("synthesis metrics differ: cached %+v, fresh %+v", *cached.Metrics, *fresh.Metrics)
+	case cached.InstanceCount != fresh.InstanceCount:
+		return fmt.Sprintf("instance count differs: cached %d, fresh %d", cached.InstanceCount, fresh.InstanceCount)
+	case cached.Deduped != fresh.Deduped:
+		return fmt.Sprintf("deduped instances differ: cached %d, fresh %d", cached.Deduped, fresh.Deduped)
+	case cached.Optimized.Hash() != fresh.Optimized.Hash():
+		return "optimized netlist structure differs"
+	}
+	return ""
 }
 
 // recordCodec persists *componentRecord — the shape both

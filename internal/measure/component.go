@@ -62,7 +62,11 @@ func MeasureComponent(design *hdl.Design, top string, useAccounting bool, opts O
 	if opts.Cache == nil {
 		return measureComponent(design, top, useAccounting, opts)
 	}
-	rec, _, err := cache.DoEq(opts.Cache, componentKey(design, top, useAccounting, opts), recordCodec, func() (*componentRecord, error) {
+	key, err := componentKey(design, top, useAccounting, opts)
+	if err != nil {
+		return nil, err
+	}
+	rec, _, err := cache.DoEq(opts.Cache, key, recordCodec, func() (*componentRecord, error) {
 		res, err := measureComponent(design, top, useAccounting, opts)
 		if err != nil {
 			return nil, err
@@ -76,15 +80,22 @@ func MeasureComponent(design *hdl.Design, top string, useAccounting bool, opts O
 }
 
 // componentKey derives the on-disk cache key of one component
-// measurement. The Session uses the same key, so warm entries are
-// shared between the batch and per-component paths for the same
-// parsed design.
-func componentKey(design *hdl.Design, top string, useAccounting bool, opts Options) string {
+// measurement. The key hashes the component's transitive subtree
+// sources (hdl.Design.SubtreeHash), not the whole design's
+// fingerprint, so an edit elsewhere in the design — or measuring the
+// same component from a differently-composed design — leaves the
+// entry warm. The Session uses the same key, so warm entries are
+// shared between the batch and per-component paths.
+func componentKey(design *hdl.Design, top string, useAccounting bool, opts Options) (string, error) {
+	st, err := design.SubtreeHash(top)
+	if err != nil {
+		return "", err
+	}
 	eff := opts
 	eff.DedupInstances = useAccounting
-	return cache.Key(append([]string{
-		"accounting-component", design.Fingerprint(), top, fmt.Sprintf("acct=%t", useAccounting),
-	}, eff.CacheKeyParts()...)...)
+	return cache.KindKey("component", append([]string{
+		st, top, fmt.Sprintf("acct=%t", useAccounting),
+	}, eff.CacheKeyParts()...)...), nil
 }
 
 // componentRecord is the cacheable projection of a ComponentResult:

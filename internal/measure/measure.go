@@ -175,8 +175,14 @@ func Module(design *hdl.Design, top string, overrides map[string]int64, opts Opt
 	if opts.Cache == nil {
 		return compute()
 	}
-	key := cache.Key(append([]string{
-		"measure-module", design.Fingerprint(), synth.ParamSignature(top, overrides),
+	// Keyed by the module's transitive subtree sources, not the design
+	// fingerprint: an edit outside the subtree leaves the entry warm.
+	st, err := design.SubtreeHash(top)
+	if err != nil {
+		return nil, err
+	}
+	key := cache.KindKey("module", append([]string{
+		st, synth.ParamSignature(top, overrides),
 	}, opts.CacheKeyParts()...)...)
 	m, _, err := cache.Do(opts.Cache, key, metricsCodec, compute)
 	return m, err

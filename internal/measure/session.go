@@ -116,15 +116,17 @@ func (s *Session) addElabStats(st elab.CacheStats) {
 
 // plan is the outcome of resolving one unit before synthesis.
 type plan struct {
-	rec       *componentRecord // non-nil: answered from the disk cache
-	top       string
-	overrides map[string]int64 // minimized parameters (nil without accounting)
-	sigKey    string           // shared-table key
-	dedup     bool             // effective dedup flag for lowering
-	hits      int              // minimization memo point-verdict hits
-	misses    int
-	owned     *sigFlight // non-nil: this call must synthesize the entry
-	err       error      // deferred so one failed unit does not strand flights
+	rec        *componentRecord // non-nil: answered from the disk cache
+	top        string
+	overrides  map[string]int64 // minimized parameters (nil without accounting)
+	sigKey     string           // shared-table key (in-memory, this session)
+	compKey    string           // unit's disk key ("" without a cache)
+	diskSigKey string           // signature's disk key ("" without a cache)
+	dedup      bool             // effective dedup flag for lowering
+	hits       int              // minimization memo point-verdict hits
+	misses     int
+	owned      *sigFlight // non-nil: this call must synthesize the entry
+	err        error      // deferred so one failed unit does not strand flights
 }
 
 // MeasureAll measures every unit of the batch, sharing the parse, the
@@ -193,7 +195,7 @@ func (s *Session) MeasureAll(units []Unit, opts Options) ([]*ComponentResult, er
 			}
 		}
 		for _, p := range owned {
-			s.synthesizeFlight(p.owned, p.top, p.overrides, p.dedup, opts, ecache, locals.Get(worker))
+			s.synthesizeFlight(p, opts, ecache, locals.Get(worker))
 		}
 		// Every signature of this component this call can ever own is
 		// now resolved; later hits come from the flight table, not from
@@ -228,16 +230,24 @@ func (s *Session) MeasureAll(units []Unit, opts Options) ([]*ComponentResult, er
 // component's elaboration cache and registers its signature in the
 // shared table.
 func (s *Session) planUnit(u Unit, opts Options, inner int, ecache *elab.Cache) *plan {
-	if opts.Cache != nil && !opts.Cache.Verifying() {
-		if rec, ok := cache.Fetch(opts.Cache, componentKey(s.design, u.Top, u.UseAccounting, opts), recordCodec); ok {
-			s.mu.Lock()
-			s.stats.Components++
-			s.mu.Unlock()
-			return &plan{rec: rec}
+	var compKey string
+	if opts.Cache != nil {
+		k, err := componentKey(s.design, u.Top, u.UseAccounting, opts)
+		if err != nil {
+			return &plan{err: err}
+		}
+		compKey = k
+		if !opts.Cache.Verifying() {
+			if rec, ok := cache.Fetch(opts.Cache, compKey, recordCodec); ok {
+				s.mu.Lock()
+				s.stats.Components++
+				s.mu.Unlock()
+				return &plan{rec: rec}
+			}
 		}
 	}
 
-	p := &plan{top: u.Top}
+	p := &plan{top: u.Top, compKey: compKey}
 	if u.UseAccounting {
 		params, memo, err := minimizeParams(s.design, u.Top, inner, ecache)
 		if err != nil {
@@ -273,6 +283,20 @@ func (s *Session) planUnit(u Unit, opts Options, inner int, ecache *elab.Cache) 
 		"session-sig", sig, "dedup=" + dedupKey,
 		fmt.Sprintf("notmpl=%t", opts.DisableTemplates),
 	}, opts.CacheKeyParts()...)...)
+	if opts.Cache != nil {
+		// The disk form of the signature entry additionally hashes the
+		// subtree sources: the in-memory table lives and dies with one
+		// parsed design, the disk entry must name which sources the
+		// design point was synthesized from.
+		st, err := s.design.SubtreeHash(u.Top)
+		if err != nil {
+			return &plan{err: err, hits: p.hits, misses: p.misses}
+		}
+		p.diskSigKey = cache.KindKey("sig", append([]string{
+			st, sig, "dedup=" + dedupKey,
+			fmt.Sprintf("notmpl=%t", opts.DisableTemplates),
+		}, opts.CacheKeyParts()...)...)
+	}
 
 	s.mu.Lock()
 	s.stats.Components++
@@ -395,44 +419,65 @@ func scanDedupItems(items []hdl.Item, inLoop bool, counts map[string]int, childr
 	return false
 }
 
-// synthesizeFlight computes one shared-table entry: elaborate the
-// design point against the component's elaboration cache (reusing
-// every subtree the minimization search or reference elaboration
-// already built — a unit measured at its defaults reuses the reference
-// tree whole), lower it, optimize, and extract the synthesis-derived
-// metrics. done is always closed, error or not.
-func (s *Session) synthesizeFlight(f *sigFlight, top string, overrides map[string]int64, dedup bool, opts Options, ecache *elab.Cache, ws *Workspace) {
+// synthesizeFlight computes one shared-table entry, routed through the
+// disk cache's signature-level records: a warm "sig" entry answers the
+// flight without elaborating or synthesizing anything (the incremental
+// remeasurement fast path for design points whose subtree sources are
+// unchanged); a miss elaborates the design point against the
+// component's elaboration cache (reusing every subtree the
+// minimization search or reference elaboration already built — a unit
+// measured at its defaults reuses the reference tree whole), lowers
+// it, optimizes, extracts the synthesis-derived metrics, and persists
+// the record. done is always closed, error or not.
+func (s *Session) synthesizeFlight(p *plan, opts Options, ecache *elab.Cache, ws *Workspace) {
+	f := p.owned
 	defer close(f.done)
-	inst, report, err := elab.ElaborateOpts(s.design, top, overrides, elab.Options{Cache: ecache})
+	compute := func() (*sigRecord, error) {
+		inst, report, err := elab.ElaborateOpts(s.design, p.top, p.overrides, elab.Options{Cache: ecache})
+		if err != nil {
+			return nil, err
+		}
+		var sws *synth.Workspace
+		if ws != nil {
+			sws = ws.synth
+		}
+		synres, err := synth.SynthesizeInstance(inst, report, synth.LowerOptions{
+			DedupInstances:   p.dedup,
+			DisableTemplates: opts.DisableTemplates,
+			Workspace:        sws,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mopts := opts
+		mopts.DedupInstances = p.dedup
+		// Metrics are extracted before Slim trims the netlist's derived
+		// tables in place.
+		metrics := synthMetricsWS(synres, mopts, ws)
+		slim := synres.Slim()
+		return &sigRecord{
+			Metrics:       metrics,
+			InstanceCount: inst.CountInstances(),
+			Deduped:       slim.Deduped,
+			Optimized:     slim.Optimized,
+		}, nil
+	}
+	// A nil cache runs compute directly (p.diskSigKey is "" then and
+	// never consulted).
+	rec, _, err := cache.DoEq(opts.Cache, p.diskSigKey, sigRecordCodec, compute, compareSigRecords)
 	if err != nil {
 		f.err = err
 		return
 	}
-	var sws *synth.Workspace
-	if ws != nil {
-		sws = ws.synth
-	}
-	synres, err := synth.SynthesizeInstance(inst, report, synth.LowerOptions{
-		DedupInstances:   dedup,
-		DisableTemplates: opts.DisableTemplates,
-		Workspace:        sws,
-	})
-	if err != nil {
-		f.err = err
-		return
-	}
-	mopts := opts
-	mopts.DedupInstances = dedup
-	f.metrics = synthMetricsWS(synres, mopts, ws)
-	f.instCount = inst.CountInstances()
-	// The flight table outlives the call, so retain only the cacheable
-	// projection — the optimized netlist and the lowering counters, the
-	// same shape a warm disk record rebuilds. Keeping the raw netlist,
-	// instance tree, and report would pin every signature's full
-	// elaboration for the session's lifetime, and that live-heap growth
-	// costs more in garbage-collector mark time across a batch than the
-	// fields are worth.
-	f.res = synres.Slim()
+	// The flight table outlives the call, so it retains only the
+	// record's projection — the optimized netlist and the lowering
+	// counters. Keeping the raw netlist, instance tree, and report would
+	// pin every signature's full elaboration for the session's lifetime,
+	// and that live-heap growth costs more in garbage-collector mark
+	// time across a batch than the fields are worth.
+	f.metrics = rec.Metrics
+	f.instCount = rec.InstanceCount
+	f.res = &synth.Result{Optimized: rec.Optimized, Deduped: rec.Deduped}
 }
 
 // sourceCounts memoizes one module's software metrics for the life of
@@ -505,7 +550,7 @@ func (s *Session) assembleUnit(u Unit, p *plan, opts Options) (*ComponentResult,
 	// Same key and codec as the per-component path: a cold batch
 	// populates the entries MeasureComponent would, and in verify mode
 	// the batch result is compared against the stored record.
-	rec, _, err := cache.DoEq(opts.Cache, componentKey(s.design, u.Top, u.UseAccounting, opts), recordCodec, func() (*componentRecord, error) {
+	rec, _, err := cache.DoEq(opts.Cache, p.compKey, recordCodec, func() (*componentRecord, error) {
 		return recordOf(res), nil
 	}, compareRecords)
 	if err != nil {

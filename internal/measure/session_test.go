@@ -114,8 +114,20 @@ func TestSessionMatchesPerComponentCorpus(t *testing.T) {
 					t.Fatal(err)
 				}
 				check(t, got)
-				if cs := cold.Stats(); cs.Hits != 0 || cs.Misses != int64(len(units)) {
-					t.Errorf("cold cache stats %+v: want 0 hits, %d misses", cs, len(units))
+				// Cold traffic splits by kind: every unit misses its
+				// component record, and every distinct signature the
+				// session synthesized misses (then writes) its "sig"
+				// record.
+				synthesized := int64(sess.Stats().Synthesized)
+				if cs := cold.Stats(); cs.Hits != 0 || cs.Misses != int64(len(units))+synthesized {
+					t.Errorf("cold cache stats %+v: want 0 hits, %d misses", cs, int64(len(units))+synthesized)
+				}
+				ks := cold.KindStats()
+				if kc := ks["component"]; kc.Hits != 0 || kc.Misses != int64(len(units)) || kc.Puts != int64(len(units)) {
+					t.Errorf("cold component-kind counters %+v: want 0/%d/%d", kc, len(units), len(units))
+				}
+				if kc := ks["sig"]; kc.Hits != 0 || kc.Misses != synthesized || kc.Puts != synthesized {
+					t.Errorf("cold sig-kind counters %+v: want 0/%d/%d", kc, synthesized, synthesized)
 				}
 
 				// The per-component path on the same parsed design reads

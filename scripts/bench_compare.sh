@@ -9,7 +9,9 @@
 # Exits non-zero if any benchmark present in both files regressed by
 # more than TOLERANCE percent (default 10) in ns/op, by more than
 # ALLOC_TOLERANCE percent (default TOLERANCE) in allocs/op or
-# bytes/op, or if any speedup_vs_sequential metric dropped. Allocation
+# bytes/op, if any speedup_vs_sequential metric dropped, or if a
+# speedup_vs_warm_whole_unit metric fell below its absolute 5x floor
+# (the incremental-remeasurement acceptance bar). Allocation
 # gates carry an absolute noise floor (ALLOC_FLOOR allocs, default 512;
 # BYTES_FLOOR bytes, default 65536): a regression only counts when the
 # delta also exceeds the floor, because small benchmarks jitter by a
@@ -47,7 +49,7 @@ bytes_floor="${BYTES_FLOOR:-65536}"
 extract() {
 	awk '
 	/"name":/ {
-		name = ""; ns = ""; sp = ""; gmp = "-"; al = "-"; by = "-"
+		name = ""; ns = ""; sp = ""; gmp = "-"; al = "-"; by = "-"; iw = "-"
 		if (match($0, /"name": "[^"]*"/)) {
 			name = substr($0, RSTART + 9, RLENGTH - 10)
 		}
@@ -56,6 +58,9 @@ extract() {
 		}
 		if (match($0, /"speedup_vs_sequential": [0-9.eE+-]+/)) {
 			sp = substr($0, RSTART + 24, RLENGTH - 24)
+		}
+		if (match($0, /"speedup_vs_warm_whole_unit": [0-9.eE+-]+/)) {
+			iw = substr($0, RSTART + 30, RLENGTH - 30)
 		}
 		if (match($0, /"gomaxprocs": [0-9.eE+-]+/)) {
 			gmp = substr($0, RSTART + 14, RLENGTH - 14)
@@ -66,7 +71,7 @@ extract() {
 		if (match($0, /"bytes\/op": [0-9.eE+-]+/)) {
 			by = substr($0, RSTART + 12, RLENGTH - 12)
 		}
-		if (name != "" && ns != "") printf "%s %s %s %s %s %s\n", name, ns, (sp == "" ? "-" : sp), gmp, al, by
+		if (name != "" && ns != "") printf "%s %s %s %s %s %s %s\n", name, ns, (sp == "" ? "-" : sp), gmp, al, by, iw
 	}
 	' "$1"
 }
@@ -90,7 +95,7 @@ function allocgate(name, o, n, unit, floor,    ratio, flag) {
 	else if (ratio < 1 - atol / 100 && o - n > floor) flag = "improved"
 	printf "  %-9s %-50s %12.0f -> %12.0f %s (%+.1f%%)\n", flag, name, o, n, unit, (ratio - 1) * 100
 }
-NR == FNR { ns[$1] = $2; sp[$1] = $3; gmp[$1] = $4; al[$1] = $5; by[$1] = $6; next }
+NR == FNR { ns[$1] = $2; sp[$1] = $3; gmp[$1] = $4; al[$1] = $5; by[$1] = $6; iw[$1] = $7; next }
 {
 	name = $1
 	if (!(name in ns)) {
@@ -119,6 +124,24 @@ NR == FNR { ns[$1] = $2; sp[$1] = $3; gmp[$1] = $4; al[$1] = $5; by[$1] = $6; ne
 				printf "  REGRESSION %-49s speedup_vs_sequential %.4f -> %.4f\n", name, os, nsd
 				bad++
 			}
+		}
+	}
+	# The incremental-edit speedup gates against an absolute floor
+	# rather than the old value: the incremental path is a handful of
+	# hash diffs against a full warm corpus measurement, so the ratio
+	# jitters with runner load, but its reason to exist is the >= 5x
+	# acceptance bar — dropping below that means the dirty cone stopped
+	# pruning. Works on single-core runners too (it measures cache-path
+	# pruning, not parallelism), so no gomaxprocs skip.
+	if ($7 != "-") {
+		niw = $7 + 0
+		if (niw < 5) {
+			printf "  REGRESSION %-49s speedup_vs_warm_whole_unit %.1f (floor 5)\n", name, niw
+			bad++
+		} else if (iw[name] != "" && iw[name] != "-") {
+			printf "  ok        %-50s speedup_vs_warm_whole_unit %.1f -> %.1f (floor 5)\n", name, iw[name] + 0, niw
+		} else {
+			printf "  ok        %-50s speedup_vs_warm_whole_unit %.1f (floor 5)\n", name, niw
 		}
 	}
 }

@@ -45,20 +45,22 @@ go vet ./...
 echo "== tier-1: test =="
 go test ./...
 echo "== tier-1: race =="
-go test -race ./internal/parallel ./internal/nlme ./internal/paper ./internal/elab ./internal/accounting ./internal/measure ./internal/core
+go test -race ./internal/parallel ./internal/nlme ./internal/paper ./internal/elab ./internal/accounting ./internal/measure ./internal/core ./internal/depgraph
 
 if [ "${SKIP_FUZZ:-0}" != "1" ]; then
 	# Short coverage-guided smoke on the fuzz targets: the parser's
-	# round-trip fuzzer, the synthesis-vs-RTL differential fuzzer, and
-	# the cache codec's two decoder fuzzers (hostile bytes must error,
-	# never panic). internal/codec has two targets, so each is named
-	# explicitly (-fuzz runs exactly one target per invocation).
+	# round-trip fuzzer, the synthesis-vs-RTL differential fuzzer, the
+	# cache codec's two decoder fuzzers, and the dependency-graph
+	# decoder fuzzer (hostile bytes must error, never panic).
+	# internal/codec has two targets, so each is named explicitly
+	# (-fuzz runs exactly one target per invocation).
 	fuzztime="${FUZZTIME:-10s}"
 	echo "== fuzz smoke (${fuzztime}/target) =="
 	go test -run '^$' -fuzz Fuzz -fuzztime "$fuzztime" ./internal/hdl
 	go test -run '^$' -fuzz Fuzz -fuzztime "$fuzztime" ./internal/equiv
 	go test -run '^$' -fuzz '^FuzzDecodeEntry$' -fuzztime "$fuzztime" ./internal/codec
 	go test -run '^$' -fuzz '^FuzzDecodeNetlist$' -fuzztime "$fuzztime" ./internal/codec
+	go test -run '^$' -fuzz '^FuzzDecodeGraph$' -fuzztime "$fuzztime" ./internal/depgraph
 fi
 
 # Coverage report (informational; a pipeline would mask a test failure
