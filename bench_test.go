@@ -28,6 +28,7 @@ import (
 	"repro/internal/designs"
 	"repro/internal/elab"
 	"repro/internal/fpga"
+	"repro/internal/gencorpus"
 	"repro/internal/hdl"
 	"repro/internal/measure"
 	"repro/internal/netlist"
@@ -937,4 +938,90 @@ func paperNLMEData(b *testing.B, metrics ...dataset.Metric) *nlme.Data {
 		d.MetricNames = append(d.MetricNames, string(m))
 	}
 	return d
+}
+
+// ---------------------------------------------------------------
+// Generated-corpus scaling (internal/gencorpus)
+// ---------------------------------------------------------------
+
+// generatedUnits builds the cold-measurement workload for a generated
+// n-component corpus: the parsed design plus 2n units (every
+// component with and without accounting), the same sweep
+// `ucpaper -corpus-scale n` runs.
+func generatedUnits(b *testing.B, n int) (*hdl.Design, []measure.Unit) {
+	b.Helper()
+	corpus, err := gencorpus.Generate(gencorpus.Config{Components: n, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	design, err := corpus.Design(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	units := make([]measure.Unit, 0, 2*n)
+	for _, acct := range []bool{true, false} {
+		for _, c := range corpus.Components {
+			units = append(units, measure.Unit{Top: c.Top, UseAccounting: acct})
+		}
+	}
+	return design, units
+}
+
+// measureGeneratedOnce cold-measures the workload through a fresh
+// streaming session and returns the wall time.
+func measureGeneratedOnce(b *testing.B, design *hdl.Design, units []measure.Unit) time.Duration {
+	b.Helper()
+	sess := measure.NewSession(design)
+	start := time.Now()
+	err := sess.MeasureStream(units, measure.Options{}, func(i int, res *measure.ComponentResult) error {
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+// BenchmarkMeasureGenerated100 cold-measures a generated
+// 100-component corpus (200 units) per iteration. per_component_ms is
+// the denominator of the scaling acceptance gate (see
+// BenchmarkMeasureGenerated1000).
+func BenchmarkMeasureGenerated100(b *testing.B) {
+	design, units := generatedUnits(b, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		total += measureGeneratedOnce(b, design, units)
+	}
+	b.StopTimer()
+	perUnit := total.Seconds() * 1e3 / float64(b.N*len(units))
+	b.ReportMetric(perUnit, "per_component_ms")
+}
+
+// BenchmarkMeasureGenerated1000 cold-measures a generated
+// 1000-component corpus (2000 units) per iteration and reports
+// scaling_ratio_vs_100: its per-component cost divided by a
+// 100-component reference sweep's, measured in the same process.
+// Near-linear scaling keeps the ratio around 1; scripts/
+// bench_compare.sh fails the gate when it exceeds the 1.3 acceptance
+// ceiling, which is what a super-linear planner (a contended global
+// table, a quadratic front end, unbounded retention forcing GC
+// pressure) would show.
+func BenchmarkMeasureGenerated1000(b *testing.B) {
+	refDesign, refUnits := generatedUnits(b, 100)
+	refTime := measureGeneratedOnce(b, refDesign, refUnits)
+	refPerUnit := refTime.Seconds() * 1e3 / float64(len(refUnits))
+
+	design, units := generatedUnits(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		total += measureGeneratedOnce(b, design, units)
+	}
+	b.StopTimer()
+	perUnit := total.Seconds() * 1e3 / float64(b.N*len(units))
+	b.ReportMetric(perUnit, "per_component_ms")
+	b.ReportMetric(perUnit/refPerUnit, "scaling_ratio_vs_100")
 }

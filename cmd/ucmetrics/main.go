@@ -8,9 +8,17 @@
 //	ucmetrics -builtin all                        measure the whole corpus
 //	ucmetrics -diff -top <module> OLD NEW         remeasure an edit incrementally
 //	ucmetrics -watch -top <module> file.v [...]   remeasure on every file change
+//	ucmetrics -generate N                         measure a generated N-component corpus
 //
 // Flags:
 //
+//	-generate N      generate a seeded synthetic corpus of N components
+//	                 (internal/gencorpus) and measure every component
+//	                 through one streaming session; with -csv the rows
+//	                 carry the generator's synthetic efforts
+//	-gen-seed S      generator seed for -generate (default 1)
+//	-gen-out DIR     write the generated sources to DIR as .v files
+//	                 instead of measuring them
 //	-no-accounting   disable the Section 2.2 accounting procedure
 //	-csv             emit the measurement as a CSV database row
 //	-diff            OLD and NEW are two versions of a design (each a
@@ -60,6 +68,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dataset"
 	"repro/internal/designs"
+	"repro/internal/gencorpus"
 	"repro/internal/hdl"
 	"repro/internal/measure"
 )
@@ -72,6 +81,9 @@ type config struct {
 	asCSV         bool
 	diff          bool
 	watch         bool
+	generate      int
+	genSeed       uint64
+	genOut        string
 	interval      time.Duration
 	sessionStats  bool
 	cacheDir      string
@@ -87,6 +99,9 @@ func main() {
 	flag.BoolVar(&cfg.asCSV, "csv", false, "emit CSV database rows")
 	flag.BoolVar(&cfg.diff, "diff", false, "incrementally remeasure NEW against OLD (two positional paths)")
 	flag.BoolVar(&cfg.watch, "watch", false, "poll the sources and incrementally remeasure on change")
+	flag.IntVar(&cfg.generate, "generate", 0, "generate and measure a seeded synthetic corpus of N components")
+	flag.Uint64Var(&cfg.genSeed, "gen-seed", 1, "generator seed for -generate")
+	flag.StringVar(&cfg.genOut, "gen-out", "", "write the generated sources to this directory instead of measuring")
 	flag.DurationVar(&cfg.interval, "watch-interval", 500*time.Millisecond, "poll period for -watch")
 	flag.BoolVar(&cfg.sessionStats, "session-stats", false, "report dirty/clean partitions and session sharing on stderr")
 	flag.StringVar(&cfg.cacheDir, "cache-dir", cache.DefaultDir(), "measurement cache directory (default $"+cache.EnvVar+"; empty = no cache)")
@@ -177,6 +192,10 @@ func run(cfg config) error {
 	switch {
 	case cfg.diff && cfg.watch:
 		return fmt.Errorf("-diff and -watch are mutually exclusive")
+	case cfg.generate > 0 && (cfg.diff || cfg.watch || cfg.builtin != ""):
+		return fmt.Errorf("-generate is exclusive with -diff, -watch and -builtin")
+	case cfg.generate > 0:
+		return runGenerate(cfg, opts)
 	case cfg.diff:
 		return runDiff(cfg, opts)
 	case cfg.watch:
@@ -250,6 +269,65 @@ func run(cfg config) error {
 
 	if cfg.asCSV {
 		return dataset.WriteCSV(os.Stdout, rows)
+	}
+	return nil
+}
+
+// runGenerate builds a seeded synthetic corpus (internal/gencorpus)
+// and either writes its sources to -gen-out or measures every
+// component through one streaming session, so peak memory stays
+// bounded at any corpus size. The generator's synthetic efforts ride
+// along in the CSV rows, making the output directly fittable.
+func runGenerate(cfg config, opts measure.Options) error {
+	corpus, err := gencorpus.Generate(gencorpus.Config{Components: cfg.generate, Seed: cfg.genSeed})
+	if err != nil {
+		return err
+	}
+	if cfg.genOut != "" {
+		paths, err := corpus.WriteFiles(cfg.genOut)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d files to %s (corpus %s, seed %d)\n",
+			len(paths), cfg.genOut, corpus.Fingerprint()[:12], cfg.genSeed)
+		return nil
+	}
+
+	d, err := corpus.Design(0)
+	if err != nil {
+		return err
+	}
+	sess := measure.NewSession(d)
+	units := make([]measure.Unit, len(corpus.Components))
+	for i, c := range corpus.Components {
+		units[i] = measure.Unit{Top: c.Top, UseAccounting: cfg.useAccounting}
+	}
+	rows := make([]dataset.Component, len(units))
+	err = sess.MeasureStream(units, opts, func(i int, res *measure.ComponentResult) error {
+		c := corpus.Components[i]
+		rows[i] = dataset.Component{
+			Project: c.Project,
+			Name:    c.Top,
+			Effort:  c.Effort,
+			Metrics: res.Metrics.MetricMap(),
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s := sess.Stats()
+	e := sess.ElabStats()
+	fmt.Fprintf(os.Stderr, "session: %d components measured, %d signatures planned, %d synthesized, %d shared; elab cache %d hits, %d misses\n",
+		s.Components, s.Planned, s.Synthesized, s.Shared, e.Hits, e.Misses)
+	if cfg.asCSV {
+		return dataset.WriteCSV(os.Stdout, rows)
+	}
+	for _, r := range rows {
+		fmt.Printf("%s-%s: effort=%.2f Cells=%g FFs=%g Nets=%g AreaS=%g Freq=%g\n",
+			r.Project, r.Name, r.Effort,
+			r.Metrics[dataset.Cells], r.Metrics[dataset.FFs], r.Metrics[dataset.Nets],
+			r.Metrics[dataset.AreaS], r.Metrics[dataset.Freq])
 	}
 	return nil
 }
@@ -379,12 +457,13 @@ func runWatch(cfg config, opts measure.Options) error {
 		if stampsEqual(stamps, next) {
 			continue
 		}
+		refreshed, err := refreshSources(sources, stamps, next)
 		stamps = next
-		sources, err := loadSources(cfg.files)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ucmetrics: watch:", err)
 			continue
 		}
+		sources = refreshed
 		d, err := hdl.ParseDesign(sources)
 		if err != nil {
 			// Mid-edit sources often do not parse; keep the baseline and
@@ -438,6 +517,38 @@ func sourceStamps(paths []string) map[string]time.Time {
 		}
 	}
 	return stamps
+}
+
+// refreshSources advances a watched source map from one stamp
+// snapshot to the next, re-reading only the files whose modification
+// time changed; unchanged files keep their cached content, so a poll
+// tick's cost is proportional to the edit, not the design. (The flip
+// side is the usual mtime-watcher contract: a rewrite that preserves
+// the modification time is not picked up until the file's stamp next
+// moves.) A named path that vanished (zero stamp) is an error, same
+// as a full reload's.
+func refreshSources(prev map[string]string, old, next map[string]time.Time) (map[string]string, error) {
+	out := make(map[string]string, len(next))
+	for p, t := range next {
+		if t.IsZero() {
+			return nil, fmt.Errorf("stat %s: path vanished", p)
+		}
+		if ot, ok := old[p]; ok && ot.Equal(t) {
+			if src, ok := prev[p]; ok {
+				out[p] = src
+				continue
+			}
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		out[p] = string(data)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no source files remain")
+	}
+	return out, nil
 }
 
 func stampsEqual(a, b map[string]time.Time) bool {

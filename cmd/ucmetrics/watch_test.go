@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRefreshSourcesSkipsUnchanged proves the watch loop's re-read is
+// incremental: after an edit, only files whose stamp moved are read
+// again. The probe is direct — a file whose content is rewritten with
+// its mtime restored must keep its cached (now stale) content, which
+// is only possible if refreshSources never opened it.
+func TestRefreshSourcesSkipsUnchanged(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.v")
+	b := filepath.Join(dir, "b.v")
+	write := func(p, src string) {
+		t.Helper()
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(a, "module a; endmodule\n")
+	write(b, "module b; endmodule\n")
+	paths := []string{dir}
+
+	sources, err := loadSources(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamps := sourceStamps(paths)
+	if len(stamps) != 2 {
+		t.Fatalf("stamps = %v, want entries for a.v and b.v", stamps)
+	}
+
+	// Rewrite b but restore its mtime: its stamp is unchanged, so the
+	// refresh must keep the cached content (no re-read). Move a's stamp
+	// well clear of filesystem timestamp granularity.
+	write(b, "module b_rewritten; endmodule\n")
+	if err := os.Chtimes(b, stamps[b], stamps[b]); err != nil {
+		t.Fatal(err)
+	}
+	write(a, "module a2; endmodule\n")
+	later := stamps[a].Add(10 * time.Second)
+	if err := os.Chtimes(a, later, later); err != nil {
+		t.Fatal(err)
+	}
+
+	next := sourceStamps(paths)
+	if stampsEqual(stamps, next) {
+		t.Fatal("stamps unchanged after touching a.v")
+	}
+	refreshed, err := refreshSources(sources, stamps, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := refreshed[a]; got != "module a2; endmodule\n" {
+		t.Fatalf("a.v not re-read: %q", got)
+	}
+	if got := refreshed[b]; got != "module b; endmodule\n" {
+		t.Fatalf("b.v was re-read despite an unchanged stamp: %q", got)
+	}
+}
+
+// TestRefreshSourcesAddRemove covers the directory-membership edges:
+// a new .v file is picked up, a deleted one drops out, and a vanished
+// named path is an error (matching the full reload's behaviour).
+func TestRefreshSourcesAddRemove(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.v")
+	if err := os.WriteFile(a, []byte("module a; endmodule\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	paths := []string{dir}
+	sources, err := loadSources(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamps := sourceStamps(paths)
+
+	c := filepath.Join(dir, "c.v")
+	if err := os.WriteFile(c, []byte("module c; endmodule\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	next := sourceStamps(paths)
+	refreshed, err := refreshSources(sources, stamps, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refreshed[c] != "module c; endmodule\n" {
+		t.Fatalf("new file not picked up: %q", refreshed[c])
+	}
+
+	if err := os.Remove(c); err != nil {
+		t.Fatal(err)
+	}
+	stamps, sources = next, refreshed
+	next = sourceStamps(paths)
+	refreshed, err = refreshSources(sources, stamps, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := refreshed[c]; ok {
+		t.Fatal("deleted file still in the source map")
+	}
+
+	// A named (non-directory) path that vanishes records a zero stamp;
+	// the refresh must fail rather than silently shrink the design.
+	named := []string{a}
+	namedSources, err := loadSources(named)
+	if err != nil {
+		t.Fatal(err)
+	}
+	namedStamps := sourceStamps(named)
+	if err := os.Remove(a); err != nil {
+		t.Fatal(err)
+	}
+	gone := sourceStamps(named)
+	if _, err := refreshSources(namedSources, namedStamps, gone); err == nil {
+		t.Fatal("vanished named path did not error")
+	}
+}

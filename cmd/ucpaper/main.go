@@ -8,6 +8,12 @@
 //	ucpaper -figure 2|3|4|5|6     print one figure
 //	ucpaper -aicbic               print the Section 5.1.1 comparison
 //	ucpaper -all                  print everything (default)
+//	ucpaper -corpus-scale N       generate a seeded N-component corpus
+//	                              and re-run the Figure 6 accounting
+//	                              sweep on it (per-component timing and
+//	                              session sharing included)
+//	ucpaper -corpus-seed S        generator seed for -corpus-scale
+//	                              (default 1)
 //	ucpaper -parallel N           bound the worker pools (0 = all
 //	                              cores, 1 = sequential; results are
 //	                              identical for every value)
@@ -53,6 +59,8 @@ func main() {
 	aicbic := flag.Bool("aicbic", false, "print the AIC/BIC model comparison")
 	extension := flag.Bool("extension", false, "print the timing-aware estimator extension experiment")
 	all := flag.Bool("all", false, "print every table and figure")
+	corpusScale := flag.Int("corpus-scale", 0, "run the accounting sweep on a generated corpus of N components")
+	corpusSeed := flag.Uint64("corpus-seed", 1, "generator seed for -corpus-scale")
 	par := flag.Int("parallel", 0, "worker pool bound: 0 = GOMAXPROCS, 1 = sequential (results are identical)")
 	cacheDir := flag.String("cache-dir", cache.DefaultDir(), "measurement cache directory (default $"+cache.EnvVar+"; empty = no cache)")
 	cacheVerify := flag.Bool("cache-verify", false, "recompute every cache hit and compare (consistency check)")
@@ -63,21 +71,22 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write heap profile to file")
 	flag.Parse()
 
-	if !*aicbic && !*extension && *tableN == 0 && *figureN == 0 {
+	if !*aicbic && !*extension && *tableN == 0 && *figureN == 0 && *corpusScale == 0 {
 		*all = true
 	}
-	if err := realMain(*tableN, *figureN, *aicbic, *extension, *all, *par, *cacheDir, *cacheVerify, *cacheStats, *elabStats, *sessionStats, *cpuProfile, *memProfile); err != nil {
+	if err := realMain(*tableN, *figureN, *aicbic, *extension, *all, *corpusScale, *corpusSeed, *par, *cacheDir, *cacheVerify, *cacheStats, *elabStats, *sessionStats, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "ucpaper:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(tableN, figureN int, aicbic, extension, all bool, par int, cacheDir string, cacheVerify, cacheStats, elabStats, sessionStats bool, cpuProfile, memProfile string) error {
+func realMain(tableN, figureN int, aicbic, extension, all bool, corpusScale int, corpusSeed uint64, par int, cacheDir string, cacheVerify, cacheStats, elabStats, sessionStats bool, cpuProfile, memProfile string) error {
 	opts := paper.Opts{Concurrency: par}
 	// The corpus-measuring experiments share one session so a run that
 	// prints several of them parses the corpus once and synthesizes
-	// each distinct signature once across all of them.
-	if all || figureN == 6 || extension || sessionStats {
+	// each distinct signature once across all of them. (-corpus-scale
+	// builds its own session over the generated design.)
+	if all || figureN == 6 || extension || (sessionStats && corpusScale == 0) {
 		sess, err := paper.NewSession()
 		if err != nil {
 			return err
@@ -147,6 +156,21 @@ func realMain(tableN, figureN int, aicbic, extension, all bool, par int, cacheDi
 		}()
 	}
 
+	if corpusScale > 0 {
+		res, err := paper.CorpusScale(corpusScale, corpusSeed, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		if sessionStats {
+			s := res.Session
+			fmt.Fprintf(os.Stderr, "session: %d components measured, %d signatures planned, %d synthesized, %d shared\n",
+				s.Components, s.Planned, s.Synthesized, s.Shared)
+		}
+		if !all && tableN == 0 && figureN == 0 && !aicbic && !extension {
+			return nil
+		}
+	}
 	return run(tableN, figureN, aicbic, extension, all, opts)
 }
 

@@ -80,6 +80,10 @@ type Stats struct {
 	DecodeErrors     int64 // corrupt/truncated/stale entries discarded
 	VerifyChecks     int64 // hits recomputed in verify mode
 	VerifyMismatches int64
+	// DiskScans counts full directory walks (DiskStats cache misses
+	// and Snapshot calls). DiskStats memoizes between mutations, so a
+	// stats-printing loop costs one scan, not one per print.
+	DiskScans int64
 	// Decode-path accounting, accumulated over successful reads:
 	// DecodeNanos is wall time spent reading + decoding entries,
 	// BytesStored counts on-disk entry bytes read, BytesRaw counts the
@@ -111,19 +115,38 @@ type KindCounters struct {
 	Hits, Misses, Puts int64
 }
 
+// flightShards is the single-flight table's shard count. Keys are
+// SHA-256-derived, so any byte of the key spreads them uniformly; 32
+// shards keep a thousand-component batch's registration traffic from
+// serializing on one mutex while costing a few hundred bytes idle.
+const flightShards = 32
+
+// flightShard is one shard of the single-flight table.
+type flightShard struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
 // Cache is one on-disk cache directory.
 type Cache struct {
 	dir    string
 	verify atomic.Bool
 
-	mu      sync.Mutex
-	flights map[string]*flight
+	flights [flightShards]flightShard
 
-	kmu   sync.Mutex
-	kinds map[string]*KindCounters
+	kinds sync.Map // kind string → *kindCounter
+
+	// muts counts disk mutations (puts and discards); the DiskStats
+	// memo is keyed by it, so an unchanged directory is never rescanned.
+	muts atomic.Int64
+
+	dsMu    sync.Mutex
+	dsMemo  DiskStats
+	dsAt    int64 // muts value dsMemo was computed at
+	dsValid bool
 
 	hits, misses, puts, decodeErrs, verifyChecks, verifyMismatches atomic.Int64
-	decodeNanos, bytesStored, bytesRaw                             atomic.Int64
+	decodeNanos, bytesStored, bytesRaw, diskScans                  atomic.Int64
 }
 
 type flight struct {
@@ -131,6 +154,11 @@ type flight struct {
 	val  any
 	hit  bool
 	err  error
+}
+
+// kindCounter is the lock-free form of KindCounters.
+type kindCounter struct {
+	hits, misses, puts atomic.Int64
 }
 
 // Open creates (if needed) and opens a cache rooted at dir.
@@ -141,7 +169,18 @@ func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: %w", err)
 	}
-	return &Cache{dir: dir, flights: map[string]*flight{}, kinds: map[string]*KindCounters{}}, nil
+	return &Cache{dir: dir}, nil
+}
+
+// shardOf picks a flight shard for key: keys are hex of SHA-256 (or
+// kind-prefixed hex), so the tail bytes are uniformly distributed.
+func (c *Cache) shardOf(key string) *flightShard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.flights[h%flightShards]
 }
 
 // Dir returns the cache directory.
@@ -164,21 +203,36 @@ func (c *Cache) Stats() Stats {
 		DecodeErrors:     c.decodeErrs.Load(),
 		VerifyChecks:     c.verifyChecks.Load(),
 		VerifyMismatches: c.verifyMismatches.Load(),
+		DiskScans:        c.diskScans.Load(),
 		DecodeNanos:      c.decodeNanos.Load(),
 		BytesStored:      c.bytesStored.Load(),
 		BytesRaw:         c.bytesRaw.Load(),
 	}
 }
 
-// DiskStats scans the cache directory and reports how many entries it
-// holds and their total size, broken down by entry kind. It is an
-// observability call (the -cache-stats flags), not a hot-path one.
+// DiskStats reports how many entries the cache directory holds and
+// their total size, broken down by entry kind. The scan is memoized
+// against the cache's own mutation counter: repeated calls with no
+// interleaving Put or discard serve the memo without touching the
+// filesystem. (External writers — another process sharing the
+// directory — are not observed until this cache mutates; DiskStats is
+// an observability call, not a consistency primitive.)
 func (c *Cache) DiskStats() (DiskStats, error) {
+	c.dsMu.Lock()
+	defer c.dsMu.Unlock()
+	// Read the generation before scanning: a Put landing mid-scan may
+	// or may not be counted, and advancing muts forces the next call to
+	// rescan rather than trust the torn snapshot.
+	gen := c.muts.Load()
+	if c.dsValid && gen == c.dsAt {
+		return c.dsMemo.copy(), nil
+	}
 	ds := DiskStats{Kinds: map[string]KindDisk{}}
 	entries, err := os.ReadDir(c.dir)
 	if err != nil {
 		return ds, fmt.Errorf("cache: %w", err)
 	}
+	c.diskScans.Add(1)
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), entryExt) {
 			continue
@@ -195,18 +249,78 @@ func (c *Cache) DiskStats() (DiskStats, error) {
 		kd.Bytes += info.Size()
 		ds.Kinds[k] = kd
 	}
-	return ds, nil
+	c.dsMemo, c.dsAt, c.dsValid = ds, gen, true
+	return ds.copy(), nil
+}
+
+// copy returns a deep copy so callers cannot mutate the memo's map.
+func (ds DiskStats) copy() DiskStats {
+	out := ds
+	out.Kinds = make(map[string]KindDisk, len(ds.Kinds))
+	for k, v := range ds.Kinds {
+		out.Kinds[k] = v
+	}
+	return out
+}
+
+// Snapshot is a point-in-time index of the keys present in the cache
+// directory, built from one directory scan. Batch planners consult it
+// to skip the per-entry open/stat a cold key would waste: MayContain
+// is a hint, not a guarantee — an entry written after the snapshot is
+// reported absent — so callers must treat "absent" as "compute it"
+// (which Put makes idempotent: keys are content-addressed).
+type Snapshot struct {
+	keys map[string]struct{}
+}
+
+// Snapshot scans the cache directory once and returns the key index.
+func (c *Cache) Snapshot() (*Snapshot, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	c.diskScans.Add(1)
+	s := &Snapshot{keys: make(map[string]struct{}, len(entries))}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), entryExt) {
+			continue
+		}
+		s.keys[strings.TrimSuffix(e.Name(), entryExt)] = struct{}{}
+	}
+	return s, nil
+}
+
+// MayContain reports whether key was present at snapshot time. A nil
+// snapshot reports true for every key (unknown means "go look").
+func (s *Snapshot) MayContain(key string) bool {
+	if s == nil {
+		return true
+	}
+	_, ok := s.keys[key]
+	return ok
+}
+
+// Len returns the number of keys in the snapshot.
+func (s *Snapshot) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.keys)
 }
 
 // KindStats returns a snapshot of the per-kind runtime counters (keys
 // are KindKey kinds; plain Key traffic groups under "").
 func (c *Cache) KindStats() map[string]KindCounters {
-	c.kmu.Lock()
-	defer c.kmu.Unlock()
-	out := make(map[string]KindCounters, len(c.kinds))
-	for k, v := range c.kinds {
-		out[k] = *v
-	}
+	out := map[string]KindCounters{}
+	c.kinds.Range(func(k, v any) bool {
+		kc := v.(*kindCounter)
+		out[k.(string)] = KindCounters{
+			Hits:   kc.hits.Load(),
+			Misses: kc.misses.Load(),
+			Puts:   kc.puts.Load(),
+		}
+		return true
+	})
 	return out
 }
 
@@ -250,19 +364,25 @@ func KindRows(ds DiskStats, ks map[string]KindCounters) []string {
 	return rows
 }
 
-// countKind folds one event into the key's kind counters.
+// countKind folds one event into the key's kind counters. The fast
+// path is a lock-free sync.Map load plus atomic adds — the kind set is
+// tiny and stable, so the store path runs a handful of times per run.
 func (c *Cache) countKind(key string, hits, misses, puts int64) {
 	k := KindOf(key)
-	c.kmu.Lock()
-	kc := c.kinds[k]
-	if kc == nil {
-		kc = &KindCounters{}
-		c.kinds[k] = kc
+	v, ok := c.kinds.Load(k)
+	if !ok {
+		v, _ = c.kinds.LoadOrStore(k, &kindCounter{})
 	}
-	kc.Hits += hits
-	kc.Misses += misses
-	kc.Puts += puts
-	c.kmu.Unlock()
+	kc := v.(*kindCounter)
+	if hits != 0 {
+		kc.hits.Add(hits)
+	}
+	if misses != 0 {
+		kc.misses.Add(misses)
+	}
+	if puts != 0 {
+		kc.puts.Add(puts)
+	}
 }
 
 // Key derives a cache key from the parts that determine a result.
@@ -395,6 +515,7 @@ func Fetch[T any](c *Cache, key string, cd codec.Codec[T]) (T, bool) {
 func (c *Cache) discard(key string) {
 	c.decodeErrs.Add(1)
 	os.Remove(c.path(key))
+	c.muts.Add(1)
 }
 
 // Put writes the entry for key atomically (temp file + rename), so a
@@ -424,6 +545,7 @@ func Put[T any](c *Cache, key string, cd codec.Codec[T], val T) error {
 	}
 	c.puts.Add(1)
 	c.countKind(key, 0, 0, 1)
+	c.muts.Add(1)
 	return nil
 }
 
@@ -458,15 +580,27 @@ func Do[T any](c *Cache, key string, cd codec.Codec[T], compute func() (T, error
 // cached and the recomputed value and returns a description of the
 // first difference ("" when equal). A nil eq means reflect.DeepEqual.
 func DoEq[T any](c *Cache, key string, cd codec.Codec[T], compute func() (T, error), eq func(cached, fresh T) string) (T, bool, error) {
+	return DoEqHint(c, key, cd, compute, eq, nil)
+}
+
+// DoEqHint is DoEq consulting a directory Snapshot: when the snapshot
+// says the key was absent, the initial read is skipped and the flight
+// goes straight to compute-and-store — on a cold batch that deletes
+// one failed open() per entry. The hint never changes the result: a
+// racing writer's entry is simply recomputed to the identical value
+// (keys are content-addressed) and the Put overwrites in place. Verify
+// mode ignores the hint so hits are still recomputed and compared.
+func DoEqHint[T any](c *Cache, key string, cd codec.Codec[T], compute func() (T, error), eq func(cached, fresh T) string, snap *Snapshot) (T, bool, error) {
 	var zero T
 	if c == nil {
 		v, err := compute()
 		return v, false, err
 	}
 
-	c.mu.Lock()
-	if f, ok := c.flights[key]; ok {
-		c.mu.Unlock()
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	if f, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
 		<-f.done
 		if f.err != nil {
 			return zero, false, f.err
@@ -478,16 +612,24 @@ func DoEq[T any](c *Cache, key string, cd codec.Codec[T], compute func() (T, err
 		return v, f.hit, nil
 	}
 	f := &flight{done: make(chan struct{})}
-	c.flights[key] = f
-	c.mu.Unlock()
+	if sh.m == nil {
+		sh.m = map[string]*flight{}
+	}
+	sh.m[key] = f
+	sh.mu.Unlock()
 	defer func() {
 		close(f.done)
-		c.mu.Lock()
-		delete(c.flights, key)
-		c.mu.Unlock()
+		sh.mu.Lock()
+		delete(sh.m, key)
+		sh.mu.Unlock()
 	}()
 
-	if cached, ok := Get(c, key, cd); ok {
+	var cached T
+	var ok bool
+	if snap.MayContain(key) || c.Verifying() {
+		cached, ok = Get(c, key, cd)
+	}
+	if ok {
 		c.hits.Add(1)
 		c.countKind(key, 1, 0, 0)
 		if c.Verifying() {

@@ -549,3 +549,152 @@ func TestDoEqComparator(t *testing.T) {
 		t.Fatalf("comparator mismatch returned %v", err)
 	}
 }
+
+// TestDiskStatsMemoized pins the amortized DiskStats contract: the
+// directory is walked once per mutation generation, not once per
+// call. Repeated calls on an unchanged cache serve the memo (one
+// scan); any Put — including a verify-mode discard — invalidates it
+// (a second scan); and the returned per-kind map is a copy, so a
+// caller mutating it cannot poison the memo.
+func TestDiskStatsMemoized(t *testing.T) {
+	c := open(t)
+	if err := Put(c, KindKey("syn", "a"), payloadCodec, payload{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.DiskStats(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if scans := c.Stats().DiskScans; scans != 1 {
+		t.Fatalf("3 DiskStats on an unchanged cache cost %d scans, want 1", scans)
+	}
+
+	if err := Put(c, KindKey("syn", "b"), payloadCodec, payload{Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := c.DiskStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Entries != 2 {
+		t.Fatalf("entries after second put = %d, want 2", ds.Entries)
+	}
+	if scans := c.Stats().DiskScans; scans != 2 {
+		t.Fatalf("DiskStats after a Put cost %d scans total, want 2", scans)
+	}
+
+	// The memo must hand out copies: mutate the returned kind map and
+	// check a fresh call is unaffected.
+	for k := range ds.Kinds {
+		ds.Kinds[k] = KindDisk{Entries: 999}
+	}
+	ds2, err := c.DiskStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Kinds["syn"].Entries == 999 {
+		t.Fatal("DiskStats returned the memo's own map, not a copy")
+	}
+	if scans := c.Stats().DiskScans; scans != 2 {
+		t.Fatalf("memoized re-read cost a scan: %d total, want 2", scans)
+	}
+}
+
+// TestSnapshot covers the warm-start key-set snapshot: present keys
+// answer true, absent ones false, a nil snapshot (no cache scanned)
+// conservatively answers true for everything, and writes after the
+// snapshot do not appear in it (it is a point-in-time hint).
+func TestSnapshot(t *testing.T) {
+	c := open(t)
+	if err := Put(c, Key("present"), payloadCodec, payload{Name: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 1 {
+		t.Fatalf("snapshot len = %d, want 1", snap.Len())
+	}
+	if !snap.MayContain(Key("present")) {
+		t.Fatal("snapshot misses a present key")
+	}
+	if snap.MayContain(Key("absent")) {
+		t.Fatal("snapshot claims an absent key")
+	}
+	if err := Put(c, Key("later"), payloadCodec, payload{Name: "l"}); err != nil {
+		t.Fatal(err)
+	}
+	if snap.MayContain(Key("later")) {
+		t.Fatal("snapshot sees a write made after it was taken")
+	}
+	var nilSnap *Snapshot
+	if !nilSnap.MayContain(Key("anything")) {
+		t.Fatal("nil snapshot must answer true (probe disk)")
+	}
+}
+
+// TestDoEqHint pins the batched warm-start read path: with a snapshot
+// that says the key is absent, DoEqHint computes without touching the
+// entry file; with the key present it hits as usual; and verify mode
+// ignores the hint entirely so every hit is still re-checked. The
+// read elision is observed directly: a corrupt entry file planted
+// under a hinted-absent key must never be decoded (no decode error),
+// where an unhinted lookup would read it and record one.
+func TestDoEqHint(t *testing.T) {
+	c := open(t)
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("hinted")
+	noEq := func(cached, fresh payload) string { return "" }
+
+	// Plant garbage where the entry would live, post-snapshot. A read
+	// would discard it and count a DecodeError; the hint elides the read
+	// so the file is simply overwritten by the computed value's Put.
+	if err := os.WriteFile(c.path(key), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v, hit, err := DoEqHint(c, key, payloadCodec, func() (payload, error) {
+		return payload{Name: "fresh"}, nil
+	}, noEq, snap)
+	if err != nil || hit || v.Name != "fresh" {
+		t.Fatalf("hinted-absent DoEqHint: v=%+v hit=%v err=%v", v, hit, err)
+	}
+	if s := c.Stats(); s.DecodeErrors != 0 {
+		t.Fatalf("hinted-absent lookup read the entry file (%d decode errors), want the read elided", s.DecodeErrors)
+	}
+
+	// A fresh snapshot sees the key: normal hit path.
+	snap2, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, hit, err = DoEqHint(c, key, payloadCodec, func() (payload, error) {
+		t.Fatal("compute ran despite a hit")
+		return payload{}, nil
+	}, noEq, snap2)
+	if err != nil || !hit || v.Name != "fresh" {
+		t.Fatalf("hinted-present DoEqHint: v=%+v hit=%v err=%v", v, hit, err)
+	}
+
+	// Verify mode overrides the hint: even a snapshot that says absent
+	// must not suppress the consistency check's read-and-compare.
+	c.SetVerify(true)
+	defer c.SetVerify(false)
+	mismatches := 0
+	_, _, err = DoEqHint(c, key, payloadCodec, func() (payload, error) {
+		return payload{Name: "fresh"}, nil
+	}, func(cached, fresh payload) string {
+		mismatches++ // called means the cached entry was read
+		return ""
+	}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mismatches != 1 {
+		t.Fatal("verify mode skipped the cached read on a hinted-absent key")
+	}
+}

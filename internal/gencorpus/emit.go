@@ -1,0 +1,477 @@
+package gencorpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// libSrc is the generated corpora's shared building-block library.
+// Its text is fixed (seed-independent): every generated corpus shares
+// it, so cross-corpus cache entries for library-only subtrees stay
+// warm, and within one corpus every component instantiating a gl_*
+// module at the same parameters lands on the same design point.
+const libSrc = `
+// ---------------------------------------------------------------
+// gencorpus shared library: common datapath blocks (generated
+// corpora only; the hand-written corpus has its own lib.v).
+// ---------------------------------------------------------------
+
+module gl_mux2 #(parameter W = 8) (
+  input [W-1:0] a,
+  input [W-1:0] b,
+  input sel,
+  output [W-1:0] y
+);
+  assign y = sel ? b : a;
+endmodule
+
+module gl_adder #(parameter W = 8) (
+  input [W-1:0] a,
+  input [W-1:0] b,
+  input cin,
+  output [W-1:0] s,
+  output cout
+);
+  wire [W:0] full;
+  assign full = a + b + cin;
+  assign s = full[W-1:0];
+  assign cout = full[W];
+endmodule
+
+module gl_alu #(parameter W = 16) (
+  input [2:0] op,
+  input [W-1:0] a,
+  input [W-1:0] b,
+  output reg [W-1:0] y,
+  output zero
+);
+  always @(*) begin
+    case (op)
+      3'd0: y = a + b;
+      3'd1: y = a - b;
+      3'd2: y = a & b;
+      3'd3: y = a | b;
+      3'd4: y = a ^ b;
+      3'd5: y = a < b ? {W{1'b0}} + 1 : {W{1'b0}};
+      3'd6: y = a << 1;
+      default: y = a >> 1;
+    endcase
+  end
+  assign zero = y == 0;
+endmodule
+
+// Two-read one-write register file over a memory array.
+module gl_regfile #(parameter W = 16, parameter AW = 4) (
+  input clk,
+  input we,
+  input [AW-1:0] waddr,
+  input [W-1:0] wdata,
+  input [AW-1:0] raddr1,
+  input [AW-1:0] raddr2,
+  output [W-1:0] rdata1,
+  output [W-1:0] rdata2
+);
+  reg [W-1:0] regs [0:(1 << AW) - 1];
+  always @(posedge clk) begin
+    if (we)
+      regs[waddr] <= wdata;
+  end
+  assign rdata1 = regs[raddr1];
+  assign rdata2 = regs[raddr2];
+endmodule
+
+// Synchronous FIFO with registered pointers and a RAM buffer.
+module gl_fifo #(parameter W = 16, parameter AW = 3) (
+  input clk,
+  input rst,
+  input push,
+  input pop,
+  input [W-1:0] din,
+  output [W-1:0] dout,
+  output full,
+  output empty,
+  output [AW:0] count
+);
+  reg [AW:0] wptr, rptr;
+  reg [W-1:0] buffer [0:(1 << AW) - 1];
+  wire do_push, do_pop;
+  assign full = count == (1 << AW);
+  assign empty = count == 0;
+  assign count = wptr - rptr;
+  assign do_push = push && !full;
+  assign do_pop = pop && !empty;
+  always @(posedge clk) begin
+    if (rst) begin
+      wptr <= 0;
+      rptr <= 0;
+    end else begin
+      if (do_push) begin
+        buffer[wptr[AW-1:0]] <= din;
+        wptr <= wptr + 1;
+      end
+      if (do_pop)
+        rptr <= rptr + 1;
+    end
+  end
+  assign dout = buffer[rptr[AW-1:0]];
+endmodule
+
+module gl_counter #(parameter W = 8) (
+  input clk,
+  input rst,
+  input en,
+  output reg [W-1:0] q
+);
+  always @(posedge clk) begin
+    if (rst)
+      q <= 0;
+    else if (en)
+      q <= q + 1;
+  end
+endmodule
+
+// Binary-to-one-hot decoder.
+module gl_decoder #(parameter AW = 3) (
+  input [AW-1:0] a,
+  input en,
+  output [(1 << AW) - 1:0] y
+);
+  assign y = en ? ({{(1 << AW) - 1{1'b0}}, 1'b1} << a) : 0;
+endmodule
+`
+
+// emitGroupLane emits group gi's shared lane module: a registered ALU
+// stage every component in the group can instantiate. The default
+// width is the group pool's lane width, so the module source — and
+// therefore its ModuleHash and its subtree cache entries — differs
+// between groups while being shared within one.
+func emitGroupLane(gi, laneW int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+// Group %d shared execute lane.
+module gen_g%02d_lane #(parameter W = %d) (
+  input clk,
+  input rst,
+  input en,
+  input [2:0] op,
+  input [W-1:0] a,
+  input [W-1:0] b,
+  output [W-1:0] y,
+  output busy
+);
+  reg [W-1:0] ra, rb;
+  reg [2:0] rop;
+  reg rv;
+  wire [W-1:0] alu_y;
+  wire z;
+  always @(posedge clk) begin
+    if (rst) begin
+      ra <= 0;
+      rb <= 0;
+      rop <= 0;
+      rv <= 0;
+    end else if (en) begin
+      ra <= a;
+      rb <= b;
+      rop <= op;
+      rv <= 1;
+    end else
+      rv <= 0;
+  end
+  gl_alu #(.W(W)) alu (.op(rop), .a(ra), .b(rb), .y(alu_y), .zero(z));
+  assign y = alu_y;
+  assign busy = rv && !z;
+endmodule
+`, gi, gi, laneW)
+	return b.String()
+}
+
+// family is one generated component shape. emit returns the source of
+// a top module named name for share group gi, plus an integer size
+// score the synthetic effort is derived from.
+//
+// Each family splits its knobs deliberately: widths (W, AW) are module
+// *parameters* — replication the accounting procedure is supposed to
+// normalize away — while structural knobs (pipeline depth, bank
+// replication, port count) are baked into the emitted source as
+// literals, the way a real design's architecture is. Scores
+// approximate each family's parameter-minimized structural size as a
+// function of its baked knobs only — the share of the design that
+// survives minimization — so synthetic efforts correlate with the
+// accounted metrics (the paper's premise) while the parameter spread
+// turns into noise on the unaccounted ones.
+type family struct {
+	key  string
+	emit func(name string, gi int, p pools, r *rng) (src string, score int)
+}
+
+// families are cycled over component indices, so every corpus size
+// covers every shape and consecutive components differ.
+var families = []family{
+	{"pipe", emitPipeline},
+	{"fifob", emitFIFOBank},
+	{"rfc", emitRegfileCluster},
+	{"dect", emitDecoderTree},
+	{"xbar", emitCrossbar},
+}
+
+// emitPipeline: a depth-stage registered datapath built in a generate
+// loop (depth baked as a literal); each stage adds the stage-valid
+// bit, XOR-taints with the carry, and registers the word. Ends with a
+// group lane on the result.
+func emitPipeline(name string, gi int, p pools, r *rng) (string, int) {
+	w := r.pick(p.widths)
+	depth := r.pick(p.depths)
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+// Generated %[1]d-stage pipeline (group %[2]d).
+module %[3]s #(parameter W = %[4]d) (
+  input clk,
+  input rst,
+  input en,
+  input [W-1:0] din,
+  input [%[5]d:0] stall,
+  output [W-1:0] dout,
+  output [%[5]d:0] vout,
+  output busy
+);
+  wire [%[6]d*W-1:0] chain;
+  reg [%[5]d:0] valid;
+  assign chain[W-1:0] = din;
+  genvar i;
+  generate for (i = 0; i < %[1]d; i = i + 1) begin : stage
+    reg [W-1:0] hold;
+    wire [W-1:0] sum;
+    wire co;
+    gl_adder #(.W(W)) add (
+      .a(chain[(i+1)*W-1:i*W]),
+      .b({{W-1{1'b0}}, valid[i]}),
+      .cin(1'b0),
+      .s(sum),
+      .cout(co)
+    );
+    always @(posedge clk) begin
+      if (rst)
+        hold <= 0;
+      else if (!stall[i])
+        hold <= sum ^ {{W-1{1'b0}}, co};
+    end
+    assign chain[(i+2)*W-1:(i+1)*W] = hold;
+  end endgenerate
+  always @(posedge clk) begin
+    if (rst)
+      valid <= 0;
+    else
+      valid <= {valid[%[7]d:0], en};
+  end
+  wire [W-1:0] lane_y;
+  gen_g%02[2]d_lane #(.W(W)) lane (
+    .clk(clk), .rst(rst), .en(en),
+    .op(3'd4),
+    .a(chain[%[6]d*W-1:%[1]d*W]),
+    .b(din),
+    .y(lane_y),
+    .busy(busy)
+  );
+  assign dout = lane_y;
+  assign vout = valid;
+endmodule
+`, depth, gi, name, w, depth-1, depth+1, depth-2)
+	return b.String(), 100 + 2*depth
+}
+
+// emitFIFOBank: repl round-robin FIFOs (replication baked as a
+// literal) plus an XOR merge network and an occupancy counter.
+func emitFIFOBank(name string, gi int, p pools, r *rng) (string, int) {
+	w := r.pick(p.widths)
+	aw := r.pick(p.aws)
+	repl := r.pick(p.repls)
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+// Generated %[1]d-way FIFO bank (group %[2]d).
+module %[3]s #(parameter W = %[4]d, parameter AW = %[5]d) (
+  input clk,
+  input rst,
+  input push,
+  input pop,
+  input [W-1:0] din,
+  output [W-1:0] dout,
+  output any_full,
+  output all_empty,
+  output [7:0] served
+);
+  reg [%[6]d:0] rr;
+  always @(posedge clk) begin
+    if (rst)
+      rr <= {{%[6]d{1'b0}}, 1'b1};
+    else if (push)
+      rr <= {rr[%[7]d:0], rr[%[6]d]};
+  end
+  wire [%[6]d:0] fulls;
+  wire [%[6]d:0] emptys;
+  wire [%[8]d*W-1:0] merge;
+  assign merge[W-1:0] = {W{1'b0}};
+  genvar i;
+  generate for (i = 0; i < %[1]d; i = i + 1) begin : bank
+    wire [W-1:0] fdout;
+    wire [AW:0] cnt;
+    gl_fifo #(.W(W), .AW(AW)) fifo (
+      .clk(clk), .rst(rst),
+      .push(push && rr[i]),
+      .pop(pop && rr[i]),
+      .din(din),
+      .dout(fdout),
+      .full(fulls[i]),
+      .empty(emptys[i]),
+      .count(cnt)
+    );
+    assign merge[(i+2)*W-1:(i+1)*W] =
+      merge[(i+1)*W-1:i*W] ^ (rr[i] ? fdout : {W{1'b0}});
+  end endgenerate
+  gl_counter #(.W(8)) scount (.clk(clk), .rst(rst), .en(pop), .q(served));
+  assign dout = merge[%[8]d*W-1:%[1]d*W];
+  assign any_full = fulls != 0;
+  assign all_empty = emptys == {%[1]d{1'b1}};
+endmodule
+`, repl, gi, name, w, aw, repl-1, repl-2, repl+1)
+	return b.String(), 92 + 6*repl
+}
+
+// emitRegfileCluster: a register file with write-bypass on both read
+// ports and a group lane consuming the operands.
+func emitRegfileCluster(name string, gi int, p pools, r *rng) (string, int) {
+	w := r.pick(p.widths)
+	aw := r.pick(p.aws)
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+// Generated register-file cluster (group %d).
+module %s #(parameter W = %d, parameter AW = %d) (
+  input clk,
+  input rst,
+  input we,
+  input [AW-1:0] waddr,
+  input [W-1:0] wdata,
+  input [AW-1:0] raddr1,
+  input [AW-1:0] raddr2,
+  input issue,
+  input [2:0] op,
+  output [W-1:0] rdata1,
+  output [W-1:0] rdata2,
+  output [W-1:0] result,
+  output busy
+);
+  wire [W-1:0] q1;
+  wire [W-1:0] q2;
+  gl_regfile #(.W(W), .AW(AW)) rf (
+    .clk(clk), .we(we),
+    .waddr(waddr), .wdata(wdata),
+    .raddr1(raddr1), .raddr2(raddr2),
+    .rdata1(q1), .rdata2(q2)
+  );
+  assign rdata1 = (we && (waddr == raddr1)) ? wdata : q1;
+  assign rdata2 = (we && (waddr == raddr2)) ? wdata : q2;
+  gen_g%02d_lane #(.W(W)) lane (
+    .clk(clk), .rst(rst), .en(issue),
+    .op(op),
+    .a(rdata1),
+    .b(rdata2),
+    .y(result),
+    .busy(busy)
+  );
+endmodule
+`, gi, name, w, aw, gi)
+	return b.String(), 66
+}
+
+// emitDecoderTree: repl one-hot decoders over offset addresses,
+// OR-merged through a prefix chain, with a valid-mask register. Both
+// the address width and the replication are structural (baked as
+// literals) — the module has no parameters at all, like a real
+// design's fixed decode stage, so the accounting sweep measures it
+// identically with and without minimization.
+func emitDecoderTree(name string, gi int, p pools, r *rng) (string, int) {
+	aw := r.pick(p.aws)
+	repl := r.pick(p.repls)
+	span := 1 << aw
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+// Generated %[1]d-way decoder tree (group %[2]d).
+module %[3]s (
+  input clk,
+  input rst,
+  input [%[4]d:0] a,
+  input [%[5]d:0] en,
+  output [%[6]d:0] onehot,
+  output any,
+  output reg [%[6]d:0] mask
+);
+  wire [%[7]d*%[8]d-1:0] acc;
+  assign acc[%[6]d:0] = {%[8]d{1'b0}};
+  genvar i;
+  generate for (i = 0; i < %[1]d; i = i + 1) begin : dec
+    wire [%[6]d:0] y;
+    gl_decoder #(.AW(%[9]d)) d (
+      .a(a + i),
+      .en(en[i]),
+      .y(y)
+    );
+    assign acc[(i+2)*%[8]d-1:(i+1)*%[8]d] =
+      acc[(i+1)*%[8]d-1:i*%[8]d] | y;
+  end endgenerate
+  assign onehot = acc[%[7]d*%[8]d-1:%[1]d*%[8]d];
+  assign any = onehot != 0;
+  always @(posedge clk) begin
+    if (rst)
+      mask <= 0;
+    else
+      mask <= mask | onehot;
+  end
+endmodule
+`, repl, gi, name, aw-1, repl-1, span-1, repl+1, span, aw)
+	return b.String(), 8 * span
+}
+
+// emitCrossbar: an n-port W-bit crossbar built from nested generate
+// loops — per output port, a select-compare term per input and a
+// prefix-OR reduction — plus registered outputs. The port count is
+// structural (baked as a literal); only the lane width W stays a
+// parameter.
+func emitCrossbar(name string, gi int, p pools, r *rng) (string, int) {
+	w := r.pick(p.widths)
+	n := 2 + r.intn(3) // 2..4 ports
+	m := n + 1         // prefix chain stride
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+// Generated %[1]dx%[1]d crossbar (group %[2]d).
+module %[3]s #(parameter W = %[4]d, parameter SW = 2) (
+  input clk,
+  input rst,
+  input [%[1]d*W-1:0] in,
+  input [%[1]d*SW-1:0] sel,
+  output reg [%[1]d*W-1:0] out
+);
+  wire [%[1]d*%[5]d*W-1:0] pre;
+  genvar i, j;
+  generate for (i = 0; i < %[1]d; i = i + 1) begin : port
+    assign pre[(i*%[5]d+1)*W-1:(i*%[5]d)*W] = {W{1'b0}};
+    for (j = 0; j < %[1]d; j = j + 1) begin : term
+      assign pre[(i*%[5]d+j+2)*W-1:(i*%[5]d+j+1)*W] =
+        pre[(i*%[5]d+j+1)*W-1:(i*%[5]d+j)*W] |
+        ((sel[(i+1)*SW-1:i*SW] == j) ? in[(j+1)*W-1:j*W] : {W{1'b0}});
+    end
+  end endgenerate
+  always @(posedge clk) begin
+    if (rst)
+      out <= 0;
+    else
+      out <= pre_out;
+  end
+  wire [%[1]d*W-1:0] pre_out;
+  genvar k;
+  generate for (k = 0; k < %[1]d; k = k + 1) begin : collect
+    assign pre_out[(k+1)*W-1:k*W] = pre[(k*%[5]d+%[5]d)*W-1:(k*%[5]d+%[1]d)*W];
+  end endgenerate
+endmodule
+`, n, gi, name, w, m)
+	return b.String(), 7 * n
+}

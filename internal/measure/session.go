@@ -3,6 +3,7 @@ package measure
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/elab"
@@ -55,15 +56,74 @@ type SessionStats struct {
 //
 // A Session must not outlive its design and must not be shared across
 // designs. It is safe for concurrent use.
+//
+// All session state is sharded or lock-free: the flight table is
+// split across flightShards key-hashed shards, the sharing counters
+// are atomics, and the dedup/source-metric memos are sync.Maps (their
+// values are pure functions of the design, so a racing duplicate
+// compute stores the identical value). At thousand-component batch
+// sizes the old single session mutex serialized the whole planning
+// front end; nothing here is contended now.
 type Session struct {
 	design *hdl.Design
 
-	mu        sync.Mutex
-	flights   map[string]*sigFlight
-	dedupMemo map[string]bool              // module name → could produce duplicate siblings
-	srcMemo   map[string]srcmetrics.Counts // module name → software metrics
-	stats     SessionStats
+	shards [flightShards]flightShard
+
+	dedupMemo sync.Map // module name → bool: could produce duplicate siblings
+	srcMemo   sync.Map // module name → srcmetrics.Counts
+
+	components, planned, synthesized, shared atomic.Int64
+
+	emu       sync.Mutex
 	elabStats elab.CacheStats // aggregated across component elaboration caches
+}
+
+// flightShards is the flight table's shard count; signature keys are
+// SHA-256-derived so any hash of them spreads uniformly.
+const flightShards = 32
+
+// flightShard is one shard of the single-flight synthesis table.
+type flightShard struct {
+	mu sync.Mutex
+	m  map[string]*sigFlight
+}
+
+// shardOf picks the shard owning key (FNV-1a over the key bytes).
+func (s *Session) shardOf(key string) *flightShard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &s.shards[h%flightShards]
+}
+
+// flightFor returns key's flight, creating (and owning) it when absent.
+func (s *Session) flightFor(key string) (f *sigFlight, owned bool) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f, ok := sh.m[key]; ok {
+		return f, false
+	}
+	if sh.m == nil {
+		sh.m = map[string]*sigFlight{}
+	}
+	f = &sigFlight{done: make(chan struct{})}
+	sh.m[key] = f
+	return f, true
+}
+
+// evictFlights drops the given keys from the flight table, releasing
+// the optimized netlists they retain. Only the streaming path evicts —
+// and only keys whose every possible waiter has already assembled.
+func (s *Session) evictFlights(keys []string) {
+	for _, k := range keys {
+		sh := s.shardOf(k)
+		sh.mu.Lock()
+		delete(sh.m, k)
+		sh.mu.Unlock()
+	}
 }
 
 // sigFlight is the single-flight synthesis of one signature: the first
@@ -79,12 +139,7 @@ type sigFlight struct {
 
 // NewSession creates a measurement session over one parsed design.
 func NewSession(design *hdl.Design) *Session {
-	return &Session{
-		design:    design,
-		flights:   map[string]*sigFlight{},
-		dedupMemo: map[string]bool{},
-		srcMemo:   map[string]srcmetrics.Counts{},
-	}
+	return &Session{design: design}
 }
 
 // Design returns the design the session measures.
@@ -92,26 +147,29 @@ func (s *Session) Design() *hdl.Design { return s.design }
 
 // Stats returns a snapshot of the session's sharing counters.
 func (s *Session) Stats() SessionStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return SessionStats{
+		Components:  int(s.components.Load()),
+		Planned:     int(s.planned.Load()),
+		Synthesized: int(s.synthesized.Load()),
+		Shared:      int(s.shared.Load()),
+	}
 }
 
 // ElabStats returns the cumulative subtree counters aggregated across
 // every component elaboration cache the session has retired.
 func (s *Session) ElabStats() elab.CacheStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.emu.Lock()
+	defer s.emu.Unlock()
 	return s.elabStats
 }
 
 // addElabStats folds one retired component cache into the aggregate.
 func (s *Session) addElabStats(st elab.CacheStats) {
-	s.mu.Lock()
+	s.emu.Lock()
 	s.elabStats.Hits += st.Hits
 	s.elabStats.Misses += st.Misses
 	s.elabStats.InstancesReused += st.InstancesReused
-	s.mu.Unlock()
+	s.emu.Unlock()
 }
 
 // plan is the outcome of resolving one unit before synthesis.
@@ -125,8 +183,38 @@ type plan struct {
 	dedup      bool             // effective dedup flag for lowering
 	hits       int              // minimization memo point-verdict hits
 	misses     int
+	flight     *sigFlight // the registered flight (owner or waiter)
 	owned      *sigFlight // non-nil: this call must synthesize the entry
 	err        error      // deferred so one failed unit does not strand flights
+}
+
+// batchPrepThreshold is the unit count above which a batch pays the
+// up-front scans — parallel module pre-hashing and one cache-directory
+// snapshot — that replace per-unit locking and per-entry open calls.
+// Small batches (the 18-component paper corpus) skip both: the scans
+// would cost more than they save there.
+const batchPrepThreshold = 32
+
+// prepBatch amortizes a large batch's front-end costs: it pre-fills
+// the design's module-hash memo on the worker pool (so the per-unit
+// SubtreeHash calls become map reads instead of serialized formatting
+// under the design mutex) and takes one cache-directory snapshot that
+// lets cold keys skip their per-entry open(2). Returns nil — meaning
+// "probe the disk as before" — for small batches, cache-off runs, and
+// verify mode.
+func (s *Session) prepBatch(n int, opts Options) *cache.Snapshot {
+	if opts.Cache == nil || n < batchPrepThreshold {
+		return nil
+	}
+	s.design.PrehashModules(opts.Concurrency)
+	if opts.Cache.Verifying() {
+		return nil
+	}
+	snap, err := opts.Cache.Snapshot()
+	if err != nil {
+		return nil // degraded to per-entry probes, never to failure
+	}
+	return snap
 }
 
 // MeasureAll measures every unit of the batch, sharing the parse, the
@@ -162,6 +250,7 @@ func (s *Session) MeasureAll(units []Unit, opts Options) ([]*ComponentResult, er
 		inner = 1
 	}
 	elabBefore := s.ElabStats()
+	snap := s.prepBatch(len(units), opts)
 
 	var tops []string
 	groups := map[string][]int{}
@@ -188,14 +277,14 @@ func (s *Session) MeasureAll(units []Unit, opts Options) ([]*ComponentResult, er
 		ecache := elab.NewCache()
 		var owned []*plan
 		for _, i := range groups[top] {
-			p := s.planUnit(units[i], opts, inner, ecache)
+			p := s.planUnit(units[i], opts, inner, ecache, snap)
 			plans[i] = p
 			if p.owned != nil {
 				owned = append(owned, p)
 			}
 		}
 		for _, p := range owned {
-			s.synthesizeFlight(p, opts, ecache, locals.Get(worker))
+			s.synthesizeFlight(p, opts, ecache, locals.Get(worker), snap)
 		}
 		// Every signature of this component this call can ever own is
 		// now resolved; later hits come from the flight table, not from
@@ -209,7 +298,7 @@ func (s *Session) MeasureAll(units []Unit, opts Options) ([]*ComponentResult, er
 
 	// Phase 2: aggregate per unit and persist through the disk cache.
 	results, err := parallel.Map(opts.Concurrency, len(units), func(i int) (*ComponentResult, error) {
-		return s.assembleUnit(units[i], plans[i], opts)
+		return s.assembleUnit(units[i], plans[i], opts, snap)
 	})
 	if err != nil {
 		return nil, err
@@ -226,10 +315,102 @@ func (s *Session) MeasureAll(units []Unit, opts Options) ([]*ComponentResult, er
 	return results, nil
 }
 
+// MeasureStream measures every unit like MeasureAll but streams each
+// result to yield instead of returning the batch, and retires each
+// top-module group's flight-table entries as soon as the group's units
+// have been assembled. Peak memory therefore stays bounded by the
+// in-flight groups (plus whatever yield retains) instead of growing
+// with every distinct signature's optimized netlist for the session's
+// lifetime — at a thousand components, the difference between a
+// bounded working set and retaining a thousand netlists.
+//
+// yield is called exactly once per successfully measured unit with the
+// unit's index and its result; calls are serialized (never concurrent)
+// but arrive in completion order, not unit order, and the result is
+// only guaranteed valid during the call — retain a projection, not the
+// pointer, to keep eviction effective. A non-nil yield error aborts
+// the batch. Every result is bit-identical to MeasureAll's for the
+// same unit. Flight eviction is safe because a signature key embeds
+// its top module's name, so every unit that can share a flight is in
+// the evicting group; a later call measuring the same top synthesizes
+// it again (through the warm disk cache when one is attached), and the
+// session's Synthesized counter counts it again.
+func (s *Session) MeasureStream(units []Unit, opts Options, yield func(i int, res *ComponentResult) error) error {
+	inner := opts.Concurrency
+	if parallel.Workers(opts.Concurrency) > 1 {
+		inner = 1
+	}
+	elabBefore := s.ElabStats()
+	snap := s.prepBatch(len(units), opts)
+
+	var tops []string
+	groups := map[string][]int{}
+	for i, u := range units {
+		if _, ok := groups[u.Top]; !ok {
+			tops = append(tops, u.Top)
+		}
+		groups[u.Top] = append(groups[u.Top], i)
+	}
+
+	var ymu sync.Mutex
+	var hits, misses atomic.Int64
+	locals := parallel.NewLocal(opts.Concurrency, getWorkspace)
+	err := parallel.ForEachWorker(opts.Concurrency, len(tops), func(worker, gi int) error {
+		top := tops[gi]
+		ecache := elab.NewCache()
+		idx := groups[top]
+		plans := make([]*plan, len(idx))
+		var owned []*plan
+		var keys []string
+		for j, i := range idx {
+			p := s.planUnit(units[i], opts, inner, ecache, snap)
+			plans[j] = p
+			if p.owned != nil {
+				owned = append(owned, p)
+				keys = append(keys, p.sigKey)
+			}
+		}
+		for _, p := range owned {
+			s.synthesizeFlight(p, opts, ecache, locals.Get(worker), snap)
+		}
+		s.addElabStats(ecache.Stats())
+		// Evict only the flights this group owns: every one is resolved
+		// (synthesizeFlight always closes done before this point), and
+		// waiters holding the pointer — a concurrent call that planned the
+		// same top — are unaffected by the map delete. A flight some
+		// other call owns stays put.
+		defer s.evictFlights(keys)
+		for j, i := range idx {
+			p := plans[j]
+			hits.Add(int64(p.hits))
+			misses.Add(int64(p.misses))
+			res, err := s.assembleUnit(units[i], p, opts, snap)
+			if err != nil {
+				return err
+			}
+			ymu.Lock()
+			yerr := yield(i, res)
+			ymu.Unlock()
+			if yerr != nil {
+				return yerr
+			}
+		}
+		return nil
+	})
+	for _, w := range locals.All() {
+		putWorkspace(w)
+	}
+	if opts.ElabStats != nil {
+		opts.ElabStats.Add(s.ElabStats().Sub(elabBefore), int(hits.Load()), int(misses.Load()))
+	}
+	return err
+}
+
 // planUnit resolves one unit's parameter binding against its
 // component's elaboration cache and registers its signature in the
-// shared table.
-func (s *Session) planUnit(u Unit, opts Options, inner int, ecache *elab.Cache) *plan {
+// shared table. snap, when non-nil, is the batch's cache-directory
+// snapshot: keys it reports absent skip their disk probe.
+func (s *Session) planUnit(u Unit, opts Options, inner int, ecache *elab.Cache, snap *cache.Snapshot) *plan {
 	var compKey string
 	if opts.Cache != nil {
 		k, err := componentKey(s.design, u.Top, u.UseAccounting, opts)
@@ -237,11 +418,9 @@ func (s *Session) planUnit(u Unit, opts Options, inner int, ecache *elab.Cache) 
 			return &plan{err: err}
 		}
 		compKey = k
-		if !opts.Cache.Verifying() {
+		if !opts.Cache.Verifying() && snap.MayContain(compKey) {
 			if rec, ok := cache.Fetch(opts.Cache, compKey, recordCodec); ok {
-				s.mu.Lock()
-				s.stats.Components++
-				s.mu.Unlock()
+				s.components.Add(1)
 				return &plan{rec: rec}
 			}
 		}
@@ -298,19 +477,16 @@ func (s *Session) planUnit(u Unit, opts Options, inner int, ecache *elab.Cache) 
 		}, opts.CacheKeyParts()...)...)
 	}
 
-	s.mu.Lock()
-	s.stats.Components++
-	s.stats.Planned++
-	f, ok := s.flights[p.sigKey]
-	if !ok {
-		f = &sigFlight{done: make(chan struct{})}
-		s.flights[p.sigKey] = f
-		s.stats.Synthesized++
+	s.components.Add(1)
+	s.planned.Add(1)
+	f, owned := s.flightFor(p.sigKey)
+	p.flight = f
+	if owned {
+		s.synthesized.Add(1)
 		p.owned = f
 	} else {
-		s.stats.Shared++
+		s.shared.Add(1)
 	}
-	s.mu.Unlock()
 	return p
 }
 
@@ -346,12 +522,10 @@ func (s *Session) resolvedParams(top string, overrides map[string]int64) (map[st
 // shared synthesis, never correctness. Verdicts are memoized per
 // module name (the property is parameter-independent).
 func (s *Session) dedupPossible(name string, visiting map[string]bool) (bool, error) {
-	s.mu.Lock()
-	v, ok := s.dedupMemo[name]
-	s.mu.Unlock()
-	if ok {
-		return v, nil
+	if v, ok := s.dedupMemo.Load(name); ok {
+		return v.(bool), nil
 	}
+	var v bool
 	if visiting[name] {
 		// Instantiation cycle: elaboration will reject the design; stay
 		// conservative here and let that error surface downstream.
@@ -378,9 +552,8 @@ func (s *Session) dedupPossible(name string, visiting map[string]bool) (bool, er
 			}
 		}
 	}
-	s.mu.Lock()
-	s.dedupMemo[name] = v
-	s.mu.Unlock()
+	// A racing duplicate compute stores the same deterministic verdict.
+	s.dedupMemo.Store(name, v)
 	return v, nil
 }
 
@@ -429,7 +602,7 @@ func scanDedupItems(items []hdl.Item, inLoop bool, counts map[string]int, childr
 // measured at its defaults reuses the reference tree whole), lowers
 // it, optimizes, extracts the synthesis-derived metrics, and persists
 // the record. done is always closed, error or not.
-func (s *Session) synthesizeFlight(p *plan, opts Options, ecache *elab.Cache, ws *Workspace) {
+func (s *Session) synthesizeFlight(p *plan, opts Options, ecache *elab.Cache, ws *Workspace, snap *cache.Snapshot) {
 	f := p.owned
 	defer close(f.done)
 	compute := func() (*sigRecord, error) {
@@ -463,8 +636,9 @@ func (s *Session) synthesizeFlight(p *plan, opts Options, ecache *elab.Cache, ws
 		}, nil
 	}
 	// A nil cache runs compute directly (p.diskSigKey is "" then and
-	// never consulted).
-	rec, _, err := cache.DoEq(opts.Cache, p.diskSigKey, sigRecordCodec, compute, compareSigRecords)
+	// never consulted). The snapshot hint lets cold signature keys skip
+	// the per-entry open a Get would waste.
+	rec, _, err := cache.DoEqHint(opts.Cache, p.diskSigKey, sigRecordCodec, compute, compareSigRecords, snap)
 	if err != nil {
 		f.err = err
 		return
@@ -486,35 +660,29 @@ func (s *Session) synthesizeFlight(p *plan, opts Options, ecache *elab.Cache, ws
 // memo a batch re-formats each shared library module's source once per
 // unit that includes it.
 func (s *Session) sourceCounts(name string) (srcmetrics.Counts, error) {
-	s.mu.Lock()
-	c, ok := s.srcMemo[name]
-	s.mu.Unlock()
-	if ok {
-		return c, nil
+	if c, ok := s.srcMemo.Load(name); ok {
+		return c.(srcmetrics.Counts), nil
 	}
 	mod, err := s.design.Module(name)
 	if err != nil {
 		return srcmetrics.Counts{}, err
 	}
-	c = srcmetrics.MeasureModule(mod)
-	s.mu.Lock()
-	s.srcMemo[name] = c
-	s.mu.Unlock()
+	c := srcmetrics.MeasureModule(mod)
+	// Racing duplicates compute the identical pure-function value.
+	s.srcMemo.Store(name, c)
 	return c, nil
 }
 
 // assembleUnit builds one unit's result from its plan and the shared
 // synthesis table, persisting it through the disk cache.
-func (s *Session) assembleUnit(u Unit, p *plan, opts Options) (*ComponentResult, error) {
+func (s *Session) assembleUnit(u Unit, p *plan, opts Options, snap *cache.Snapshot) (*ComponentResult, error) {
 	if p.rec != nil {
 		return p.rec.toResult(), nil
 	}
 	if p.err != nil {
 		return nil, p.err
 	}
-	s.mu.Lock()
-	f := s.flights[p.sigKey]
-	s.mu.Unlock()
+	f := p.flight
 	<-f.done
 	if f.err != nil {
 		return nil, f.err
@@ -550,9 +718,9 @@ func (s *Session) assembleUnit(u Unit, p *plan, opts Options) (*ComponentResult,
 	// Same key and codec as the per-component path: a cold batch
 	// populates the entries MeasureComponent would, and in verify mode
 	// the batch result is compared against the stored record.
-	rec, _, err := cache.DoEq(opts.Cache, p.compKey, recordCodec, func() (*componentRecord, error) {
+	rec, _, err := cache.DoEqHint(opts.Cache, p.compKey, recordCodec, func() (*componentRecord, error) {
 		return recordOf(res), nil
-	}, compareRecords)
+	}, compareRecords, snap)
 	if err != nil {
 		return nil, err
 	}

@@ -11,7 +11,11 @@
 # ALLOC_TOLERANCE percent (default TOLERANCE) in allocs/op or
 # bytes/op, if any speedup_vs_sequential metric dropped, or if a
 # speedup_vs_warm_whole_unit metric fell below its absolute 5x floor
-# (the incremental-remeasurement acceptance bar). Allocation
+# (the incremental-remeasurement acceptance bar), or if a
+# scaling_ratio_vs_100 metric exceeds its absolute 1.3 ceiling (the
+# generated-corpus scaling acceptance bar: the per-component cost of a
+# 1000-component cold sweep may be at most 1.3x the 100-component
+# cost measured in the same process). Allocation
 # gates carry an absolute noise floor (ALLOC_FLOOR allocs, default 512;
 # BYTES_FLOOR bytes, default 65536): a regression only counts when the
 # delta also exceeds the floor, because small benchmarks jitter by a
@@ -49,7 +53,7 @@ bytes_floor="${BYTES_FLOOR:-65536}"
 extract() {
 	awk '
 	/"name":/ {
-		name = ""; ns = ""; sp = ""; gmp = "-"; al = "-"; by = "-"; iw = "-"
+		name = ""; ns = ""; sp = ""; gmp = "-"; al = "-"; by = "-"; iw = "-"; sr = "-"
 		if (match($0, /"name": "[^"]*"/)) {
 			name = substr($0, RSTART + 9, RLENGTH - 10)
 		}
@@ -62,6 +66,9 @@ extract() {
 		if (match($0, /"speedup_vs_warm_whole_unit": [0-9.eE+-]+/)) {
 			iw = substr($0, RSTART + 30, RLENGTH - 30)
 		}
+		if (match($0, /"scaling_ratio_vs_100": [0-9.eE+-]+/)) {
+			sr = substr($0, RSTART + 24, RLENGTH - 24)
+		}
 		if (match($0, /"gomaxprocs": [0-9.eE+-]+/)) {
 			gmp = substr($0, RSTART + 14, RLENGTH - 14)
 		}
@@ -71,7 +78,7 @@ extract() {
 		if (match($0, /"bytes\/op": [0-9.eE+-]+/)) {
 			by = substr($0, RSTART + 12, RLENGTH - 12)
 		}
-		if (name != "" && ns != "") printf "%s %s %s %s %s %s %s\n", name, ns, (sp == "" ? "-" : sp), gmp, al, by, iw
+		if (name != "" && ns != "") printf "%s %s %s %s %s %s %s %s\n", name, ns, (sp == "" ? "-" : sp), gmp, al, by, iw, sr
 	}
 	' "$1"
 }
@@ -95,7 +102,7 @@ function allocgate(name, o, n, unit, floor,    ratio, flag) {
 	else if (ratio < 1 - atol / 100 && o - n > floor) flag = "improved"
 	printf "  %-9s %-50s %12.0f -> %12.0f %s (%+.1f%%)\n", flag, name, o, n, unit, (ratio - 1) * 100
 }
-NR == FNR { ns[$1] = $2; sp[$1] = $3; gmp[$1] = $4; al[$1] = $5; by[$1] = $6; iw[$1] = $7; next }
+NR == FNR { ns[$1] = $2; sp[$1] = $3; gmp[$1] = $4; al[$1] = $5; by[$1] = $6; iw[$1] = $7; sr[$1] = $8; next }
 {
 	name = $1
 	if (!(name in ns)) {
@@ -142,6 +149,22 @@ NR == FNR { ns[$1] = $2; sp[$1] = $3; gmp[$1] = $4; al[$1] = $5; by[$1] = $6; iw
 			printf "  ok        %-50s speedup_vs_warm_whole_unit %.1f -> %.1f (floor 5)\n", name, iw[name] + 0, niw
 		} else {
 			printf "  ok        %-50s speedup_vs_warm_whole_unit %.1f (floor 5)\n", name, niw
+		}
+	}
+	# The generated-corpus scaling ratio also gates against an absolute
+	# bar: 1000-component per-component cost at most 1.3x the
+	# 100-component cost. Both sweeps run back to back in one process,
+	# so ambient runner load largely cancels out of the ratio and the
+	# gate holds even where raw ns/op would be noise-bound.
+	if ($8 != "-") {
+		nsr = $8 + 0
+		if (nsr > 1.3) {
+			printf "  REGRESSION %-49s scaling_ratio_vs_100 %.2f (ceiling 1.3)\n", name, nsr
+			bad++
+		} else if (sr[name] != "" && sr[name] != "-") {
+			printf "  ok        %-50s scaling_ratio_vs_100 %.2f -> %.2f (ceiling 1.3)\n", name, sr[name] + 0, nsr
+		} else {
+			printf "  ok        %-50s scaling_ratio_vs_100 %.2f (ceiling 1.3)\n", name, nsr
 		}
 	}
 }

@@ -27,11 +27,20 @@
 # suddenly grows to 2× in CI output is the early warning that an
 # allocation regression slipped past the count-based gates.
 #
+# A scale smoke stage runs the generated-corpus differential test
+# (internal/measure TestMeasureStreamMatchesBatchGenerated: a
+# 100-component gencorpus corpus, streaming vs batch, cache off / cold
+# / warm) under the race detector. The tier-1 race line already covers
+# the package; the named stage exists so a contention bug introduced
+# in the sharded planner fails CI with the scale test's name in the
+# output rather than somewhere inside a package-wide run.
+#
 # Usage:
 #   scripts/ci.sh                      # tier-1 + fuzz smoke + cover + bench gate
 #   SKIP_BENCH=1 scripts/ci.sh         # skip the bench baseline diff
 #   SKIP_FUZZ=1 scripts/ci.sh          # skip the fuzz smoke stage
 #   SKIP_GOGC=1 scripts/ci.sh          # skip the GOGC sensitivity smoke
+#   SKIP_SCALE=1 scripts/ci.sh         # skip the generated-corpus scale smoke
 #   FUZZTIME=30s scripts/ci.sh         # longer fuzz smoke (default 10s)
 #   BENCHCOUNT=10 scripts/ci.sh        # more bench repetitions (default 5)
 #   BENCH_TOLERANCE=10 scripts/ci.sh   # stricter regression gate
@@ -47,17 +56,25 @@ go test ./...
 echo "== tier-1: race =="
 go test -race ./internal/parallel ./internal/nlme ./internal/paper ./internal/elab ./internal/accounting ./internal/measure ./internal/core ./internal/depgraph
 
+if [ "${SKIP_SCALE:-0}" != "1" ]; then
+	echo "== scale smoke (generated 100-component corpus, -race) =="
+	go test -race -run '^TestMeasureStreamMatchesBatchGenerated$' ./internal/measure
+fi
+
 if [ "${SKIP_FUZZ:-0}" != "1" ]; then
 	# Short coverage-guided smoke on the fuzz targets: the parser's
 	# round-trip fuzzer, the synthesis-vs-RTL differential fuzzer, the
-	# cache codec's two decoder fuzzers, and the dependency-graph
-	# decoder fuzzer (hostile bytes must error, never panic).
-	# internal/codec has two targets, so each is named explicitly
-	# (-fuzz runs exactly one target per invocation).
+	# corpus generator's parse-and-synthesize fuzzer (every seed must
+	# yield a valid, synthesizable corpus), the cache codec's two
+	# decoder fuzzers, and the dependency-graph decoder fuzzer (hostile
+	# bytes must error, never panic). internal/codec has two targets,
+	# so each is named explicitly (-fuzz runs exactly one target per
+	# invocation).
 	fuzztime="${FUZZTIME:-10s}"
 	echo "== fuzz smoke (${fuzztime}/target) =="
 	go test -run '^$' -fuzz Fuzz -fuzztime "$fuzztime" ./internal/hdl
 	go test -run '^$' -fuzz Fuzz -fuzztime "$fuzztime" ./internal/equiv
+	go test -run '^$' -fuzz Fuzz -fuzztime "$fuzztime" ./internal/gencorpus
 	go test -run '^$' -fuzz '^FuzzDecodeEntry$' -fuzztime "$fuzztime" ./internal/codec
 	go test -run '^$' -fuzz '^FuzzDecodeNetlist$' -fuzztime "$fuzztime" ./internal/codec
 	go test -run '^$' -fuzz '^FuzzDecodeGraph$' -fuzztime "$fuzztime" ./internal/depgraph
