@@ -11,6 +11,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"maps"
 	"math"
@@ -34,6 +35,8 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/nlme"
 	"repro/internal/paper"
+	"repro/internal/serve"
+	"repro/internal/serve/servetest"
 	"repro/internal/stats"
 	"repro/internal/synth"
 )
@@ -1024,4 +1027,103 @@ func BenchmarkMeasureGenerated1000(b *testing.B) {
 	perUnit := total.Seconds() * 1e3 / float64(b.N*len(units))
 	b.ReportMetric(perUnit, "per_component_ms")
 	b.ReportMetric(perUnit/refPerUnit, "scaling_ratio_vs_100")
+}
+
+// ---------------------------------------------------------------
+// Measurement daemon (internal/serve)
+// ---------------------------------------------------------------
+
+// servedRequest builds the 18-component paper-corpus request the
+// daemon benchmarks serve.
+func servedRequest(sources map[string]string) *serve.Request {
+	var units []serve.UnitRequest
+	for _, c := range designs.All() {
+		units = append(units, serve.UnitRequest{Top: c.Top, Accounting: true})
+	}
+	return &serve.Request{Tenant: "bench", Sources: sources, Units: units}
+}
+
+// BenchmarkServedWarmRequest times one steady-state /measure round
+// trip: the daemon's session already holds every signature, so an
+// iteration pays HTTP, JSON, planning, and shared-flight lookups — the
+// latency a warm client sees per request, not per measurement.
+func BenchmarkServedWarmRequest(b *testing.B) {
+	b.ReportAllocs()
+	ch, err := cache.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := servetest.Start(b, serve.Config{MaxConcurrent: 4, Cache: ch})
+	cl := h.Client(false)
+	req := servedRequest(designs.Sources())
+	ctx := context.Background()
+	if _, err := cl.Measure(ctx, req); err != nil {
+		b.Fatal(err) // cold fill, untimed
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := cl.Measure(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(resp.Results) != len(req.Units) {
+			b.Fatalf("%d results, want %d", len(resp.Results), len(req.Units))
+		}
+	}
+	b.StopTimer()
+	perUnit := b.Elapsed().Seconds() * 1e3 / float64(b.N*len(req.Units))
+	b.ReportMetric(perUnit, "per_component_ms")
+}
+
+// BenchmarkServedRemeasure times the daemon's edit loop: alternating
+// one-module edits (BenchmarkIncrementalEdit's anchor) POSTed to
+// /remeasure, answered from the tenant's rolling baseline with only
+// the one-unit dirty cone re-measured through a warm disk cache.
+func BenchmarkServedRemeasure(b *testing.B) {
+	b.ReportAllocs()
+	baseSrc := designs.Sources()
+	const anchor = "= table_mem[raddr[AW-1:0]];"
+	editSrc := maps.Clone(baseSrc)
+	if !strings.Contains(editSrc["RAT-Standard.v"], anchor) {
+		b.Fatalf("edit script stale: RAT-Standard.v does not contain %q", anchor)
+	}
+	editSrc["RAT-Standard.v"] = strings.Replace(editSrc["RAT-Standard.v"], anchor,
+		"= ~table_mem[raddr[AW-1:0]];", 1)
+	reqs := [2]*serve.Request{servedRequest(baseSrc), servedRequest(editSrc)}
+
+	ch, err := cache.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := servetest.Start(b, serve.Config{MaxConcurrent: 4, Cache: ch})
+	cl := h.Client(false)
+	ctx := context.Background()
+	// Untimed warmup: anchor the rolling baseline on the base design,
+	// then roll it through both variants so the timed loop starts in
+	// steady state (both designs parsed, both graphs on disk, every
+	// signature cached).
+	for _, req := range []*serve.Request{reqs[0], reqs[1], reqs[0]} {
+		if _, err := cl.Remeasure(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var last *serve.RemeasureInfo
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := cl.Remeasure(ctx, reqs[(i+1)%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = resp.Remeasure
+	}
+	b.StopTimer()
+	if last == nil || !last.Baseline {
+		b.Fatal("remeasure did not roll the tenant baseline")
+	}
+	if last.DirtyUnits != 1 || last.CleanUnits != len(reqs[0].Units)-1 {
+		b.Fatalf("dirty cone wrong over the wire: %d dirty / %d clean units (want 1 / %d)",
+			last.DirtyUnits, last.CleanUnits, len(reqs[0].Units)-1)
+	}
+	b.ReportMetric(float64(last.DirtyUnits), "dirty_units_per_op")
+	b.ReportMetric(float64(last.CleanUnits), "clean_units_per_op")
 }

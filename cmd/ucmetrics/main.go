@@ -63,6 +63,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/cache"
@@ -451,19 +452,37 @@ func runWatch(cfg config, opts measure.Options) error {
 	printResult("watch", cfg.top, res[0])
 	stamps := sourceStamps(cfg.files)
 
+	// pending holds paths that vanished on the previous poll. One poll
+	// of grace covers an editor's rename/replace window; a path still
+	// missing a full interval later really is gone, and a silently
+	// shrunken design must not keep being remeasured as if whole.
+	pending := map[string]bool{}
 	for {
 		time.Sleep(cfg.interval)
 		next := sourceStamps(cfg.files)
+		if gone := stillGone(pending, next); len(gone) > 0 {
+			return fmt.Errorf("watch: %s vanished and did not reappear within one poll", strings.Join(gone, ", "))
+		}
+		pending = map[string]bool{}
 		if stampsEqual(stamps, next) {
 			continue
 		}
-		refreshed, err := refreshSources(sources, stamps, next)
+		refreshed, vanished, err := refreshSources(sources, stamps, next)
 		stamps = next
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ucmetrics: watch:", err)
 			continue
 		}
 		sources = refreshed
+		if len(vanished) > 0 {
+			// Mid-rename window: keep the stale content cached, skip
+			// this tick's remeasure, and give the file one poll to
+			// come back.
+			for _, p := range vanished {
+				pending[p] = true
+			}
+			continue
+		}
 		d, err := hdl.ParseDesign(sources)
 		if err != nil {
 			// Mid-edit sources often do not parse; keep the baseline and
@@ -525,13 +544,27 @@ func sourceStamps(paths []string) map[string]time.Time {
 // tick's cost is proportional to the edit, not the design. (The flip
 // side is the usual mtime-watcher contract: a rewrite that preserves
 // the modification time is not picked up until the file's stamp next
-// moves.) A named path that vanished (zero stamp) is an error, same
-// as a full reload's.
-func refreshSources(prev map[string]string, old, next map[string]time.Time) (map[string]string, error) {
+// moves.)
+//
+// A named path that vanished (zero stamp) but still has cached
+// content is NOT an immediate error: editors routinely save via
+// rename/replace, so a poll can land in the window where the old file
+// is gone and the new one not yet in place. The path keeps its stale
+// content and is reported in the vanished list; the caller retries on
+// the next poll and only a path still missing then is a hard error. A
+// vanished path with no cached content to fall back on fails
+// immediately, same as a full reload's.
+func refreshSources(prev map[string]string, old, next map[string]time.Time) (map[string]string, []string, error) {
 	out := make(map[string]string, len(next))
+	var vanished []string
 	for p, t := range next {
 		if t.IsZero() {
-			return nil, fmt.Errorf("stat %s: path vanished", p)
+			if src, ok := prev[p]; ok {
+				out[p] = src
+				vanished = append(vanished, p)
+				continue
+			}
+			return nil, nil, fmt.Errorf("stat %s: path vanished", p)
 		}
 		if ot, ok := old[p]; ok && ot.Equal(t) {
 			if src, ok := prev[p]; ok {
@@ -541,14 +574,29 @@ func refreshSources(prev map[string]string, old, next map[string]time.Time) (map
 		}
 		data, err := os.ReadFile(p)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out[p] = string(data)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("no source files remain")
+		return nil, nil, fmt.Errorf("no source files remain")
 	}
-	return out, nil
+	sort.Strings(vanished)
+	return out, vanished, nil
+}
+
+// stillGone reports which previously-vanished paths are still missing
+// in the next stamp snapshot: a vanish that survived a whole poll
+// interval is no longer a transient rename/replace window.
+func stillGone(pending map[string]bool, next map[string]time.Time) []string {
+	var gone []string
+	for p := range pending {
+		if next[p].IsZero() {
+			gone = append(gone, p)
+		}
+	}
+	sort.Strings(gone)
+	return gone
 }
 
 func stampsEqual(a, b map[string]time.Time) bool {

@@ -52,9 +52,12 @@ func TestRefreshSourcesSkipsUnchanged(t *testing.T) {
 	if stampsEqual(stamps, next) {
 		t.Fatal("stamps unchanged after touching a.v")
 	}
-	refreshed, err := refreshSources(sources, stamps, next)
+	refreshed, vanished, err := refreshSources(sources, stamps, next)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(vanished) != 0 {
+		t.Fatalf("nothing vanished, got %v", vanished)
 	}
 	if got := refreshed[a]; got != "module a2; endmodule\n" {
 		t.Fatalf("a.v not re-read: %q", got)
@@ -85,7 +88,7 @@ func TestRefreshSourcesAddRemove(t *testing.T) {
 		t.Fatal(err)
 	}
 	next := sourceStamps(paths)
-	refreshed, err := refreshSources(sources, stamps, next)
+	refreshed, _, err := refreshSources(sources, stamps, next)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +101,7 @@ func TestRefreshSourcesAddRemove(t *testing.T) {
 	}
 	stamps, sources = next, refreshed
 	next = sourceStamps(paths)
-	refreshed, err = refreshSources(sources, stamps, next)
+	refreshed, _, err = refreshSources(sources, stamps, next)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,8 +109,10 @@ func TestRefreshSourcesAddRemove(t *testing.T) {
 		t.Fatal("deleted file still in the source map")
 	}
 
-	// A named (non-directory) path that vanishes records a zero stamp;
-	// the refresh must fail rather than silently shrink the design.
+	// A named (non-directory) path that vanishes records a zero stamp.
+	// With cached content the refresh tolerates it once (transient
+	// rename window) and reports it; with no cached content to fall
+	// back on it must fail rather than silently shrink the design.
 	named := []string{a}
 	namedSources, err := loadSources(named)
 	if err != nil {
@@ -118,7 +123,85 @@ func TestRefreshSourcesAddRemove(t *testing.T) {
 		t.Fatal(err)
 	}
 	gone := sourceStamps(named)
-	if _, err := refreshSources(namedSources, namedStamps, gone); err == nil {
-		t.Fatal("vanished named path did not error")
+	kept, vanished, err := refreshSources(namedSources, namedStamps, gone)
+	if err != nil {
+		t.Fatalf("vanished path with cached content should be tolerated once: %v", err)
+	}
+	if len(vanished) != 1 || vanished[0] != a {
+		t.Fatalf("vanished = %v, want [%s]", vanished, a)
+	}
+	if kept[a] != namedSources[a] {
+		t.Fatalf("stale content not kept through the rename window: %q", kept[a])
+	}
+	if _, _, err := refreshSources(map[string]string{}, namedStamps, gone); err == nil {
+		t.Fatal("vanished named path with no cached content did not error")
+	}
+}
+
+// TestWatchTransientReplaceTolerated is the regression test for the
+// editor rename/replace window: a poll that catches a named source
+// file mid-replace must not abort the watch — the stale content is
+// held for one poll, and once the file reappears the next refresh
+// picks up the new content. Only a path missing on two consecutive
+// polls is a hard error.
+func TestWatchTransientReplaceTolerated(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.v")
+	if err := os.WriteFile(a, []byte("module a; endmodule\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	paths := []string{a}
+	sources, err := loadSources(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamps := sourceStamps(paths)
+
+	// Poll 1: the file is mid-replace (gone). Tolerated: stale content
+	// kept, path reported, and stillGone on that same snapshot flags it
+	// as pending rather than dead.
+	if err := os.Remove(a); err != nil {
+		t.Fatal(err)
+	}
+	next := sourceStamps(paths)
+	kept, vanished, err := refreshSources(sources, stamps, next)
+	if err != nil {
+		t.Fatalf("transient vanish errored immediately: %v", err)
+	}
+	if len(vanished) != 1 {
+		t.Fatalf("vanished = %v, want [%s]", vanished, a)
+	}
+	if kept[a] != "module a; endmodule\n" {
+		t.Fatalf("stale content lost in the rename window: %q", kept[a])
+	}
+	pending := map[string]bool{a: true}
+
+	// Poll 2a: the replace finished — stillGone clears, and the refresh
+	// reads the new content (the zero stamp recorded during the window
+	// never equals the new mtime, so a reappearing file is re-read even
+	// if the replace restored the original modification time).
+	if err := os.WriteFile(a, []byte("module a2; endmodule\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stamps = next
+	next = sourceStamps(paths)
+	if gone := stillGone(pending, next); len(gone) != 0 {
+		t.Fatalf("reappeared file still flagged gone: %v", gone)
+	}
+	refreshed, vanished, err := refreshSources(kept, stamps, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vanished) != 0 {
+		t.Fatalf("vanished after reappearance = %v", vanished)
+	}
+	if refreshed[a] != "module a2; endmodule\n" {
+		t.Fatalf("replacement content not picked up: %q", refreshed[a])
+	}
+
+	// Poll 2b (counterfactual): had the file stayed missing a whole
+	// interval, stillGone reports it — the watch loop's hard-error case.
+	if gone := stillGone(pending, map[string]time.Time{a: {}}); len(gone) != 1 || gone[0] != a {
+		t.Fatalf("persistently missing file not reported: %v", gone)
 	}
 }

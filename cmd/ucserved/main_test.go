@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonProcessSmoke exercises ucserved as a real process: build
+// the binary, start it on an ephemeral port, wait for the readiness
+// line, serve one measurement and a health check, then SIGTERM it and
+// require a clean drained exit. This is the one test that covers the
+// main() wiring (flags, signal handling, shutdown ordering) that the
+// in-process servetest harness cannot.
+func TestDaemonProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process smoke skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "ucserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-cache-dir", "", "-drain-timeout", "10s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Readiness: the daemon prints its bound address once listening.
+	lines := bufio.NewScanner(stdout)
+	var base string
+	for lines.Scan() {
+		if line := lines.Text(); strings.Contains(line, "listening on ") {
+			base = line[strings.Index(line, "http://"):]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon exited before printing its address (scan err: %v)", lines.Err())
+	}
+
+	body, err := json.Marshal(map[string]any{
+		"sources": map[string]string{"m.v": `
+module m (
+  input clk,
+  input a,
+  output reg y
+);
+  always @(posedge clk) begin
+    y <= ~a;
+  end
+endmodule
+`},
+		"units": []map[string]any{{"top": "m", "accounting": true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/measure", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /measure: %v", err)
+	}
+	data, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("POST /measure: HTTP %d: %s", res.StatusCode, data)
+	}
+	var resp struct {
+		Results []struct {
+			Top     string `json:"top"`
+			Metrics struct {
+				Cells int `json:"Cells"`
+			} `json:"metrics"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatalf("decode response: %v\n%s", err, data)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Top != "m" || resp.Results[0].Metrics.Cells == 0 {
+		t.Fatalf("implausible measurement over the wire: %s", data)
+	}
+
+	if hres, err := http.Get(base + "/healthz"); err != nil || hres.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: %v, code %d", err, code(hres))
+	}
+
+	// Graceful drain: SIGTERM, clean zero exit.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit within 15s of SIGTERM")
+	}
+}
+
+func code(r *http.Response) int {
+	if r == nil {
+		return 0
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	return r.StatusCode
+}

@@ -1,0 +1,127 @@
+package measure_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/gencorpus"
+	"repro/internal/measure"
+)
+
+// genUnits builds a small generated corpus and its unit list (no
+// accounting: the cancellation tests care about synthesis volume, not
+// the minimization search).
+func genUnits(t *testing.T, n int) (*measure.Session, []measure.Unit) {
+	t.Helper()
+	corpus, err := gencorpus.Generate(gencorpus.Config{Components: n, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := corpus.Design(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := make([]measure.Unit, len(corpus.Components))
+	for i, c := range corpus.Components {
+		units[i] = measure.Unit{Top: c.Top}
+	}
+	return measure.NewSession(design), units
+}
+
+// TestMeasureAllCtxPreCanceled: a context already canceled at entry
+// yields the context error and synthesizes nothing — no flight is
+// registered, so nothing is left behind in the session either.
+func TestMeasureAllCtxPreCanceled(t *testing.T) {
+	sess, units := genUnits(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.MeasureAllCtx(ctx, units, measure.Options{Concurrency: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled MeasureAllCtx error = %v, want context.Canceled", err)
+	}
+	if st := sess.Stats(); st.Synthesized != 0 {
+		t.Fatalf("pre-canceled call synthesized %d signatures, want 0", st.Synthesized)
+	}
+	// The same session still measures correctly under a live context.
+	if _, err := sess.MeasureAllCtx(context.Background(), units, measure.Options{Concurrency: 1}); err != nil {
+		t.Fatalf("post-cancel MeasureAll on the same session: %v", err)
+	}
+}
+
+// TestRemeasureCtxPreCanceled: the ctx-aware remeasure propagates
+// cancellation from its dirty-unit measurement. With no baseline every
+// unit is dirty, so the canceled measurement surfaces directly.
+func TestRemeasureCtxPreCanceled(t *testing.T) {
+	sess, units := genUnits(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, _, err := sess.RemeasureCtx(ctx, nil, units, measure.Options{Concurrency: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled RemeasureCtx error = %v, want context.Canceled", err)
+	}
+}
+
+// TestMeasureStreamCtxCancelMidBatch cancels deterministically from
+// inside the first yield and pins the whole cancellation contract:
+//
+//   - the call fails with an error wrapping context.Canceled,
+//   - synthesis actually stopped (strictly fewer signatures synthesized
+//     than the full batch needs — visible in the session stats, the same
+//     probe the daemon's timeout test uses),
+//   - abandoned flights were evicted, so a fresh MeasureAll on the same
+//     session succeeds and is bit-identical to an untouched reference
+//     session (cancellation cannot poison shared state).
+func TestMeasureStreamCtxCancelMidBatch(t *testing.T) {
+	const n = 24
+	sess, units := genUnits(t, n)
+
+	refSess, _ := genUnits(t, n)
+	ref, err := refSess.MeasureAll(units, measure.Options{Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSynth := refSess.Stats().Synthesized
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	yields := 0
+	err = sess.MeasureStreamCtx(ctx, units, measure.Options{Concurrency: 1}, func(i int, res *measure.ComponentResult) error {
+		yields++
+		cancel()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled MeasureStreamCtx error = %v, want context.Canceled", err)
+	}
+	if yields == 0 {
+		t.Fatal("cancel was supposed to fire from inside the first yield")
+	}
+	if got := sess.Stats().Synthesized; got >= fullSynth {
+		t.Fatalf("cancellation did not stop synthesis: %d signatures synthesized, full batch needs %d", got, fullSynth)
+	}
+
+	// Recovery: the same session, fresh context, full batch — results
+	// must match the untouched reference exactly.
+	got, err := sess.MeasureAll(units, measure.Options{Concurrency: 4})
+	if err != nil {
+		t.Fatalf("post-cancel MeasureAll: %v", err)
+	}
+	for i := range units {
+		sameKey(t, units[i].Top+" after cancel", project(got[i]), project(ref[i]))
+	}
+}
+
+// TestNamespacePartitionsCacheKeys: two namespaces over one cache
+// directory never share entries, and the namespaced results are
+// bit-identical to the namespace-free ones.
+func TestNamespacePartitionsCacheKeys(t *testing.T) {
+	partsOf := func(ns string) []string {
+		return measure.Options{Namespace: ns}.CacheKeyParts()
+	}
+	base, a, b := partsOf(""), partsOf("tenant-a"), partsOf("tenant-b")
+	if len(a) != len(base)+1 || len(b) != len(base)+1 {
+		t.Fatalf("namespace did not append exactly one key part: base=%v a=%v", base, a)
+	}
+	if a[len(a)-1] == b[len(b)-1] {
+		t.Fatalf("distinct namespaces produced the same key part %q", a[len(a)-1])
+	}
+}

@@ -130,6 +130,15 @@ type Options struct {
 	// hits/misses). Purely observational: excluded from CacheKeyParts
 	// and never affects a measured value.
 	ElabStats *elab.StatsRecorder
+	// Namespace, when non-empty, partitions every cache key this
+	// measurement derives — component records, signature records, and
+	// dependency graphs alike — into its own namespace: it is mixed
+	// into CacheKeyParts, so two namespaces sharing one cache directory
+	// never read each other's entries (the daemon's per-tenant
+	// isolation). Results are namespace-independent — measurement is a
+	// pure function of the design and the other options — and the
+	// empty namespace leaves every key exactly as before.
+	Namespace string
 }
 
 func (o Options) library() *stdcell.Library {
@@ -142,14 +151,21 @@ func (o Options) library() *stdcell.Library {
 // CacheKeyParts renders the result-determining options as stable key
 // components for internal/cache: the cell library's name and the FPGA
 // mapping parameters. Concurrency and the cache handle itself are
-// excluded (neither changes any measured value).
+// excluded (neither changes any measured value). A non-empty Namespace
+// is appended — it does not change any measured value either, but it
+// must partition the key space. The empty namespace appends nothing,
+// keeping every pre-namespace key bit-identical.
 func (o Options) CacheKeyParts() []string {
 	f := o.FPGA
-	return []string{
+	parts := []string{
 		"lib=" + o.library().Name,
 		fmt.Sprintf("fpga=K%d;%g;%g;%g;%g;%g", f.K, f.ClkToQ, f.LUTDelay, f.RouteDelay, f.Setup, f.RAMAccess),
 		fmt.Sprintf("dedup=%t", o.DedupInstances),
 	}
+	if o.Namespace != "" {
+		parts = append(parts, "ns="+o.Namespace)
+	}
+	return parts
 }
 
 // Module measures one module of the design, synthesized standalone

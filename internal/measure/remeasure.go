@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -143,6 +144,14 @@ type RemeasureStats struct {
 // options, is dirty by definition. It returns the results in unit
 // order plus the successor baseline anchored on this session's design.
 func (s *Session) Remeasure(prev *Baseline, units []Unit, opts Options) ([]*ComponentResult, *Baseline, RemeasureStats, error) {
+	return s.RemeasureCtx(context.Background(), prev, units, opts)
+}
+
+// RemeasureCtx is Remeasure under a context: the dirty-unit measurement
+// runs through MeasureAllCtx with its unit-granular cancellation
+// contract. The diff itself and the successor-baseline recording are
+// cheap and run to completion once measurement has succeeded.
+func (s *Session) RemeasureCtx(ctx context.Context, prev *Baseline, units []Unit, opts Options) ([]*ComponentResult, *Baseline, RemeasureStats, error) {
 	var stats RemeasureStats
 	results := make([]*ComponentResult, len(units))
 	var dirtyUnits []Unit
@@ -191,7 +200,7 @@ func (s *Session) Remeasure(prev *Baseline, units []Unit, opts Options) ([]*Comp
 	stats.DirtyUnits = len(dirtyUnits)
 
 	if len(dirtyUnits) > 0 {
-		fresh, err := s.MeasureAll(dirtyUnits, opts)
+		fresh, err := s.MeasureAllCtx(ctx, dirtyUnits, opts)
 		if err != nil {
 			return nil, nil, stats, err
 		}

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -242,6 +243,24 @@ func (s *Session) prepBatch(n int, opts Options) *cache.Snapshot {
 // per-module source metrics, and persists it through the disk cache
 // under the same key the per-component path uses.
 func (s *Session) MeasureAll(units []Unit, opts Options) ([]*ComponentResult, error) {
+	return s.MeasureAllCtx(context.Background(), units, opts)
+}
+
+// MeasureAllCtx is MeasureAll under a context: cancellation is observed
+// at unit granularity — before a unit is planned (skipping its
+// minimization search), before each owned signature is synthesized, and
+// while waiting on a flight another goroutine owns — so a canceled
+// batch stops doing new elaboration and synthesis promptly and returns
+// an error wrapping ctx.Err(). One in-flight signature synthesis is
+// never interrupted mid-kernel.
+//
+// A flight this call owned but abandoned to cancellation is resolved
+// with the context error and evicted from the shared table, so a
+// concurrent or later call on the same session re-registers and
+// synthesizes it fresh: cancellation can fail the calls that raced with
+// it, but can never poison the session (the ctx tests pin a post-cancel
+// MeasureAll bit-identical to a fresh session's).
+func (s *Session) MeasureAllCtx(ctx context.Context, units []Unit, opts Options) ([]*ComponentResult, error) {
 	// When the group pool is parallel the minimization search's inner
 	// candidate pool is serialized so the machine is not oversubscribed
 	// (same policy as the per-component corpus path).
@@ -277,14 +296,14 @@ func (s *Session) MeasureAll(units []Unit, opts Options) ([]*ComponentResult, er
 		ecache := elab.NewCache()
 		var owned []*plan
 		for _, i := range groups[top] {
-			p := s.planUnit(units[i], opts, inner, ecache, snap)
+			p := s.planUnit(ctx, units[i], opts, inner, ecache, snap)
 			plans[i] = p
 			if p.owned != nil {
 				owned = append(owned, p)
 			}
 		}
 		for _, p := range owned {
-			s.synthesizeFlight(p, opts, ecache, locals.Get(worker), snap)
+			s.synthesizeFlight(ctx, p, opts, ecache, locals.Get(worker), snap)
 		}
 		// Every signature of this component this call can ever own is
 		// now resolved; later hits come from the flight table, not from
@@ -298,7 +317,7 @@ func (s *Session) MeasureAll(units []Unit, opts Options) ([]*ComponentResult, er
 
 	// Phase 2: aggregate per unit and persist through the disk cache.
 	results, err := parallel.Map(opts.Concurrency, len(units), func(i int) (*ComponentResult, error) {
-		return s.assembleUnit(units[i], plans[i], opts, snap)
+		return s.assembleUnit(ctx, units[i], plans[i], opts, snap)
 	})
 	if err != nil {
 		return nil, err
@@ -336,6 +355,13 @@ func (s *Session) MeasureAll(units []Unit, opts Options) ([]*ComponentResult, er
 // it again (through the warm disk cache when one is attached), and the
 // session's Synthesized counter counts it again.
 func (s *Session) MeasureStream(units []Unit, opts Options, yield func(i int, res *ComponentResult) error) error {
+	return s.MeasureStreamCtx(context.Background(), units, opts, yield)
+}
+
+// MeasureStreamCtx is MeasureStream under a context, with MeasureAllCtx's
+// cancellation contract: unit-granular checks, abandoned flights
+// resolved with the context error and evicted.
+func (s *Session) MeasureStreamCtx(ctx context.Context, units []Unit, opts Options, yield func(i int, res *ComponentResult) error) error {
 	inner := opts.Concurrency
 	if parallel.Workers(opts.Concurrency) > 1 {
 		inner = 1
@@ -363,7 +389,7 @@ func (s *Session) MeasureStream(units []Unit, opts Options, yield func(i int, re
 		var owned []*plan
 		var keys []string
 		for j, i := range idx {
-			p := s.planUnit(units[i], opts, inner, ecache, snap)
+			p := s.planUnit(ctx, units[i], opts, inner, ecache, snap)
 			plans[j] = p
 			if p.owned != nil {
 				owned = append(owned, p)
@@ -371,7 +397,7 @@ func (s *Session) MeasureStream(units []Unit, opts Options, yield func(i int, re
 			}
 		}
 		for _, p := range owned {
-			s.synthesizeFlight(p, opts, ecache, locals.Get(worker), snap)
+			s.synthesizeFlight(ctx, p, opts, ecache, locals.Get(worker), snap)
 		}
 		s.addElabStats(ecache.Stats())
 		// Evict only the flights this group owns: every one is resolved
@@ -384,7 +410,7 @@ func (s *Session) MeasureStream(units []Unit, opts Options, yield func(i int, re
 			p := plans[j]
 			hits.Add(int64(p.hits))
 			misses.Add(int64(p.misses))
-			res, err := s.assembleUnit(units[i], p, opts, snap)
+			res, err := s.assembleUnit(ctx, units[i], p, opts, snap)
 			if err != nil {
 				return err
 			}
@@ -409,8 +435,13 @@ func (s *Session) MeasureStream(units []Unit, opts Options, yield func(i int, re
 // planUnit resolves one unit's parameter binding against its
 // component's elaboration cache and registers its signature in the
 // shared table. snap, when non-nil, is the batch's cache-directory
-// snapshot: keys it reports absent skip their disk probe.
-func (s *Session) planUnit(u Unit, opts Options, inner int, ecache *elab.Cache, snap *cache.Snapshot) *plan {
+// snapshot: keys it reports absent skip their disk probe. A context
+// already canceled at entry yields an error plan without registering a
+// flight (so cancellation never strands a waiter).
+func (s *Session) planUnit(ctx context.Context, u Unit, opts Options, inner int, ecache *elab.Cache, snap *cache.Snapshot) *plan {
+	if err := ctx.Err(); err != nil {
+		return &plan{err: fmt.Errorf("measure: plan %s: %w", u.Top, err)}
+	}
 	var compKey string
 	if opts.Cache != nil {
 		k, err := componentKey(s.design, u.Top, u.UseAccounting, opts)
@@ -602,9 +633,21 @@ func scanDedupItems(items []hdl.Item, inLoop bool, counts map[string]int, childr
 // measured at its defaults reuses the reference tree whole), lowers
 // it, optimizes, extracts the synthesis-derived metrics, and persists
 // the record. done is always closed, error or not.
-func (s *Session) synthesizeFlight(p *plan, opts Options, ecache *elab.Cache, ws *Workspace, snap *cache.Snapshot) {
+//
+// A context canceled before the entry is computed resolves the flight
+// with the context error and evicts its key from the shared table: the
+// waiters that already hold the flight fail with the owner's
+// cancellation, but any later request for the signature registers a
+// fresh flight and synthesizes it — an abandoned flight is never left
+// to poison the session.
+func (s *Session) synthesizeFlight(ctx context.Context, p *plan, opts Options, ecache *elab.Cache, ws *Workspace, snap *cache.Snapshot) {
 	f := p.owned
 	defer close(f.done)
+	if err := ctx.Err(); err != nil {
+		f.err = fmt.Errorf("measure: synthesis of %s abandoned: %w", p.top, err)
+		s.evictFlights([]string{p.sigKey})
+		return
+	}
 	compute := func() (*sigRecord, error) {
 		inst, report, err := elab.ElaborateOpts(s.design, p.top, p.overrides, elab.Options{Cache: ecache})
 		if err != nil {
@@ -674,8 +717,11 @@ func (s *Session) sourceCounts(name string) (srcmetrics.Counts, error) {
 }
 
 // assembleUnit builds one unit's result from its plan and the shared
-// synthesis table, persisting it through the disk cache.
-func (s *Session) assembleUnit(u Unit, p *plan, opts Options, snap *cache.Snapshot) (*ComponentResult, error) {
+// synthesis table, persisting it through the disk cache. Waiting on a
+// flight another goroutine owns is bounded by the context: a canceled
+// waiter stops waiting and returns the context error (the flight
+// itself, owned elsewhere, is unaffected).
+func (s *Session) assembleUnit(ctx context.Context, u Unit, p *plan, opts Options, snap *cache.Snapshot) (*ComponentResult, error) {
 	if p.rec != nil {
 		return p.rec.toResult(), nil
 	}
@@ -683,7 +729,11 @@ func (s *Session) assembleUnit(u Unit, p *plan, opts Options, snap *cache.Snapsh
 		return nil, p.err
 	}
 	f := p.flight
-	<-f.done
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("measure: assemble %s: %w", u.Top, ctx.Err())
+	}
 	if f.err != nil {
 		return nil, f.err
 	}

@@ -1,0 +1,119 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Gate.Acquire when both every running slot
+// and every queue slot is taken: the caller should shed the work (the
+// daemon turns it into 429 + Retry-After) rather than pile up latency.
+var ErrQueueFull = errors.New("parallel: admission queue full")
+
+// Gate is the admission-control analogue of the package's bounded
+// worker pool: at most slots acquisitions run concurrently, at most
+// depth more wait in FIFO order, and anything beyond that is rejected
+// immediately with ErrQueueFull. Unlike a bare semaphore, the queue
+// bound makes overload visible at the edge instead of as unbounded
+// goroutine pile-up — the property the ucserved daemon's 429 path is
+// built on.
+//
+// A released slot is handed directly to the oldest waiter (no thundering
+// herd, no barging: a new arrival cannot overtake the queue).
+type Gate struct {
+	mu      sync.Mutex
+	slots   int
+	depth   int
+	running int
+	waiters []chan struct{} // FIFO; closed to hand a slot over
+}
+
+// NewGate returns a gate with the given running slots and queue depth.
+// slots below 1 is treated as 1; depth below 0 as 0 (no queue: every
+// acquisition beyond the running slots is rejected).
+func NewGate(slots, depth int) *Gate {
+	if slots < 1 {
+		slots = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &Gate{slots: slots, depth: depth}
+}
+
+// Acquire takes a running slot, waiting in FIFO order behind earlier
+// callers when all slots are busy. It returns nil when the slot is
+// held (the caller must Release exactly once), ErrQueueFull when the
+// queue bound is already met, or the context's error if ctx is done
+// before a slot frees up.
+func (g *Gate) Acquire(ctx context.Context) error {
+	g.mu.Lock()
+	if g.running < g.slots {
+		g.running++
+		g.mu.Unlock()
+		return nil
+	}
+	if len(g.waiters) >= g.depth {
+		g.mu.Unlock()
+		return ErrQueueFull
+	}
+	ch := make(chan struct{})
+	g.waiters = append(g.waiters, ch)
+	g.mu.Unlock()
+
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		for i, w := range g.waiters {
+			if w == ch {
+				g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+				g.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		// Not queued anymore: a Release handed us the slot while the
+		// context fired. We own it, so pass it on before reporting the
+		// context error.
+		g.releaseLocked()
+		g.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns a running slot, handing it to the oldest waiter if
+// one is queued. Exactly one Release per successful Acquire.
+func (g *Gate) Release() {
+	g.mu.Lock()
+	g.releaseLocked()
+	g.mu.Unlock()
+}
+
+// releaseLocked hands the slot to the queue head, or frees it. The
+// handed-over slot keeps running counted: ownership transfers without
+// ever dipping below the true concurrency.
+func (g *Gate) releaseLocked() {
+	if len(g.waiters) > 0 {
+		ch := g.waiters[0]
+		g.waiters = g.waiters[1:]
+		close(ch)
+		return
+	}
+	g.running--
+}
+
+// Running reports the slots currently held.
+func (g *Gate) Running() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.running
+}
+
+// Queued reports the callers currently waiting.
+func (g *Gate) Queued() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.waiters)
+}

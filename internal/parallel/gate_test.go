@@ -1,0 +1,130 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGateBoundsConcurrency: under heavy contention the gate never
+// admits more than its slot count at once, and everyone either runs or
+// is rejected with ErrQueueFull — nobody is lost.
+func TestGateBoundsConcurrency(t *testing.T) {
+	const slots, depth, callers = 3, 4, 64
+	g := NewGate(slots, depth)
+	var cur, peak, ran, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := g.Acquire(context.Background())
+			if errors.Is(err, ErrQueueFull) {
+				rejected.Add(1)
+				return
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			ran.Add(1)
+			g.Release()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > slots {
+		t.Fatalf("peak concurrency %d exceeds %d slots", p, slots)
+	}
+	if ran.Load()+rejected.Load() != callers {
+		t.Fatalf("%d ran + %d rejected != %d callers", ran.Load(), rejected.Load(), callers)
+	}
+	if g.Running() != 0 || g.Queued() != 0 {
+		t.Fatalf("gate not drained: running=%d queued=%d", g.Running(), g.Queued())
+	}
+}
+
+// TestGateQueueFull: with every slot held and the queue at depth, the
+// next Acquire fails immediately with ErrQueueFull; after a Release the
+// queued waiter gets the slot (FIFO hand-off, running never dips).
+func TestGateQueueFull(t *testing.T) {
+	g := NewGate(1, 1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	queuedGot := make(chan error, 1)
+	go func() {
+		queuedGot <- g.Acquire(context.Background())
+	}()
+	for g.Queued() != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	if err := g.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-depth Acquire = %v, want ErrQueueFull", err)
+	}
+
+	g.Release()
+	if err := <-queuedGot; err != nil {
+		t.Fatalf("queued waiter got %v after hand-off", err)
+	}
+	if got := g.Running(); got != 1 {
+		t.Fatalf("running = %d after hand-off, want 1 (slot transferred, not freed)", got)
+	}
+	g.Release()
+}
+
+// TestGateAcquireContext: a waiter whose context dies while queued
+// unblocks with the context error and frees its queue position.
+func TestGateAcquireContext(t *testing.T) {
+	g := NewGate(1, 2)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- g.Acquire(ctx) }()
+	for g.Queued() != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter got %v", err)
+	}
+	if g.Queued() != 0 {
+		t.Fatalf("canceled waiter still queued: %d", g.Queued())
+	}
+	g.Release()
+	if g.Running() != 0 {
+		t.Fatalf("running = %d after full release, want 0", g.Running())
+	}
+}
+
+// TestGateZeroDepth: depth 0 means no queue at all — a busy gate
+// rejects instantly.
+func TestGateZeroDepth(t *testing.T) {
+	g := NewGate(1, 0)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("zero-depth busy Acquire = %v, want ErrQueueFull", err)
+	}
+	g.Release()
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("freed slot not reusable: %v", err)
+	}
+	g.Release()
+}

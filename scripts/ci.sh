@@ -41,6 +41,7 @@
 #   SKIP_FUZZ=1 scripts/ci.sh          # skip the fuzz smoke stage
 #   SKIP_GOGC=1 scripts/ci.sh          # skip the GOGC sensitivity smoke
 #   SKIP_SCALE=1 scripts/ci.sh         # skip the generated-corpus scale smoke
+#   SKIP_SERVE=1 scripts/ci.sh         # skip the ucserved daemon smoke
 #   FUZZTIME=30s scripts/ci.sh         # longer fuzz smoke (default 10s)
 #   BENCHCOUNT=10 scripts/ci.sh        # more bench repetitions (default 5)
 #   BENCH_TOLERANCE=10 scripts/ci.sh   # stricter regression gate
@@ -54,7 +55,7 @@ go vet ./...
 echo "== tier-1: test =="
 go test ./...
 echo "== tier-1: race =="
-go test -race ./internal/parallel ./internal/nlme ./internal/paper ./internal/elab ./internal/accounting ./internal/measure ./internal/core ./internal/depgraph
+go test -race ./internal/parallel ./internal/nlme ./internal/paper ./internal/elab ./internal/accounting ./internal/measure ./internal/core ./internal/depgraph ./internal/serve
 
 if [ "${SKIP_SCALE:-0}" != "1" ]; then
 	echo "== scale smoke (generated 100-component corpus, -race) =="
@@ -78,6 +79,17 @@ if [ "${SKIP_FUZZ:-0}" != "1" ]; then
 	go test -run '^$' -fuzz '^FuzzDecodeEntry$' -fuzztime "$fuzztime" ./internal/codec
 	go test -run '^$' -fuzz '^FuzzDecodeNetlist$' -fuzztime "$fuzztime" ./internal/codec
 	go test -run '^$' -fuzz '^FuzzDecodeGraph$' -fuzztime "$fuzztime" ./internal/depgraph
+	go test -run '^$' -fuzz '^FuzzServeRequest$' -fuzztime "$fuzztime" ./internal/serve
+fi
+
+if [ "${SKIP_SERVE:-0}" != "1" ]; then
+	# Daemon smoke: build ucserved, start it on an ephemeral port, serve
+	# one measurement over the wire, health-check it, SIGTERM it, and
+	# require a clean drained exit (cmd/ucserved TestDaemonProcessSmoke).
+	# The in-process e2e matrix already runs in tier-1; this stage is
+	# the only one that exercises the real binary's flag/signal wiring.
+	echo "== daemon smoke (ucserved process lifecycle) =="
+	go test -count=1 -run '^TestDaemonProcessSmoke$' ./cmd/ucserved
 fi
 
 # Coverage report (informational; a pipeline would mask a test failure
